@@ -1,0 +1,74 @@
+"""Extension E1 — Fang-et-al. shared-circle categorization.
+
+The paper cites Fang, Fabrikant & LeFevre's finding that shared circles
+split into *community* circles (dense, reciprocated) and *celebrity*
+circles (popular, unreciprocated members) and uses it to explain the
+low-score tails of Fig. 5.  The synthetic Google+ generator plants
+ground-truth celebrity circles, so the classifier can be validated against
+labels the original study never had.
+"""
+
+from repro.analysis.circle_types import classify_circles
+from repro.analysis.report import render_kv
+
+
+def _ground_truth_celebrities(dataset) -> set[str]:
+    return {
+        group.name
+        for group in dataset.groups
+        if group.name.endswith("/celebrities")
+    }
+
+
+def test_ext_circle_classification(benchmark, gplus):
+    classification = benchmark.pedantic(
+        lambda: classify_circles(gplus.graph, gplus.groups, method="kmeans", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    truth = _ground_truth_celebrities(gplus)
+    predicted = set(classification.of_kind("celebrity"))
+    recovered = len(truth & predicted)
+    precision = recovered / len(predicted) if predicted else 0.0
+    recall = recovered / len(truth) if truth else 0.0
+
+    print()
+    print(render_kv(classification.summary(), title="Circle categorization"))
+    print(render_kv(
+        {
+            "ground-truth celebrity circles": len(truth),
+            "predicted celebrity circles": len(predicted),
+            "precision": round(precision, 3),
+            "recall": round(recall, 3),
+        },
+        title="Recovery vs generator labels",
+    ))
+    benchmark.extra_info["precision"] = precision
+    benchmark.extra_info["recall"] = recall
+
+    assert truth, "generator should plant celebrity circles"
+    assert precision >= 0.7
+    assert recall >= 0.7
+    # The separating feature is member popularity (Fang et al.'s
+    # "very high in-degree"), which must differ by a wide margin.
+    summary = classification.summary()
+    assert summary["celebrity_mean_in_degree"] > 3 * summary[
+        "community_mean_in_degree"
+    ]
+
+
+def test_ext_threshold_method_agrees_on_popularity(gplus):
+    """Threshold and k-means classifiers agree on the clear-cut cases."""
+    kmeans = classify_circles(gplus.graph, gplus.groups, method="kmeans", seed=0)
+    truth = _ground_truth_celebrities(gplus)
+    # Every ground-truth celebrity circle flagged by kmeans has the
+    # popularity profile (mean in-degree above the corpus-wide circle mean).
+    import numpy as np
+
+    overall = float(
+        np.mean([f.mean_member_in_degree for f in kmeans.features])
+    )
+    flagged = set(kmeans.of_kind("celebrity")) & truth
+    for features in kmeans.features:
+        if features.name in flagged:
+            assert features.mean_member_in_degree > overall

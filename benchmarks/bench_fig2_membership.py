@@ -1,0 +1,53 @@
+"""Figure 2 — log plot of vertex membership count in ego networks.
+
+Paper claims reproduced: most vertices appear in exactly one ego network
+(paper: >55k of 107k), membership multiplicity decays steeply (log-scale
+plot), and a small bridge population spans many ego networks (paper: a few
+vertices in >50 of the 133 networks).
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_table
+
+
+def test_fig2_membership_histogram(benchmark, gplus):
+    collection = gplus.ego_collection
+    histogram = benchmark(collection.membership_histogram)
+
+    rows = [
+        {"memberships": k, "vertices": v} for k, v in sorted(histogram.items())
+    ]
+    print()
+    print(render_table(rows[:12], title="Fig. 2 membership multiplicity (head)"))
+    print(f"max multiplicity: {max(histogram)} (of {len(collection)} ego networks)")
+    benchmark.extra_info["single_membership_fraction"] = histogram[1] / sum(
+        histogram.values()
+    )
+    benchmark.extra_info["max_membership"] = max(histogram)
+
+    total = sum(histogram.values())
+    # A majority of vertices sit in exactly one ego network.
+    assert histogram[1] / total > 0.5
+    # Counts decay steeply over the first multiplicities (log-plot shape).
+    assert histogram[1] > 5 * histogram.get(2, 0) > 0
+    counts = [histogram.get(k, 0) for k in range(1, 6)]
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+    # A long but thin bridge tail exists, scaled to ~1/6 of the networks
+    # (paper: >50 of 133).
+    assert max(histogram) >= len(collection) / 6
+    assert sum(v for k, v in histogram.items() if k >= 5) / total < 0.05
+
+
+def test_fig2_log_decay_rate(gplus):
+    """The head of the histogram decays roughly geometrically — a straight
+    line on the paper's log plot."""
+    histogram = gplus.ego_collection.membership_histogram()
+    head = [histogram.get(k, 0) for k in range(1, 5)]
+    ratios = [
+        head[i] / head[i + 1] for i in range(len(head) - 1) if head[i + 1] > 0
+    ]
+    assert len(ratios) >= 2
+    assert all(ratio > 1.5 for ratio in ratios)
+    # Decay rate is roughly stable (within an order of magnitude).
+    assert max(ratios) / min(ratios) < 12

@@ -1,0 +1,65 @@
+"""Figure 3 — log-log in-degree distribution and degree-model selection.
+
+Paper claims reproduced: following the Clauset–Shalizi–Newman method, the
+ego-joined Google+ corpus "cannot match a power-law distribution … rather
+we find an approximate fit of a log-normal distribution for the in-degree",
+while the BFS-crawl reference (Magno et al.) *is* power-law.
+"""
+
+import numpy as np
+
+from repro.algorithms.degrees import degree_histogram, in_degree_sequence
+from repro.analysis.report import render_kv, render_table
+from repro.powerlaw.comparison import best_fit
+
+
+def _full_body_selection(graph):
+    sequence = in_degree_sequence(graph)
+    positive = sequence[sequence >= 1]
+    return best_fit(positive, xmin=int(positive.min()))
+
+
+def test_fig3_gplus_in_degree_is_lognormal(benchmark, gplus):
+    selection = benchmark.pedantic(
+        lambda: _full_body_selection(gplus.graph), rounds=1, iterations=1
+    )
+    summary = selection.summary()
+    comparisons = summary.pop("comparisons")
+    print()
+    print(render_kv(summary, title="Fig. 3 — Google+ in-degree model selection"))
+    print()
+    print(render_table(comparisons, title="Likelihood-ratio tests"))
+    benchmark.extra_info["best_model"] = selection.best
+
+    assert selection.best == "log_normal"
+    # The power law is significantly rejected against the log-normal.
+    power_vs_lognormal = next(
+        c
+        for c in selection.comparisons
+        if {c.first, c.second} == {"power_law", "log_normal"}
+    )
+    assert power_vs_lognormal.favored == "log_normal"
+    assert power_vs_lognormal.significant
+
+
+def test_fig3_magno_in_degree_is_powerlaw(benchmark, magno):
+    selection = benchmark.pedantic(
+        lambda: _full_body_selection(magno.graph), rounds=1, iterations=1
+    )
+    print(f"\nBFS-crawl reference best model: {selection.best}")
+    benchmark.extra_info["best_model"] = selection.best
+    assert selection.best == "power_law"
+
+
+def test_fig3_heavy_tail_shape(gplus):
+    """The in-degree histogram spans orders of magnitude — the log-log
+    scatter of Fig. 3 — with a heavy but decaying tail."""
+    sequence = in_degree_sequence(gplus.graph)
+    histogram = degree_histogram(sequence[sequence >= 1])
+    degrees = np.array(list(histogram))
+    counts = np.array(list(histogram.values()))
+    assert degrees.max() / max(degrees.min(), 1) > 50  # spans >1.5 decades
+    # Mass concentrates at low degree, tail thins out.
+    low = counts[degrees <= np.median(degrees)].sum()
+    high = counts[degrees > np.quantile(degrees, 0.9)].sum()
+    assert low > 5 * high

@@ -1,0 +1,79 @@
+"""Figure 5 — the four scoring functions on circles vs size-matched
+random-walk vertex sets (the paper's Question 1).
+
+Paper claims reproduced, per panel:
+
+* (a) Average Degree — circles score visibly higher; distributions have
+  similar shape (quantitative, not qualitative, separation);
+* (b) Ratio Cut — the random sets concentrate around a peak, and the score
+  of more than 70 % of the circles is lower than for the random sets;
+* (c) Conductance — circles score *lower* (better separated) than random
+  walk sets, though both are high in the dense corpus;
+* (d) Modularity — random sets score near the null expectation, while a
+  majority of circles deviate upward.
+"""
+
+import numpy as np
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.experiment import circles_vs_random
+from repro.analysis.report import render_cdf_panel, render_table
+
+
+def test_fig5_circles_vs_random(benchmark, gplus):
+    result = benchmark.pedantic(
+        lambda: circles_vs_random(gplus, seed=0), rounds=1, iterations=1
+    )
+    summary = result.separation_summary()
+
+    print()
+    for name in result.function_names():
+        circles, randoms = result.cdf_pair(name)
+        print(render_cdf_panel(
+            {"circles": circles, "random": randoms}, title=f"Fig. 5 — {name}"
+        ))
+        print()
+    rows = [{"function": name, **values} for name, values in summary.items()]
+    print(render_table(rows, title="Separation summary"))
+    for name, values in summary.items():
+        benchmark.extra_info[name] = values
+
+    # (a) Average Degree: circles clearly higher.
+    average_degree = summary["average_degree"]
+    assert average_degree["circle_median"] > 1.2 * average_degree["random_median"]
+
+    # (b) Ratio Cut: >70% of circles below the random sets' median, and the
+    # random sets are more concentrated (peaked) than the circles.
+    ratio_cut = summary["ratio_cut"]
+    assert ratio_cut["circles_below_random_median"] > 0.7
+    circle_cdf, random_cdf = result.cdf_pair("ratio_cut")
+    circle_iqr = circle_cdf.quantile(0.75) - circle_cdf.quantile(0.25)
+    random_iqr = random_cdf.quantile(0.75) - random_cdf.quantile(0.25)
+    assert random_iqr < circle_iqr * 1.5
+
+    # (c) Conductance: circles lower than random sets.
+    conductance = summary["conductance"]
+    assert conductance["circle_median"] < conductance["random_median"]
+    assert conductance["circles_below_random_median"] > 0.6
+
+    # (d) Modularity: circles deviate from the null, random sets sit lower.
+    modularity = summary["modularity"]
+    assert modularity["circle_median"] > modularity["random_median"]
+    circle_mod, random_mod = result.cdf_pair("modularity")
+    # Over half the circles exceed the typical random-set score — the
+    # "more than 50% show a significant deviation" claim.
+    assert circle_mod.fraction_above(random_mod.median) > 0.5
+    # And the circle distribution reaches well past the random maximum
+    # regime (the smooth long tail of Fig. 5d).
+    assert circle_mod.quantile(0.95) > random_mod.quantile(0.95)
+
+
+def test_fig5_long_tails(gplus):
+    """All circle distributions admit smooth long tails — the Fang et al.
+    celebrity circles produce low-scoring outliers."""
+    result = circles_vs_random(gplus, seed=1)
+    circles, __ = result.cdf_pair("average_degree")
+    # Tail spread: the top decile spans far beyond the median.
+    assert circles.quantile(0.95) > 1.5 * circles.median
+    # Celebrity circles: a low-connectivity tail exists.
+    assert circles.quantile(0.05) < 0.7 * circles.median

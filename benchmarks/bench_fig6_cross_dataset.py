@@ -1,0 +1,88 @@
+"""Figure 6 — the four scoring functions across all four corpora (the
+paper's Question 2: circles vs classical communities).
+
+Paper claims reproduced, per panel:
+
+* (a) Average Degree — no qualitative difference between structure kinds
+  (internal connectivity is similar);
+* (b) Ratio Cut — vanishing for the community corpora, visibly higher for
+  the circle corpora (Google+ highest);
+* (c) Conductance — ~90 % of Google+ circles above 0.9 while communities
+  sit broadly lower (LiveJournal spread out, Orkut with half below 0.75);
+* (d) Modularity — all corpora rise steeply on a small scale.
+"""
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.comparison import compare_datasets
+from repro.analysis.report import render_cdf_panel, render_table
+from repro.scoring import make_function, make_paper_functions
+
+
+def test_fig6_circles_vs_communities(benchmark, all_datasets):
+    functions = make_paper_functions() + [make_function("scaled_ratio_cut")]
+    result = benchmark.pedantic(
+        lambda: compare_datasets(all_datasets, functions=functions),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    for name in ("average_degree", "ratio_cut", "conductance", "modularity"):
+        print(render_cdf_panel(result.cdfs(name), title=f"Fig. 6 — {name}"))
+        print()
+    summary = result.signature_summary()
+    rows = [{"dataset": name, **values} for name, values in summary.items()]
+    print(render_table(rows, title="Structural signatures"))
+    benchmark.extra_info.update(
+        {name: values for name, values in summary.items()}
+    )
+
+    # (a) Average Degree: same order of magnitude across all four corpora.
+    medians = {
+        name: cdf.median for name, cdf in result.cdfs("average_degree").items()
+    }
+    assert max(medians.values()) < 10 * min(medians.values())
+
+    # (b) Ratio Cut: circles >> communities; Google+ > Twitter;
+    # community values vanish (paper Fig. 6b).
+    ratio_means = {
+        name: cdf.mean for name, cdf in result.cdfs("ratio_cut").items()
+    }
+    assert ratio_means["google_plus"] > ratio_means["twitter"]
+    assert ratio_means["twitter"] > 2 * ratio_means["orkut"]
+    assert ratio_means["twitter"] > 2 * ratio_means["livejournal"]
+
+    # (c) Conductance: the paper's headline signature.
+    conductance = result.cdfs("conductance")
+    assert conductance["google_plus"].fraction_above(0.9) > 0.8
+    assert conductance["twitter"].fraction_above(0.9) > 0.5
+    assert conductance["livejournal"].fraction_above(0.9) < 0.2
+    assert conductance["orkut"].fraction_above(0.9) < 0.2
+    # Orkut: around half the communities below 0.75; LiveJournal is the
+    # most spread-out distribution.
+    assert 0.25 < conductance["orkut"](0.75) < 0.85
+    lj_spread = conductance["livejournal"].quantile(0.9) - conductance[
+        "livejournal"
+    ].quantile(0.1)
+    assert lj_spread > 0.3
+
+    # (d) Modularity: every corpus concentrated at small positive values.
+    for name, cdf in result.cdfs("modularity").items():
+        assert cdf.median > 0, name
+        assert cdf.quantile(0.95) < 0.2, name
+
+
+def test_fig6_internal_similarity_external_difference(all_datasets):
+    """The paper's conclusion in one assertion pair: internal connectivity
+    similar, external separation drastically different."""
+    result = compare_datasets(all_datasets)
+    internal = {n: c.median for n, c in result.cdfs("average_degree").items()}
+    external = {n: c.median for n, c in result.cdfs("conductance").items()}
+    circles_internal = (internal["google_plus"] + internal["twitter"]) / 2
+    community_internal = (internal["livejournal"] + internal["orkut"]) / 2
+    circles_external = (external["google_plus"] + external["twitter"]) / 2
+    community_external = (external["livejournal"] + external["orkut"]) / 2
+    # Internal: same ballpark (within ~3x either way).
+    assert 1 / 3 < circles_internal / community_internal < 3
+    # External: circles clearly less confined.
+    assert circles_external > community_external + 0.15

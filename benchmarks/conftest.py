@@ -1,0 +1,75 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md's
+per-experiment index).  The synthetic corpora are built once per session;
+each bench measures its core computation with pytest-benchmark, prints the
+paper-style artifact, and asserts the paper's *qualitative* claims (shape,
+ordering, crossover), not absolute numbers — the substrate is a scaled
+synthetic corpus, not the authors' crawl.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.characterization import Characterization, characterize
+from repro.data.datasets import Dataset
+from repro.synth.paper_datasets import (
+    build_google_plus,
+    build_livejournal,
+    build_magno_reference,
+    build_orkut,
+    build_twitter,
+)
+
+
+@pytest.fixture(scope="session")
+def gplus() -> Dataset:
+    """The synthetic ego-Gplus corpus (circles)."""
+    return build_google_plus()
+
+
+@pytest.fixture(scope="session")
+def twitter() -> Dataset:
+    """The synthetic ego-Twitter corpus (lists)."""
+    return build_twitter()
+
+
+@pytest.fixture(scope="session")
+def livejournal() -> Dataset:
+    """The synthetic com-LiveJournal corpus (communities)."""
+    return build_livejournal()
+
+
+@pytest.fixture(scope="session")
+def orkut() -> Dataset:
+    """The synthetic com-Orkut corpus (communities)."""
+    return build_orkut()
+
+
+@pytest.fixture(scope="session")
+def magno() -> Dataset:
+    """The synthetic Magno-style BFS-crawl reference graph."""
+    return build_magno_reference()
+
+
+@pytest.fixture(scope="session")
+def all_datasets(gplus, twitter, livejournal, orkut) -> list[Dataset]:
+    """The paper's four corpora in Table III order."""
+    return [gplus, twitter, livejournal, orkut]
+
+
+@pytest.fixture(scope="session")
+def gplus_characterization(gplus) -> Characterization:
+    """Characterization of the Google+ corpus, shared across benches."""
+    return characterize(gplus, seed=0)
+
+
+@pytest.fixture(scope="session")
+def magno_characterization(magno) -> Characterization:
+    """Characterization of the BFS-crawl reference, shared across benches."""
+    return characterize(magno, seed=0)

@@ -1,0 +1,56 @@
+"""Reproduce the paper's Figure 6: circles vs classical communities.
+
+Scores the groups of all four corpora under the paper's four scoring
+functions and renders each panel as an ASCII CDF plot, ending with the
+structural-signature table behind the paper's conclusion.
+
+Run::
+
+    python examples/circles_vs_communities.py
+"""
+
+from repro import (
+    compare_datasets,
+    load_all_paper_datasets,
+    make_function,
+    make_paper_functions,
+    render_cdf_panel,
+    render_table,
+)
+
+PAPER_NOTES = {
+    "average_degree": "paper: similar shapes for both structure kinds",
+    "ratio_cut": "paper: vanishing for LJ/Orkut, clearly higher for G+/Twitter",
+    "conductance": "paper: ~90% of circles > 0.9; communities broadly lower",
+    "modularity": "paper: all steep at small values",
+}
+
+
+def main() -> None:
+    datasets = list(load_all_paper_datasets().values())
+    functions = make_paper_functions() + [make_function("scaled_ratio_cut")]
+    result = compare_datasets(datasets, functions=functions)
+
+    for name in ("average_degree", "ratio_cut", "conductance", "modularity"):
+        print(render_cdf_panel(result.cdfs(name), title=f"Fig. 6 — {name}"))
+        print(f"    {PAPER_NOTES[name]}")
+        print()
+
+    rows = [
+        {"dataset": dataset, **values}
+        for dataset, values in result.signature_summary().items()
+    ]
+    print(render_table(rows, title="Structural signatures"))
+    print()
+    conductance = result.cdfs("conductance")
+    circles_high = conductance["google_plus"].fraction_above(0.9)
+    communities_high = conductance["livejournal"].fraction_above(0.9)
+    print(
+        "Conclusion: circles are internally community-like but externally "
+        f"diffuse — {circles_high:.0%} of Google+ circles exceed conductance "
+        f"0.9 versus {communities_high:.0%} of LiveJournal communities."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Reproduce the paper's Figure 3: degree-distribution model selection.
+
+The paper stresses (citing Clauset-Shalizi-Newman) that eyeballing a
+log-log plot is not evidence of a power law.  This example runs the full
+CSN machinery on two corpora that *look* similar on a log-log plot but are
+statistically distinct:
+
+* the ego-joined Google+ corpus -> log-normal in-degree;
+* the BFS-crawl reference        -> power-law in-degree.
+
+Run::
+
+    python examples/degree_distribution.py
+"""
+
+import numpy as np
+
+from repro import best_fit, build_google_plus, build_magno_reference, render_table
+from repro.algorithms.degrees import degree_histogram, in_degree_sequence
+
+
+def ascii_loglog(histogram: dict[int, int], *, width: int = 58, height: int = 12) -> str:
+    """A minimal log-log scatter of a degree histogram."""
+    degrees = np.array([k for k in histogram if k > 0], dtype=float)
+    counts = np.array([histogram[int(k)] for k in degrees], dtype=float)
+    x = np.log10(degrees)
+    y = np.log10(counts)
+    grid = [[" "] * width for _ in range(height)]
+    x_span = max(x.max() - x.min(), 1e-9)
+    y_span = max(y.max() - y.min(), 1e-9)
+    for xi, yi in zip(x, y):
+        col = int((xi - x.min()) / x_span * (width - 1))
+        row = height - 1 - int((yi - y.min()) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(f"log10(degree): [{x.min():.1f}, {x.max():.1f}]  "
+                 f"log10(count): [{y.min():.1f}, {y.max():.1f}]")
+    return "\n".join(lines)
+
+
+def analyze(name: str, graph) -> dict:
+    sequence = in_degree_sequence(graph)
+    positive = sequence[sequence >= 1]
+    print(f"=== {name} ===")
+    print(ascii_loglog(degree_histogram(positive)))
+    selection = best_fit(positive, xmin=int(positive.min()))
+    summary = selection.summary()
+    comparisons = summary.pop("comparisons")
+    print(f"best model: {summary['best']}  params: {summary['params']}")
+    print(render_table(comparisons, title="Vuong likelihood-ratio tests"))
+    print()
+    return summary
+
+
+def main() -> None:
+    gplus = analyze("Google+ (ego-joined)", build_google_plus().graph)
+    magno = analyze("BFS-crawl reference", build_magno_reference().graph)
+    print(
+        "Both scatters look vaguely straight on a log-log plot, but the "
+        f"likelihood machinery separates them: {gplus['best']} vs "
+        f"{magno['best']} — the paper's Fig. 3 point."
+    )
+
+
+if __name__ == "__main__":
+    main()

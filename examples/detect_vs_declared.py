@@ -1,0 +1,102 @@
+"""Extension: would a community detector find the circles?
+
+The paper compares circles against *declared* communities by scoring
+functions; this example asks the operational question — run Louvain on the
+same graphs and measure how well the detected partition recovers:
+
+* the declared circles of the Google+ corpus,
+* the ego networks the corpus was crawled from, and
+* the declared communities of the LiveJournal-style corpus.
+
+The answer sharpens the paper's conclusion: the detector locks onto the
+ego networks (the real modular structure), while circles — being sub-ego
+facets drowned in external links — are covered by blocks but never
+separated out.
+
+Run::
+
+    python examples/detect_vs_declared.py
+"""
+
+import numpy as np
+
+from repro import (
+    GroupSet,
+    VertexGroup,
+    build_google_plus,
+    build_livejournal,
+    coverage_fraction,
+    louvain_communities,
+    mean_best_jaccard,
+    partition_modularity,
+    render_table,
+)
+
+
+def main() -> None:
+    gplus = build_google_plus()
+    livejournal = build_livejournal()
+
+    print("running Louvain on the Google+ corpus...")
+    gplus_partition = louvain_communities(gplus.graph, seed=0)
+    print("running Louvain on the LiveJournal corpus...")
+    lj_partition = louvain_communities(livejournal.graph, seed=0)
+
+    circles = gplus.groups.filter_by_size(minimum=2)
+    ego_groups = GroupSet(
+        groups=[
+            VertexGroup(name=f"ego-{network.ego}", members=network.vertices)
+            for network in gplus.ego_collection
+        ]
+    )
+    communities = livejournal.groups.filter_by_size(minimum=2)
+
+    rows = [
+        {
+            "target": "Google+ circles",
+            "graph": "google_plus",
+            "blocks": len(gplus_partition),
+            "mean_best_jaccard": round(mean_best_jaccard(circles, gplus_partition), 4),
+            "median_coverage": round(
+                float(np.median([coverage_fraction(g, gplus_partition) for g in circles])), 3
+            ),
+        },
+        {
+            "target": "Google+ ego networks",
+            "graph": "google_plus",
+            "blocks": len(gplus_partition),
+            "mean_best_jaccard": round(
+                mean_best_jaccard(ego_groups, gplus_partition), 4
+            ),
+            "median_coverage": round(
+                float(np.median([coverage_fraction(g, gplus_partition) for g in ego_groups])), 3
+            ),
+        },
+        {
+            "target": "LiveJournal communities",
+            "graph": "livejournal",
+            "blocks": len(lj_partition),
+            "mean_best_jaccard": round(
+                mean_best_jaccard(communities, lj_partition), 4
+            ),
+            "median_coverage": round(
+                float(np.median([coverage_fraction(g, lj_partition) for g in communities])), 3
+            ),
+        },
+    ]
+    print()
+    print(render_table(rows, title="Detected vs declared structures"))
+    print()
+    print(
+        f"partition modularity: google_plus "
+        f"{partition_modularity(gplus.graph, gplus_partition):.3f}, "
+        f"livejournal {partition_modularity(livejournal.graph, lj_partition):.3f}"
+    )
+    print(
+        "Louvain recovers the ego networks an order of magnitude better than "
+        "the circles: selective-sharing facets are not detectable communities."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: build the synthetic Google+ corpus, score its circles, and
+check the paper's headline numbers.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    EmpiricalCDF,
+    build_google_plus,
+    circles_vs_random,
+    render_kv,
+    render_table,
+)
+
+
+def main() -> None:
+    # 1. Build the synthetic stand-in for the McAuley-Leskovec ego-Gplus
+    #    corpus: 40 joined ego networks with shared circles.
+    dataset = build_google_plus(seed=7)
+    print(dataset)
+    print()
+
+    # 2. The paper's Question 1: are circles pronounced structures?
+    #    Score every circle against a size-matched random-walk vertex set
+    #    under the four scoring functions of the paper.
+    result = circles_vs_random(dataset, seed=0)
+    rows = [
+        {"function": name, **values}
+        for name, values in result.separation_summary().items()
+    ]
+    print(render_table(rows, title="Circles vs random sets (Fig. 5 summary)"))
+    print()
+
+    # 3. The headline signature: circles are internally dense but barely
+    #    separated from the remaining network (conductance near 1).
+    conductance = EmpiricalCDF(result.circle_scores.scores("conductance"))
+    print(render_kv(
+        {
+            "circles with conductance > 0.9": f"{conductance.fraction_above(0.9):.1%}",
+            "median circle conductance": round(conductance.median, 3),
+            "paper": "~90% of circles above 0.9 (Fig. 6c)",
+        },
+        title="Selective sharing is less confined",
+    ))
+
+
+if __name__ == "__main__":
+    main()

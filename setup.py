@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs.
+
+The runtime environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable wheels cannot be built; this shim lets
+``pip install -e .`` fall back to ``setup.py develop``.  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""Graph algorithms: traversal, shortest paths, triangles/clustering,
+degree statistics and core decomposition."""
+
+from repro.algorithms.cores import core_numbers, k_core
+from repro.algorithms.degrees import (
+    average_degree,
+    average_in_degree,
+    average_out_degree,
+    degree_assortativity,
+    degree_histogram,
+    degree_sequence,
+    in_degree_sequence,
+    out_degree_sequence,
+    reciprocity,
+)
+from repro.algorithms.shortest_paths import (
+    average_shortest_path,
+    diameter,
+    distance_distribution,
+    double_sweep_lower_bound,
+    eccentricity,
+)
+from repro.algorithms.traversal import (
+    bfs_layers,
+    bfs_order,
+    connected_components,
+    csr_bfs_distances,
+    csr_connected_components,
+    dfs_order,
+    is_connected,
+    largest_connected_component,
+)
+from repro.algorithms.triangles import (
+    average_clustering,
+    clustering_values,
+    local_clustering,
+    transitivity,
+    triangles_per_vertex,
+)
+
+__all__ = [
+    "bfs_order",
+    "bfs_layers",
+    "dfs_order",
+    "connected_components",
+    "largest_connected_component",
+    "is_connected",
+    "csr_bfs_distances",
+    "csr_connected_components",
+    "eccentricity",
+    "double_sweep_lower_bound",
+    "diameter",
+    "average_shortest_path",
+    "distance_distribution",
+    "triangles_per_vertex",
+    "local_clustering",
+    "clustering_values",
+    "average_clustering",
+    "transitivity",
+    "degree_sequence",
+    "in_degree_sequence",
+    "out_degree_sequence",
+    "degree_histogram",
+    "average_degree",
+    "average_in_degree",
+    "average_out_degree",
+    "reciprocity",
+    "degree_assortativity",
+    "core_numbers",
+    "k_core",
+]

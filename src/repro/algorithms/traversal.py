@@ -1,0 +1,196 @@
+"""Graph traversal: BFS/DFS and connected components.
+
+Two API levels are provided.  Label-level functions operate directly on
+:class:`~repro.graph.Graph` / :class:`~repro.graph.DiGraph` and are
+convenient for small inputs and tests.  Kernel-level functions operate on a
+:class:`~repro.graph.CSRGraph` with numpy frontiers and are what the
+characterization experiments use on the full corpora.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterator
+
+import numpy as np
+
+from repro.exceptions import NodeNotFound
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+
+Node = Hashable
+
+__all__ = [
+    "bfs_order",
+    "bfs_layers",
+    "dfs_order",
+    "connected_components",
+    "largest_connected_component",
+    "is_connected",
+    "csr_bfs_distances",
+    "csr_connected_components",
+]
+
+
+def _undirected_neighbors(graph: Graph | DiGraph):
+    """Return a ``node -> iterable of neighbours`` accessor ignoring direction."""
+    if graph.is_directed:
+        succ = graph._succ  # noqa: SLF001 - internal fast path
+        pred = graph._pred  # noqa: SLF001
+        return lambda node: succ[node] | pred[node]
+    adj = graph._adj  # noqa: SLF001
+    return lambda node: adj[node]
+
+
+def bfs_order(graph: Graph | DiGraph, source: Node) -> list[Node]:
+    """Return nodes in breadth-first order from ``source`` (direction ignored)."""
+    if source not in graph:
+        raise NodeNotFound(source)
+    neighbors = _undirected_neighbors(graph)
+    seen = {source}
+    order = [source]
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for other in neighbors(node):
+            if other not in seen:
+                seen.add(other)
+                order.append(other)
+                queue.append(other)
+    return order
+
+
+def bfs_layers(graph: Graph | DiGraph, source: Node) -> Iterator[list[Node]]:
+    """Yield BFS layers (lists of nodes at equal distance) from ``source``."""
+    if source not in graph:
+        raise NodeNotFound(source)
+    neighbors = _undirected_neighbors(graph)
+    seen = {source}
+    layer = [source]
+    while layer:
+        yield layer
+        next_layer: list[Node] = []
+        for node in layer:
+            for other in neighbors(node):
+                if other not in seen:
+                    seen.add(other)
+                    next_layer.append(other)
+        layer = next_layer
+
+
+def dfs_order(graph: Graph | DiGraph, source: Node) -> list[Node]:
+    """Return nodes in (iterative) depth-first order from ``source``."""
+    if source not in graph:
+        raise NodeNotFound(source)
+    neighbors = _undirected_neighbors(graph)
+    seen: set[Node] = set()
+    order: list[Node] = []
+    stack = [source]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        order.append(node)
+        stack.extend(neighbors(node))
+    return order
+
+
+def connected_components(graph: Graph | DiGraph) -> list[set[Node]]:
+    """Return the (weakly) connected components, largest first.
+
+    For directed graphs these are *weak* components — edge direction is
+    ignored, matching how the paper treats connectivity of the joined
+    ego-network corpus.
+    """
+    neighbors = _undirected_neighbors(graph)
+    seen: set[Node] = set()
+    components: list[set[Node]] = []
+    for start in graph:
+        if start in seen:
+            continue
+        component = {start}
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            node = queue.popleft()
+            for other in neighbors(node):
+                if other not in seen:
+                    seen.add(other)
+                    component.add(other)
+                    queue.append(other)
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_connected_component(graph: Graph | DiGraph) -> set[Node]:
+    """Return the vertex set of the largest (weak) component."""
+    components = connected_components(graph)
+    if not components:
+        return set()
+    return components[0]
+
+
+def is_connected(graph: Graph | DiGraph) -> bool:
+    """Return whether the graph is one (weak) connected component."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        return False
+    first = next(iter(graph))
+    return len(bfs_order(graph, first)) == n
+
+
+# -- CSR kernels ---------------------------------------------------------------
+
+
+def csr_bfs_distances(csr: CSRGraph, source: int) -> np.ndarray:
+    """BFS distances from integer vertex ``source`` on a CSR snapshot.
+
+    Unreachable vertices get ``-1``.  Uses vectorized frontier expansion,
+    the workhorse behind diameter and average-shortest-path measurements.
+    """
+    n = csr.num_vertices
+    if not 0 <= source < n:
+        raise NodeNotFound(source)
+    distances = np.full(n, -1, dtype=np.int64)
+    distances[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    indptr, indices = csr.indptr, csr.indices
+    while frontier.size:
+        level += 1
+        # Gather all neighbours of the frontier in one shot.
+        starts = indptr[frontier]
+        stops = indptr[frontier + 1]
+        total = int((stops - starts).sum())
+        if total == 0:
+            break
+        gathered = np.empty(total, dtype=np.int64)
+        offset = 0
+        for start, stop in zip(starts, stops):
+            width = stop - start
+            gathered[offset : offset + width] = indices[start:stop]
+            offset += width
+        candidates = np.unique(gathered)
+        fresh = candidates[distances[candidates] < 0]
+        if fresh.size == 0:
+            break
+        distances[fresh] = level
+        frontier = fresh
+    return distances
+
+
+def csr_connected_components(csr: CSRGraph) -> np.ndarray:
+    """Component labels (0-based, by discovery) for every vertex of ``csr``."""
+    n = csr.num_vertices
+    labels = np.full(n, -1, dtype=np.int64)
+    current = 0
+    for start in range(n):
+        if labels[start] >= 0:
+            continue
+        distances = csr_bfs_distances(csr, start)
+        labels[distances >= 0] = current
+        current += 1
+    return labels

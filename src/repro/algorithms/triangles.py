@@ -1,0 +1,147 @@
+"""Triangle counting and clustering coefficients.
+
+The paper's section IV-A2 measures the *local clustering coefficient* —
+for each vertex, the number of triangles it participates in relative to the
+maximum possible given its degree — and reports its CDF (Fig. 4, mean
+0.4901 on the Google+ corpus).  Directed graphs are measured on their
+undirected skeleton, the standard convention for OSN clustering.
+
+Exact counting intersects sorted CSR adjacency rows; a node-sampled variant
+keeps the cost bounded on dense ego-joined corpora.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+
+Node = Hashable
+
+__all__ = [
+    "triangles_per_vertex",
+    "local_clustering",
+    "clustering_values",
+    "average_clustering",
+    "transitivity",
+]
+
+
+def _as_csr(graph: Graph | DiGraph | CSRGraph) -> CSRGraph:
+    if isinstance(graph, CSRGraph):
+        return graph
+    return CSRGraph(graph)  # union orientation for DiGraph
+
+
+def _intersect_sorted_count(a: np.ndarray, b: np.ndarray) -> int:
+    """Count common elements of two sorted integer arrays."""
+    if a.size == 0 or b.size == 0:
+        return 0
+    return int(np.intersect1d(a, b, assume_unique=True).size)
+
+
+def triangles_per_vertex(
+    graph: Graph | DiGraph | CSRGraph,
+    vertices: Sequence[int] | np.ndarray | None = None,
+) -> np.ndarray:
+    """Number of triangles through each vertex of the undirected skeleton.
+
+    ``vertices`` restricts computation to the given integer vertex ids
+    (defaults to all).  The count for vertex ``v`` is the number of edges
+    among its neighbours.
+    """
+    csr = _as_csr(graph)
+    if vertices is None:
+        vertex_ids: np.ndarray = np.arange(csr.num_vertices, dtype=np.int64)
+    else:
+        vertex_ids = np.asarray(vertices, dtype=np.int64)
+    counts = np.zeros(len(vertex_ids), dtype=np.int64)
+    for position, vertex in enumerate(vertex_ids):
+        neighbors = csr.neighbors(int(vertex))
+        if neighbors.size < 2:
+            continue
+        links = 0
+        for u in neighbors:
+            # Count neighbours of u that are also neighbours of vertex and
+            # larger than u, so each neighbour-neighbour edge counts once.
+            row = csr.neighbors(int(u))
+            row = row[np.searchsorted(row, u + 1) :]
+            links += _intersect_sorted_count(row, neighbors)
+        counts[position] = links
+    return counts
+
+
+def local_clustering(
+    graph: Graph | DiGraph | CSRGraph, vertex: int
+) -> float:
+    """Local clustering coefficient of one integer vertex id."""
+    csr = _as_csr(graph)
+    degree = csr.degree(vertex)
+    if degree < 2:
+        return 0.0
+    triangles = int(triangles_per_vertex(csr, [vertex])[0])
+    return 2.0 * triangles / (degree * (degree - 1))
+
+
+def clustering_values(
+    graph: Graph | DiGraph | CSRGraph,
+    *,
+    sample: int | None = None,
+    seed: int | None = None,
+    include_degenerate: bool = True,
+) -> np.ndarray:
+    """Local clustering coefficients, optionally over a vertex sample.
+
+    With ``sample`` set, that many vertices are drawn uniformly without
+    replacement — the estimator behind Fig. 4 on large corpora.  Vertices of
+    degree < 2 contribute 0 when ``include_degenerate`` is True and are
+    dropped otherwise.
+    """
+    csr = _as_csr(graph)
+    n = csr.num_vertices
+    rng = np.random.default_rng(seed)
+    if sample is None or sample >= n:
+        vertex_ids = np.arange(n, dtype=np.int64)
+    else:
+        if sample <= 0:
+            raise ValueError("sample must be positive")
+        vertex_ids = rng.choice(n, size=sample, replace=False)
+    degrees = np.diff(csr.indptr)[vertex_ids]
+    triangles = triangles_per_vertex(csr, vertex_ids)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        coefficients = np.where(
+            degrees >= 2,
+            2.0 * triangles / np.maximum(degrees * (degrees - 1), 1),
+            0.0,
+        )
+    if not include_degenerate:
+        coefficients = coefficients[degrees >= 2]
+    return coefficients
+
+
+def average_clustering(
+    graph: Graph | DiGraph | CSRGraph,
+    *,
+    sample: int | None = None,
+    seed: int | None = None,
+) -> float:
+    """Mean local clustering coefficient (paper reports 0.4901 on Google+)."""
+    values = clustering_values(graph, sample=sample, seed=seed)
+    if values.size == 0:
+        return 0.0
+    return float(values.mean())
+
+
+def transitivity(graph: Graph | DiGraph | CSRGraph) -> float:
+    """Global transitivity: 3 * triangles / open-or-closed triads."""
+    csr = _as_csr(graph)
+    triangles = triangles_per_vertex(csr)
+    degrees = np.diff(csr.indptr)
+    triads = (degrees * (degrees - 1) // 2).sum()
+    if triads == 0:
+        return 0.0
+    return float(triangles.sum() / triads)

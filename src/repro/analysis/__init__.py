@@ -1,0 +1,58 @@
+"""Experiment orchestration: characterization, overlap, circles-vs-random,
+cross-dataset comparison, robustness, ego-centred view, circle
+classification, two-sample statistics, and report rendering."""
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.characterization import (
+    Characterization,
+    characterize,
+    table2_comparison,
+)
+from repro.analysis.circle_types import (
+    CircleClassification,
+    CircleFeatures,
+    circle_features,
+    classify_circles,
+)
+from repro.analysis.comparison import CrossDatasetResult, compare_datasets
+from repro.analysis.ego_view import EgoViewResult, ego_centered_scores
+from repro.analysis.experiment import CirclesVsRandomResult, circles_vs_random
+from repro.analysis.export import export_figures
+from repro.analysis.overlap import OverlapReport, analyze_overlap
+from repro.analysis.report import render_cdf_panel, render_kv, render_table
+from repro.analysis.robustness import RobustnessResult, directed_vs_undirected
+from repro.analysis.stats import (
+    TwoSampleResult,
+    ks_two_sample,
+    mann_whitney_u,
+    separation_report,
+)
+
+__all__ = [
+    "EmpiricalCDF",
+    "Characterization",
+    "characterize",
+    "table2_comparison",
+    "OverlapReport",
+    "analyze_overlap",
+    "CirclesVsRandomResult",
+    "circles_vs_random",
+    "CrossDatasetResult",
+    "compare_datasets",
+    "RobustnessResult",
+    "directed_vs_undirected",
+    "EgoViewResult",
+    "ego_centered_scores",
+    "CircleFeatures",
+    "CircleClassification",
+    "circle_features",
+    "classify_circles",
+    "TwoSampleResult",
+    "ks_two_sample",
+    "mann_whitney_u",
+    "separation_report",
+    "export_figures",
+    "render_table",
+    "render_kv",
+    "render_cdf_panel",
+]

@@ -1,0 +1,83 @@
+"""Empirical CDF utilities.
+
+Every headline figure of the paper (Figs. 4–6) is a CDF plot;
+:class:`EmpiricalCDF` is the common representation the experiment modules
+emit and the report renderer consumes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+__all__ = ["EmpiricalCDF"]
+
+
+class EmpiricalCDF:
+    """Empirical cumulative distribution of a finite sample.
+
+    Non-finite values are dropped at construction (Separability can yield
+    ``inf`` on boundary-free groups).
+    """
+
+    def __init__(self, values: Iterable[float], *, label: str = "") -> None:
+        data = np.asarray(list(values), dtype=np.float64)
+        data = data[np.isfinite(data)]
+        self.values = np.sort(data)
+        self.label = label
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __call__(self, x: float) -> float:
+        """Fraction of the sample <= ``x``."""
+        if len(self.values) == 0:
+            return 0.0
+        return float(np.searchsorted(self.values, x, side="right") / len(self.values))
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile of the sample (0 <= q <= 1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if len(self.values) == 0:
+            raise ValueError("empty CDF has no quantiles")
+        return float(np.quantile(self.values, q))
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 for an empty sample)."""
+        return float(self.values.mean()) if len(self.values) else 0.0
+
+    @property
+    def median(self) -> float:
+        """Sample median (0.0 for an empty sample)."""
+        return float(np.median(self.values)) if len(self.values) else 0.0
+
+    def fraction_above(self, x: float) -> float:
+        """Fraction of the sample strictly greater than ``x``."""
+        if len(self.values) == 0:
+            return 0.0
+        return float(
+            (len(self.values) - np.searchsorted(self.values, x, side="right"))
+            / len(self.values)
+        )
+
+    def series(self, points: int = 50) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(x, F(x))`` arrays for plotting with ``points`` samples.
+
+        The x grid spans the sample range; y is the exact step CDF at each
+        grid point.
+        """
+        if len(self.values) == 0:
+            return np.array([]), np.array([])
+        lo, hi = self.values[0], self.values[-1]
+        if lo == hi:
+            return np.array([lo]), np.array([1.0])
+        xs = np.linspace(lo, hi, points)
+        ys = np.searchsorted(self.values, xs, side="right") / len(self.values)
+        return xs, ys
+
+    def __repr__(self) -> str:
+        label = f" {self.label!r}" if self.label else ""
+        return f"<EmpiricalCDF{label} n={len(self.values)} mean={self.mean:.4g}>"

@@ -1,0 +1,154 @@
+"""Data-set characterization (paper section IV, Tables II and III).
+
+:func:`characterize` measures the structural features the paper reports
+for each corpus — vertex/edge counts, diameter, average shortest path,
+average in/out degree, mean clustering coefficient, and the best-fitting
+degree-distribution model per Clauset–Shalizi–Newman.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.degrees import (
+    average_degree,
+    average_in_degree,
+    average_out_degree,
+    in_degree_sequence,
+    out_degree_sequence,
+    degree_sequence,
+)
+from repro.algorithms.shortest_paths import average_shortest_path, diameter
+from repro.algorithms.triangles import average_clustering
+from repro.data.datasets import Dataset
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+from repro.powerlaw.comparison import ModelSelection, best_fit
+
+__all__ = ["Characterization", "characterize", "table2_comparison"]
+
+
+@dataclass
+class Characterization:
+    """Measured structural features of one social graph."""
+
+    name: str
+    vertices: int
+    edges: int
+    directed: bool
+    diameter: int
+    average_shortest_path: float
+    average_degree: float
+    average_in_degree: float | None
+    average_out_degree: float | None
+    mean_clustering: float
+    degree_fit: ModelSelection | None = field(repr=False, default=None)
+
+    @property
+    def degree_distribution(self) -> str:
+        """Name of the best-fitting degree model (e.g. ``log_normal``)."""
+        if self.degree_fit is None:
+            return "unknown"
+        return self.degree_fit.best
+
+    def as_row(self) -> dict[str, object]:
+        """Table II style row for report rendering."""
+        row: dict[str, object] = {
+            "dataset": self.name,
+            "vertices": self.vertices,
+            "edges": self.edges,
+            "diameter": self.diameter,
+            "asp": round(self.average_shortest_path, 2),
+            "degree_distribution": self.degree_distribution,
+            "average_degree": round(self.average_degree, 1),
+        }
+        if self.directed:
+            row["average_in_degree"] = round(self.average_in_degree or 0.0, 1)
+            row["average_out_degree"] = round(self.average_out_degree or 0.0, 1)
+        return row
+
+
+def characterize(
+    source: Dataset | Graph | DiGraph,
+    *,
+    asp_sample_sources: int | None = 200,
+    clustering_sample: int | None = 1500,
+    fit_degrees: bool = True,
+    seed: int | None = 0,
+) -> Characterization:
+    """Measure the paper's characterization features of a graph.
+
+    ``asp_sample_sources`` and ``clustering_sample`` bound the cost of the
+    quadratic measurements (pass ``None`` for exact values).  With
+    ``fit_degrees`` the CSN model selection runs on the in-degree sequence
+    (directed) or total-degree sequence (undirected), reproducing Fig. 3.
+    """
+    if isinstance(source, Dataset):
+        graph = source.graph
+        name = source.name
+    else:
+        graph = source
+        name = graph.name or "graph"
+    csr = CSRGraph(graph)  # undirected skeleton for path/clustering measures
+    measured_diameter = diameter(csr, seed=seed)
+    asp = average_shortest_path(csr, sample_sources=asp_sample_sources, seed=seed)
+    clustering = average_clustering(csr, sample=clustering_sample, seed=seed)
+    if graph.is_directed:
+        avg_in: float | None = average_in_degree(graph)
+        avg_out: float | None = average_out_degree(graph)
+        fit_sequence = in_degree_sequence(graph)
+    else:
+        avg_in = None
+        avg_out = None
+        fit_sequence = degree_sequence(graph)
+    fit: ModelSelection | None = None
+    if fit_degrees:
+        positive = fit_sequence[fit_sequence >= 1]
+        # Fit the full distribution (xmin at the observed minimum), as the
+        # paper's Fig. 3 does: deep-tail-only fits cannot distinguish a
+        # log-normal body from a power law.
+        fit = best_fit(positive, xmin=int(positive.min()))
+    return Characterization(
+        name=name,
+        vertices=graph.number_of_nodes(),
+        edges=graph.number_of_edges(),
+        directed=graph.is_directed,
+        diameter=measured_diameter,
+        average_shortest_path=asp,
+        average_degree=average_degree(graph),
+        average_in_degree=avg_in,
+        average_out_degree=avg_out,
+        mean_clustering=clustering,
+        degree_fit=fit,
+    )
+
+
+def table2_comparison(
+    ego_joined: Characterization, bfs_reference: Characterization
+) -> dict[str, dict[str, object]]:
+    """Table II: the ego-joined corpus vs the BFS-crawl reference.
+
+    The paper's point is the *contrast between crawl methods*: the
+    ego-joined corpus is far denser (average degree 127 vs 16.4) and more
+    tightly connected (ASP 3.32 vs 5.9, diameter 13 vs 19) than a BFS
+    crawl, and its in-degree tail is log-normal rather than power-law.
+    """
+    return {
+        "bfs_crawl (Magno-style)": bfs_reference.as_row(),
+        "ego_joined (McAuley-style)": ego_joined.as_row(),
+        "contrast": {
+            "density_ratio": round(
+                ego_joined.average_degree / max(bfs_reference.average_degree, 1e-9), 2
+            ),
+            "asp_ratio": round(
+                bfs_reference.average_shortest_path
+                / max(ego_joined.average_shortest_path, 1e-9),
+                4,
+            ),
+            "ego_joined_fit": ego_joined.degree_distribution,
+            "bfs_crawl_fit": bfs_reference.degree_distribution,
+        },
+    }

@@ -1,0 +1,119 @@
+"""The circles-vs-random experiment (paper section V-A, Figure 5).
+
+For every circle, a size-matched random vertex set is sampled (random walk
+by default); both populations are scored under the four paper functions and
+the resulting per-function CDF pairs are returned.  The paper's conclusion
+— circles are pronounced structures — corresponds to the circle and random
+CDFs separating clearly on every function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.data.datasets import Dataset
+from repro.data.groups import GroupSet, VertexGroup
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+from repro.sampling.random_sets import sample_matched_sets
+from repro.scoring.base import ScoringFunction
+from repro.scoring.registry import ScoreTable, make_paper_functions, score_groups
+
+__all__ = ["CirclesVsRandomResult", "circles_vs_random"]
+
+
+@dataclass
+class CirclesVsRandomResult:
+    """Per-function score CDFs for circles and matched random sets."""
+
+    dataset: str
+    sampler: str
+    circle_scores: ScoreTable = field(repr=False)
+    random_scores: ScoreTable = field(repr=False)
+
+    def function_names(self) -> list[str]:
+        """Scored function names, in evaluation order."""
+        return self.circle_scores.function_names()
+
+    def cdf_pair(self, function_name: str) -> tuple[EmpiricalCDF, EmpiricalCDF]:
+        """Return ``(circles_cdf, random_cdf)`` for one function (Fig. 5
+        panel)."""
+        return (
+            EmpiricalCDF(self.circle_scores.scores(function_name), label="circles"),
+            EmpiricalCDF(self.random_scores.scores(function_name), label="random"),
+        )
+
+    def separation_summary(self) -> dict[str, dict[str, float]]:
+        """Paper-claim-oriented summary per function.
+
+        Reports means/medians of both populations plus the fraction of
+        circles below the random median — the quantity behind "the score
+        for more than 70% of the circles is lower than for the random
+        sets" (Ratio Cut) and "more than 50% of the circles show a
+        significant deviation" (Modularity).
+        """
+        summary: dict[str, dict[str, float]] = {}
+        for name in self.function_names():
+            circles, randoms = self.cdf_pair(name)
+            random_median = randoms.median
+            summary[name] = {
+                "circle_mean": circles.mean,
+                "random_mean": randoms.mean,
+                "circle_median": circles.median,
+                "random_median": random_median,
+                "circles_below_random_median": circles(random_median),
+            }
+        return summary
+
+
+def circles_vs_random(
+    source: Dataset | tuple[Graph | DiGraph, GroupSet],
+    *,
+    functions: list[ScoringFunction] | None = None,
+    sampler: str = "random_walk",
+    seed: int | None = 0,
+    min_group_size: int = 2,
+) -> CirclesVsRandomResult:
+    """Run the Fig. 5 experiment: score circles against matched random sets.
+
+    ``sampler`` selects the baseline generator (``random_walk`` is the
+    paper's choice; see :mod:`repro.sampling.random_sets` for the ablation
+    alternatives).  Groups smaller than ``min_group_size`` (after
+    restriction to the graph) are skipped — a single vertex scores
+    degenerately under every function.
+    """
+    if isinstance(source, Dataset):
+        graph, groups = source.graph, source.groups
+        dataset_name = source.name
+    else:
+        graph, groups = source
+        dataset_name = graph.name or "graph"
+    functions = functions or make_paper_functions()
+
+    usable: list[VertexGroup] = []
+    for group in groups:
+        members = [node for node in group.members if node in graph]
+        if len(members) >= min_group_size:
+            usable.append(group)
+    usable_set = GroupSet(groups=usable, name=dataset_name)
+
+    circle_scores = score_groups(graph, usable_set, functions)
+    sizes = circle_scores.group_sizes
+    random_sets = sample_matched_sets(graph, sizes, sampler, seed=seed)
+    random_groups = GroupSet(
+        groups=[
+            VertexGroup(name=f"random-{i}", members=frozenset(members))
+            for i, members in enumerate(random_sets)
+        ],
+        name=f"{dataset_name}-random",
+    )
+    random_scores = score_groups(
+        graph, random_groups, functions, restrict_to_graph=False
+    )
+    return CirclesVsRandomResult(
+        dataset=dataset_name,
+        sampler=sampler,
+        circle_scores=circle_scores,
+        random_scores=random_scores,
+    )

@@ -1,0 +1,131 @@
+"""CSV export of every figure's data series.
+
+ASCII panels are good for terminals; for publication-quality plots the
+underlying series matter.  :func:`export_figures` writes one CSV per paper
+figure into a directory:
+
+====================  =====================================================
+``fig2_membership.csv``     multiplicity, vertices (Fig. 2 log plot)
+``fig3_degree_hist.csv``    degree, count (Fig. 3 log-log scatter)
+``fig4_clustering_cdf.csv`` value, cdf (Fig. 4)
+``fig5_<function>.csv``     value, circles_cdf, random_cdf (Fig. 5 panels)
+``fig6_<function>.csv``     value, <dataset>_cdf columns (Fig. 6 panels)
+====================  =====================================================
+
+Plain ``csv`` module output — no plotting dependency enters the library.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms.degrees import degree_histogram, in_degree_sequence
+from repro.algorithms.triangles import clustering_values
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.comparison import compare_datasets
+from repro.analysis.experiment import circles_vs_random
+from repro.data.datasets import Dataset
+
+__all__ = ["export_figures"]
+
+
+def _write_csv(path: Path, header: list[str], rows: list[list]) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def _cdf_series(cdfs: dict[str, EmpiricalCDF], points: int = 200) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    values = np.concatenate([c.values for c in cdfs.values() if len(c)])
+    if values.size == 0:
+        return np.array([]), {name: np.array([]) for name in cdfs}
+    grid = np.linspace(float(values.min()), float(values.max()), points)
+    return grid, {name: np.array([cdf(x) for x in grid]) for name, cdf in cdfs.items()}
+
+
+def export_figures(
+    circles_dataset: Dataset,
+    community_datasets: list[Dataset],
+    output_dir: str | Path,
+    *,
+    seed: int = 0,
+    clustering_sample: int | None = 2000,
+) -> list[Path]:
+    """Write the data series of Figs. 2-6 as CSVs; returns written paths.
+
+    ``circles_dataset`` must carry an ego collection (Figs. 2-5);
+    ``community_datasets`` joins it for the Fig. 6 comparison.
+    """
+    output = Path(output_dir)
+    output.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    # Fig. 2 — membership multiplicity histogram.
+    if circles_dataset.ego_collection is not None:
+        histogram = circles_dataset.ego_collection.membership_histogram()
+        path = output / "fig2_membership.csv"
+        _write_csv(
+            path,
+            ["memberships", "vertices"],
+            [[k, v] for k, v in sorted(histogram.items())],
+        )
+        written.append(path)
+
+    # Fig. 3 — in-degree histogram (log-log scatter data).
+    sequence = in_degree_sequence(circles_dataset.graph)
+    histogram = degree_histogram(sequence[sequence >= 1])
+    path = output / "fig3_degree_hist.csv"
+    _write_csv(
+        path, ["degree", "count"], [[k, v] for k, v in sorted(histogram.items())]
+    )
+    written.append(path)
+
+    # Fig. 4 — clustering coefficient CDF.
+    clustering = clustering_values(
+        circles_dataset.graph, sample=clustering_sample, seed=seed
+    )
+    cdf = EmpiricalCDF(clustering)
+    grid, series = _cdf_series({"clustering": cdf})
+    path = output / "fig4_clustering_cdf.csv"
+    _write_csv(
+        path,
+        ["value", "cdf"],
+        [[float(x), float(y)] for x, y in zip(grid, series["clustering"])],
+    )
+    written.append(path)
+
+    # Fig. 5 — circles vs random sets, one CSV per scoring function.
+    result = circles_vs_random(circles_dataset, seed=seed)
+    for name in result.function_names():
+        circles_cdf, random_cdf = result.cdf_pair(name)
+        grid, series = _cdf_series({"circles": circles_cdf, "random": random_cdf})
+        path = output / f"fig5_{name}.csv"
+        _write_csv(
+            path,
+            ["value", "circles_cdf", "random_cdf"],
+            [
+                [float(x), float(a), float(b)]
+                for x, a, b in zip(grid, series["circles"], series["random"])
+            ],
+        )
+        written.append(path)
+
+    # Fig. 6 — cross-dataset comparison panels.
+    comparison = compare_datasets([circles_dataset, *community_datasets])
+    for name in comparison.function_names():
+        cdfs = comparison.cdfs(name)
+        grid, series = _cdf_series(cdfs)
+        path = output / f"fig6_{name}.csv"
+        header = ["value"] + [f"{dataset}_cdf" for dataset in cdfs]
+        rows = [
+            [float(x)] + [float(series[dataset][i]) for dataset in cdfs]
+            for i, x in enumerate(grid)
+        ]
+        _write_csv(path, header, rows)
+        written.append(path)
+
+    return written

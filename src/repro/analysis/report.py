@@ -1,0 +1,119 @@
+"""Plain-text rendering of tables and CDF plots.
+
+Benchmarks and the CLI print paper-style artifacts without a plotting
+dependency: fixed-width tables for Tables II/III and ASCII CDF panels for
+Figures 4–6.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.cdf import EmpiricalCDF
+
+__all__ = ["render_table", "render_cdf_panel", "render_kv"]
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    title: str = "",
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render dict rows as a fixed-width text table.
+
+    Column order follows ``columns`` when given, else the keys of the
+    first row (missing cells render empty).
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(col).ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_kv(data: Mapping[str, object], *, title: str = "") -> str:
+    """Render a flat mapping as aligned ``key: value`` lines."""
+    if not data:
+        return f"{title}\n(empty)" if title else "(empty)"
+    width = max(len(str(key)) for key in data)
+    lines = [title] if title else []
+    for key, value in data.items():
+        lines.append(f"{str(key).ljust(width)} : {_format_cell(value)}")
+    return "\n".join(lines)
+
+
+def render_cdf_panel(
+    cdfs: Mapping[str, EmpiricalCDF],
+    *,
+    title: str = "",
+    width: int = 60,
+    height: int = 12,
+    log_x: bool = False,
+) -> str:
+    """Render one or more CDFs as an ASCII plot (a Fig. 5/6 panel).
+
+    Each series gets a distinct glyph; the x-axis spans the union of all
+    sample ranges (optionally log-scaled), the y-axis is [0, 1].
+    """
+    series = {label: cdf for label, cdf in cdfs.items() if len(cdf)}
+    if not series:
+        return f"{title}\n(no data)" if title else "(no data)"
+    glyphs = "*o+x#@%&"
+    all_values = np.concatenate([cdf.values for cdf in series.values()])
+    lo, hi = float(all_values.min()), float(all_values.max())
+    if log_x:
+        lo = max(lo, 1e-12)
+        xs = np.logspace(np.log10(lo), np.log10(max(hi, lo * 10)), width)
+    elif lo == hi:
+        xs = np.array([lo] * width)
+    else:
+        xs = np.linspace(lo, hi, width)
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, cdf) in enumerate(series.items()):
+        glyph = glyphs[index % len(glyphs)]
+        for col, x in enumerate(xs):
+            y = cdf(float(x))
+            row = height - 1 - min(int(y * (height - 1) + 0.5), height - 1)
+            if grid[row][col] == " ":
+                grid[row][col] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("1.0 |" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append("    |" + "".join(row))
+    lines.append("0.0 |" + "".join(grid[-1]))
+    lines.append("    +" + "-" * width)
+    scale = "log" if log_x else "linear"
+    lines.append(f"     x: [{lo:.4g}, {hi:.4g}] ({scale})")
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={label}" for i, label in enumerate(series)
+    )
+    lines.append(f"     {legend}")
+    return "\n".join(lines)

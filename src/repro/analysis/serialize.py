@@ -1,0 +1,119 @@
+"""JSON serialization of experiment results.
+
+Long-running reproductions want to persist their outputs; these helpers
+turn every result object of :mod:`repro.analysis` into a plain,
+JSON-serializable dictionary (and back where lossless).  numpy arrays
+become lists, dataclasses become dicts, nothing exotic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.characterization import Characterization
+from repro.analysis.comparison import CrossDatasetResult
+from repro.analysis.ego_view import EgoViewResult
+from repro.analysis.experiment import CirclesVsRandomResult
+from repro.analysis.overlap import OverlapReport
+from repro.analysis.robustness import RobustnessResult
+from repro.scoring.registry import ScoreTable
+
+__all__ = ["result_to_dict", "score_table_to_dict", "score_table_from_dict", "save_result"]
+
+
+def score_table_to_dict(table: ScoreTable) -> dict[str, Any]:
+    """Lossless dictionary form of a :class:`ScoreTable`."""
+    return {
+        "group_names": list(table.group_names),
+        "group_sizes": list(table.group_sizes),
+        "columns": {name: values.tolist() for name, values in table.columns.items()},
+    }
+
+
+def score_table_from_dict(data: dict[str, Any]) -> ScoreTable:
+    """Rebuild a :class:`ScoreTable` from :func:`score_table_to_dict` output."""
+    return ScoreTable(
+        group_names=list(data["group_names"]),
+        group_sizes=[int(size) for size in data["group_sizes"]],
+        columns={
+            name: np.asarray(values, dtype=np.float64)
+            for name, values in data["columns"].items()
+        },
+    )
+
+
+def result_to_dict(result: object) -> dict[str, Any]:
+    """Dictionary form of any analysis result object.
+
+    Supported: :class:`Characterization`, :class:`OverlapReport`,
+    :class:`CirclesVsRandomResult`, :class:`CrossDatasetResult`,
+    :class:`RobustnessResult`, :class:`EgoViewResult`, :class:`ScoreTable`.
+    """
+    if isinstance(result, ScoreTable):
+        return {"kind": "score_table", **score_table_to_dict(result)}
+    if isinstance(result, Characterization):
+        row = result.as_row()
+        row["mean_clustering"] = result.mean_clustering
+        if result.degree_fit is not None:
+            row["degree_fit"] = result.degree_fit.summary()
+        return {"kind": "characterization", **row}
+    if isinstance(result, OverlapReport):
+        return {
+            "kind": "overlap",
+            **result.summary(),
+            "membership_histogram": {
+                str(k): v for k, v in result.membership_histogram.items()
+            },
+        }
+    if isinstance(result, CirclesVsRandomResult):
+        return {
+            "kind": "circles_vs_random",
+            "dataset": result.dataset,
+            "sampler": result.sampler,
+            "circle_scores": score_table_to_dict(result.circle_scores),
+            "random_scores": score_table_to_dict(result.random_scores),
+            "separation_summary": result.separation_summary(),
+        }
+    if isinstance(result, CrossDatasetResult):
+        return {
+            "kind": "cross_dataset",
+            "structures": dict(result.structures),
+            "tables": {
+                name: score_table_to_dict(table)
+                for name, table in result.tables.items()
+            },
+            "signature_summary": result.signature_summary(),
+        }
+    if isinstance(result, RobustnessResult):
+        return {
+            "kind": "robustness",
+            "dataset": result.dataset,
+            "directed_scores": score_table_to_dict(result.directed_scores),
+            "undirected_scores": score_table_to_dict(result.undirected_scores),
+            "summary": result.summary(),
+        }
+    if isinstance(result, EgoViewResult):
+        return {
+            "kind": "ego_view",
+            "circle_names": list(result.circle_names),
+            "owners": [str(owner) for owner in result.owners],
+            "local": {name: values.tolist() for name, values in result.local.items()},
+            "global": {
+                name: values.tolist() for name, values in result.global_.items()
+            },
+            "confinement_gain": result.confinement_gain(),
+        }
+    raise TypeError(f"unsupported result type {type(result).__name__}")
+
+
+def save_result(result: object, path: str | Path) -> Path:
+    """Serialize ``result`` to a JSON file; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result_to_dict(result), handle, indent=1, default=float)
+    return path

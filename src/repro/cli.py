@@ -1,0 +1,338 @@
+"""Command-line interface: ``repro <command>``.
+
+Each subcommand regenerates one of the paper's artifacts on the synthetic
+corpora (see DESIGN.md for the experiment index):
+
+=================  ========================================================
+``characterize``   Table II/III characterization of one or all corpora
+``overlap``        Fig. 1–2 ego-network overlap analysis
+``degree-fit``     Fig. 3 degree-distribution model selection
+``score``          Fig. 5 circles-vs-random experiment
+``compare``        Fig. 6 cross-dataset comparison
+``robustness``     section IV-B directed-vs-undirected deviation
+``classify``       Fang-et-al. community/celebrity circle categorization
+``ego-view``       §VI future work: local (ego) vs global circle scores
+``detect``         detected-vs-declared: do algorithms recover the groups?
+=================  ========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.characterization import characterize, table2_comparison
+from repro.analysis.comparison import compare_datasets
+from repro.analysis.experiment import circles_vs_random
+from repro.analysis.overlap import analyze_overlap
+from repro.analysis.report import render_cdf_panel, render_kv, render_table
+from repro.analysis.robustness import directed_vs_undirected
+from repro.data.datasets import Dataset
+from repro.synth.paper_datasets import (
+    build_google_plus,
+    build_livejournal,
+    build_magno_reference,
+    build_orkut,
+    build_twitter,
+)
+
+__all__ = ["main"]
+
+_BUILDERS = {
+    "google_plus": build_google_plus,
+    "twitter": build_twitter,
+    "livejournal": build_livejournal,
+    "orkut": build_orkut,
+    "magno": build_magno_reference,
+}
+
+
+def _build(name: str, seed: int | None) -> Dataset:
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_BUILDERS))
+        raise SystemExit(f"unknown dataset {name!r}; known: {known}") from None
+    return builder(seed=seed) if seed is not None else builder()
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    names = list(_BUILDERS) if args.dataset == "all" else [args.dataset]
+    rows = []
+    for name in names:
+        dataset = _build(name, args.seed)
+        rows.append(characterize(dataset, seed=0).as_row())
+    print(render_table(rows, title="Dataset characterization (Table II/III)"))
+    if args.dataset == "all":
+        ego = characterize(_build("google_plus", args.seed), seed=0)
+        bfs = characterize(_build("magno", args.seed), seed=0)
+        contrast = table2_comparison(ego, bfs)["contrast"]
+        print()
+        print(render_kv(contrast, title="Crawl-method contrast (Table II)"))
+    return 0
+
+
+def _cmd_overlap(args: argparse.Namespace) -> int:
+    dataset = _build(args.dataset, args.seed)
+    if dataset.ego_collection is None:
+        raise SystemExit(f"dataset {args.dataset!r} has no ego collection")
+    report = analyze_overlap(dataset.ego_collection)
+    print(render_kv(report.summary(), title="Ego-network overlap (Fig. 1)"))
+    print()
+    print(
+        render_table(
+            report.as_rows(), title="Membership multiplicity histogram (Fig. 2)"
+        )
+    )
+    return 0
+
+
+def _cmd_degree_fit(args: argparse.Namespace) -> int:
+    from repro.algorithms.degrees import degree_sequence, in_degree_sequence
+    from repro.powerlaw.comparison import best_fit
+
+    dataset = _build(args.dataset, args.seed)
+    if dataset.directed:
+        sequence = in_degree_sequence(dataset.graph)
+        kind = "in-degree"
+    else:
+        sequence = degree_sequence(dataset.graph)
+        kind = "degree"
+    selection = best_fit(sequence[sequence >= 1])
+    summary = selection.summary()
+    comparisons = summary.pop("comparisons")
+    print(render_kv(summary, title=f"{kind} model selection (Fig. 3)"))
+    print()
+    print(render_table(comparisons, title="Likelihood-ratio tests"))
+    return 0
+
+
+def _cmd_score(args: argparse.Namespace) -> int:
+    dataset = _build(args.dataset, args.seed)
+    result = circles_vs_random(dataset, sampler=args.sampler, seed=args.seed or 0)
+    for name in result.function_names():
+        circles, randoms = result.cdf_pair(name)
+        print(
+            render_cdf_panel(
+                {"circles": circles, "random": randoms},
+                title=f"Fig. 5 — {name}",
+            )
+        )
+        print()
+    rows = [
+        {"function": name, **values}
+        for name, values in result.separation_summary().items()
+    ]
+    print(render_table(rows, title="Separation summary"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    datasets = [
+        _build(name, args.seed)
+        for name in ("google_plus", "twitter", "livejournal", "orkut")
+    ]
+    result = compare_datasets(datasets)
+    for name in result.function_names():
+        print(render_cdf_panel(result.cdfs(name), title=f"Fig. 6 — {name}"))
+        print()
+    rows = [
+        {"dataset": name, **values}
+        for name, values in result.signature_summary().items()
+    ]
+    print(render_table(rows, title="Structural signatures"))
+    return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    dataset = _build(args.dataset, args.seed)
+    result = directed_vs_undirected(dataset)
+    print(
+        render_kv(
+            result.summary(),
+            title="Directed vs undirected relative deviation (section IV-B)",
+        )
+    )
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.analysis.circle_types import classify_circles
+
+    dataset = _build(args.dataset, args.seed)
+    if dataset.structure != "circles":
+        raise SystemExit(f"dataset {args.dataset!r} has no circles to classify")
+    classification = classify_circles(
+        dataset.graph, dataset.groups, method=args.method, seed=0
+    )
+    print(
+        render_kv(
+            classification.summary(),
+            title="Circle categorization (Fang et al.)",
+        )
+    )
+    print()
+    celebrity = classification.of_kind("celebrity")
+    rows = [
+        features.as_row()
+        for features in classification.features
+        if features.name in set(celebrity)
+    ]
+    print(render_table(rows, title="Celebrity circles"))
+    return 0
+
+
+def _cmd_ego_view(args: argparse.Namespace) -> int:
+    from repro.analysis.ego_view import ego_centered_scores
+
+    dataset = _build(args.dataset, args.seed)
+    if dataset.ego_collection is None:
+        raise SystemExit(f"dataset {args.dataset!r} has no ego collection")
+    result = ego_centered_scores(
+        dataset.ego_collection, joined=dataset.graph
+    )
+    rows = [
+        {"function": name, **values}
+        for name, values in result.summary().items()
+    ]
+    print(render_table(rows, title="Ego-local vs global circle scores (§VI)"))
+    print()
+    print(render_kv(result.confinement_gain(), title="Confinement gain"))
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.detection import (
+        louvain_communities,
+        mean_best_jaccard,
+        partition_modularity,
+    )
+
+    dataset = _build(args.dataset, args.seed)
+    partition = louvain_communities(dataset.graph, seed=0)
+    quality = partition_modularity(dataset.graph, partition)
+    recovery = mean_best_jaccard(
+        dataset.groups.filter_by_size(minimum=2), partition
+    )
+    print(
+        render_kv(
+            {
+                "detected blocks": len(partition),
+                "partition modularity": round(quality, 4),
+                "mean best-match Jaccard vs declared groups": round(recovery, 4),
+            },
+            title=f"Louvain on {dataset.name} (detected vs declared)",
+        )
+    )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.analysis.export import export_figures
+
+    circles = _build("google_plus", args.seed)
+    communities = [
+        _build(name, args.seed)
+        for name in ("twitter", "livejournal", "orkut")
+    ]
+    written = export_figures(circles, communities, args.output, seed=0)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Are Circles Communities?' (ICDCS 2014)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="generation seed (default: per-dataset)"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    characterize_parser = commands.add_parser(
+        "characterize", help="Table II/III dataset characterization"
+    )
+    characterize_parser.add_argument(
+        "dataset", nargs="?", default="all", help="dataset name or 'all'"
+    )
+    characterize_parser.set_defaults(handler=_cmd_characterize)
+
+    overlap_parser = commands.add_parser(
+        "overlap", help="Fig. 1-2 ego overlap analysis"
+    )
+    overlap_parser.add_argument("dataset", nargs="?", default="google_plus")
+    overlap_parser.set_defaults(handler=_cmd_overlap)
+
+    fit_parser = commands.add_parser(
+        "degree-fit", help="Fig. 3 degree-distribution model selection"
+    )
+    fit_parser.add_argument("dataset", nargs="?", default="google_plus")
+    fit_parser.set_defaults(handler=_cmd_degree_fit)
+
+    score_parser = commands.add_parser(
+        "score", help="Fig. 5 circles vs random sets"
+    )
+    score_parser.add_argument("dataset", nargs="?", default="google_plus")
+    score_parser.add_argument(
+        "--sampler",
+        default="random_walk",
+        choices=["random_walk", "uniform", "bfs_ball", "forest_fire"],
+    )
+    score_parser.set_defaults(handler=_cmd_score)
+
+    compare_parser = commands.add_parser(
+        "compare", help="Fig. 6 circles vs communities across datasets"
+    )
+    compare_parser.set_defaults(handler=_cmd_compare)
+
+    robustness_parser = commands.add_parser(
+        "robustness", help="section IV-B directed vs undirected check"
+    )
+    robustness_parser.add_argument("dataset", nargs="?", default="google_plus")
+    robustness_parser.set_defaults(handler=_cmd_robustness)
+
+    classify_parser = commands.add_parser(
+        "classify", help="Fang et al. community/celebrity circle categorization"
+    )
+    classify_parser.add_argument("dataset", nargs="?", default="google_plus")
+    classify_parser.add_argument(
+        "--method", default="kmeans", choices=["kmeans", "threshold"]
+    )
+    classify_parser.set_defaults(handler=_cmd_classify)
+
+    ego_view_parser = commands.add_parser(
+        "ego-view", help="section VI: ego-local vs global circle scores"
+    )
+    ego_view_parser.add_argument("dataset", nargs="?", default="google_plus")
+    ego_view_parser.set_defaults(handler=_cmd_ego_view)
+
+    detect_parser = commands.add_parser(
+        "detect", help="Louvain detection vs declared groups"
+    )
+    detect_parser.add_argument("dataset", nargs="?", default="google_plus")
+    detect_parser.set_defaults(handler=_cmd_detect)
+
+    export_parser = commands.add_parser(
+        "export", help="write the data series of Figs. 2-6 as CSV files"
+    )
+    export_parser.add_argument(
+        "-o", "--output", default="figures", help="output directory"
+    )
+    export_parser.set_defaults(handler=_cmd_export)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Data model: vertex groups, ego networks and dataset bundles."""
+
+from repro.data.datasets import MAGNO_REFERENCE, PAPER_DATASETS, Dataset, DatasetSpec
+from repro.data.ego import EgoNetwork, EgoNetworkCollection
+from repro.data.groups import Circle, Community, GroupSet, VertexGroup
+
+__all__ = [
+    "VertexGroup",
+    "Circle",
+    "Community",
+    "GroupSet",
+    "EgoNetwork",
+    "EgoNetworkCollection",
+    "Dataset",
+    "DatasetSpec",
+    "PAPER_DATASETS",
+    "MAGNO_REFERENCE",
+]

@@ -1,0 +1,165 @@
+"""Dataset bundles and the paper's data-set registry (Table III).
+
+A :class:`Dataset` couples a social graph with its vertex groups (circles
+or communities) and descriptive metadata.  :data:`PAPER_DATASETS` records
+the published statistics of the four corpora in the paper's Table III, and
+:data:`MAGNO_REFERENCE` the comparison column of Table II; experiments use
+these as the "paper" side of paper-vs-measured reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.data.ego import EgoNetworkCollection
+from repro.data.groups import GroupSet
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+
+StructureKind = Literal["circles", "communities"]
+
+__all__ = ["Dataset", "DatasetSpec", "PAPER_DATASETS", "MAGNO_REFERENCE"]
+
+
+@dataclass
+class Dataset:
+    """A social graph together with its groups and provenance metadata.
+
+    Attributes
+    ----------
+    name:
+        Data-set identifier (``google_plus``, ``twitter``, ...).
+    graph:
+        The social graph :math:`G(V, E)`.
+    groups:
+        The circles or communities evaluated by the scoring functions.
+    structure:
+        ``"circles"`` for selective-sharing groups, ``"communities"`` for
+        member-joined groups — the axis of the paper's comparison.
+    ego_collection:
+        For ego-crawled corpora, the underlying collection (enables the
+        overlap analyses of Figs. 1–2); ``None`` otherwise.
+    """
+
+    name: str
+    graph: Graph | DiGraph
+    groups: GroupSet
+    structure: StructureKind
+    ego_collection: EgoNetworkCollection | None = None
+
+    @property
+    def directed(self) -> bool:
+        """Whether the social graph is directed."""
+        return self.graph.is_directed
+
+    def summary_row(self) -> dict[str, object]:
+        """Table III row for this data set (measured side)."""
+        return {
+            "dataset": self.name,
+            "vertices": self.graph.number_of_nodes(),
+            "edges": self.graph.number_of_edges(),
+            "type": "directed" if self.directed else "undirected",
+            "structure": self.structure.capitalize(),
+            "num_groups": len(self.groups),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Dataset {self.name!r}: {self.graph.number_of_nodes()} vertices,"
+            f" {self.graph.number_of_edges()} edges,"
+            f" {len(self.groups)} {self.structure}>"
+        )
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Published statistics of one corpus, as reported in the paper."""
+
+    name: str
+    vertices: int
+    edges: int
+    directed: bool
+    structure: StructureKind
+    num_groups: int
+    source: str
+    diameter: int | None = None
+    average_shortest_path: float | None = None
+    average_in_degree: float | None = None
+    average_out_degree: float | None = None
+    degree_distribution: str | None = None
+    notes: str = ""
+    extras: dict = field(default_factory=dict)
+
+
+#: Table III of the paper: the four corpora compared in Fig. 6.
+PAPER_DATASETS: dict[str, DatasetSpec] = {
+    "google_plus": DatasetSpec(
+        name="google_plus",
+        vertices=107_614,
+        edges=13_673_453,
+        directed=True,
+        structure="circles",
+        num_groups=468,
+        source="McAuley & Leskovec (NIPS 2012) ego-Gplus",
+        diameter=13,
+        average_shortest_path=3.32,
+        average_in_degree=127.0,
+        average_out_degree=189.0,
+        degree_distribution="log-normal",
+        notes=(
+            "133 joined ego networks of users sharing >= 2 circles; "
+            "93.5% of the ego networks overlap; mean clustering 0.4901"
+        ),
+        extras={
+            "num_ego_networks": 133,
+            "overlap_fraction": 0.935,
+            "mean_clustering": 0.4901,
+        },
+    ),
+    "twitter": DatasetSpec(
+        name="twitter",
+        vertices=81_306,
+        edges=1_768_149,
+        directed=True,
+        structure="circles",
+        num_groups=100,
+        source="McAuley & Leskovec (NIPS 2012) ego-Twitter ('lists')",
+    ),
+    "livejournal": DatasetSpec(
+        name="livejournal",
+        vertices=3_997_962,
+        edges=34_681_189,
+        directed=False,
+        structure="communities",
+        num_groups=5000,
+        source="Yang & Leskovec (MDS 2012) com-LiveJournal, top 5000",
+    ),
+    "orkut": DatasetSpec(
+        name="orkut",
+        vertices=3_072_441,
+        edges=117_185_083,
+        directed=False,
+        structure="communities",
+        num_groups=5000,
+        source="Mislove et al. (IMC 2007) com-Orkut, top 5000",
+    ),
+}
+
+
+#: Table II comparison column: the Magno et al. BFS crawl of Google+.
+MAGNO_REFERENCE = DatasetSpec(
+    name="magno_bfs_crawl",
+    vertices=35_114_957,
+    edges=575_141_097,
+    directed=True,
+    structure="circles",
+    num_groups=0,
+    source="Magno et al. (IMC 2012) BFS crawl",
+    diameter=19,
+    average_shortest_path=5.9,
+    average_in_degree=16.4,
+    average_out_degree=16.4,
+    degree_distribution="power-law (alpha_in=1.3, alpha_out=1.2)",
+    notes="BFS crawl; sparse, loosely connected — contrast to ego-joined corpus",
+)

@@ -1,0 +1,214 @@
+"""Ego networks and collections of ego networks.
+
+The McAuley–Leskovec Google+ data set (the paper's primary corpus) is a set
+of 133 *ego networks* — for each seed user (the *ego*, who shared at least
+two circles) the crawl records all of the ego's contacts (*alters*), the
+edges among those alters, and the ego's circles.  Joining all ego networks
+yields one large connected graph (paper Fig. 1); vertices appearing in
+several ego networks are the bridges (paper Fig. 2).
+
+:class:`EgoNetwork` models one crawl unit, :class:`EgoNetworkCollection`
+the joined corpus.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Hashable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.data.groups import Circle, GroupSet
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+
+Node = Hashable
+
+__all__ = ["EgoNetwork", "EgoNetworkCollection"]
+
+
+@dataclass
+class EgoNetwork:
+    """One ego network: an ego user, edges among its alters, and circles.
+
+    Following the SNAP on-disk convention, ``alter_edges`` contains edges
+    among alters only; the ego's own (implicit) edges to every alter are
+    materialized when building graphs.
+
+    Attributes
+    ----------
+    ego:
+        The seed user that owns this ego network.
+    alter_edges:
+        Directed (or undirected) edges among the alters.
+    circles:
+        The ego's circles; members are alters.
+    directed:
+        Whether edges are directed (Google+/Twitter) or not.
+    """
+
+    ego: Node
+    alter_edges: list[tuple[Node, Node]] = field(default_factory=list)
+    circles: list[Circle] = field(default_factory=list)
+    directed: bool = True
+
+    @property
+    def alters(self) -> frozenset[Node]:
+        """All alters: endpoints of alter edges plus circle members."""
+        members: set[Node] = set()
+        for u, v in self.alter_edges:
+            members.add(u)
+            members.add(v)
+        for circle in self.circles:
+            members |= circle.members
+        members.discard(self.ego)
+        return frozenset(members)
+
+    @property
+    def vertices(self) -> frozenset[Node]:
+        """All vertices of the ego network, including the ego itself."""
+        return self.alters | {self.ego}
+
+    def graph(self) -> Graph | DiGraph:
+        """Materialize this single ego network as a graph.
+
+        The ego is connected to every alter (outgoing edges in the directed
+        case, matching "in your circles" semantics).
+        """
+        graph: Graph | DiGraph = DiGraph() if self.directed else Graph()
+        graph.add_node(self.ego)
+        for alter in self.alters:
+            graph.add_edge(self.ego, alter)
+        graph.add_edges_from(
+            (u, v) for u, v in self.alter_edges if u != v
+        )
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"<EgoNetwork ego={self.ego!r} alters={len(self.alters)}"
+            f" circles={len(self.circles)}>"
+        )
+
+
+class EgoNetworkCollection(Sequence):
+    """A corpus of ego networks and the analyses defined on their union.
+
+    This is the object behind the paper's Figures 1 and 2: the joined
+    graph, the per-vertex ego-membership multiplicity, and the fraction of
+    overlapping ego networks.
+    """
+
+    def __init__(self, networks: Sequence[EgoNetwork], *, name: str = "") -> None:
+        if not networks:
+            raise ValueError("an ego-network collection needs at least one network")
+        egos = [network.ego for network in networks]
+        if len(set(egos)) != len(egos):
+            raise ValueError("duplicate ego ids in collection")
+        directed = {network.directed for network in networks}
+        if len(directed) != 1:
+            raise ValueError("mixed directed/undirected ego networks")
+        self._networks = list(networks)
+        self.directed = directed.pop()
+        self.name = name
+
+    # -- sequence protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._networks)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        return self._networks[index]
+
+    def __iter__(self) -> Iterator[EgoNetwork]:
+        return iter(self._networks)
+
+    def __repr__(self) -> str:
+        return (
+            f"<EgoNetworkCollection {self.name!r} with {len(self)} ego networks>"
+        )
+
+    # -- joined corpus ---------------------------------------------------------
+
+    def join(self) -> Graph | DiGraph:
+        """Union all ego networks into one graph (paper Fig. 1).
+
+        Shared alters stitch the ego networks together; with sufficient
+        overlap the result is one large connected component.
+        """
+        joined: Graph | DiGraph = (
+            DiGraph(name=self.name) if self.directed else Graph(name=self.name)
+        )
+        for network in self._networks:
+            joined.add_node(network.ego)
+            for alter in network.alters:
+                joined.add_edge(network.ego, alter)
+            joined.add_edges_from(
+                (u, v) for u, v in network.alter_edges if u != v
+            )
+        return joined
+
+    def circles(self) -> GroupSet:
+        """All circles across the collection as one :class:`GroupSet`.
+
+        Circle names are disambiguated with the owning ego's id.
+        """
+        groups = GroupSet(name=self.name)
+        for network in self._networks:
+            for circle in network.circles:
+                groups.add(
+                    Circle(
+                        name=f"{network.ego}/{circle.name}",
+                        members=circle.members,
+                        owner=network.ego,
+                    )
+                )
+        return groups
+
+    # -- overlap structure (Figures 1 and 2) -----------------------------------
+
+    def membership_counts(self) -> Counter:
+        """Count, per vertex, how many ego networks it appears in.
+
+        A vertex "appears in" an ego network if it is the ego or one of its
+        alters.  The histogram of these counts is the paper's Figure 2.
+        """
+        counts: Counter = Counter()
+        for network in self._networks:
+            for vertex in network.vertices:
+                counts[vertex] += 1
+        return counts
+
+    def membership_histogram(self) -> dict[int, int]:
+        """Map ``k`` -> number of vertices appearing in exactly ``k``
+        ego networks (the series plotted in Fig. 2)."""
+        histogram: Counter = Counter(self.membership_counts().values())
+        return dict(sorted(histogram.items()))
+
+    def overlap_fraction(self) -> float:
+        """Fraction of ego networks sharing >= 1 vertex with another one.
+
+        The paper reports 93.5 % for the Google+ corpus.
+        """
+        vertex_sets = [network.vertices for network in self._networks]
+        counts = self.membership_counts()
+        overlapping = 0
+        for vertices in vertex_sets:
+            if any(counts[vertex] > 1 for vertex in vertices):
+                overlapping += 1
+        return overlapping / len(vertex_sets)
+
+    def pairwise_overlaps(self) -> dict[tuple[Node, Node], int]:
+        """Map ego pairs to their shared-vertex count (only pairs > 0).
+
+        Quadratic in the number of ego networks, which is small (the paper
+        has 133).
+        """
+        overlaps: dict[tuple[Node, Node], int] = {}
+        networks = self._networks
+        vertex_sets = [network.vertices for network in networks]
+        for i in range(len(networks)):
+            for j in range(i + 1, len(networks)):
+                shared = len(vertex_sets[i] & vertex_sets[j])
+                if shared:
+                    overlaps[(networks[i].ego, networks[j].ego)] = shared
+        return overlaps

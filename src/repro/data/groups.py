@@ -1,0 +1,170 @@
+"""Vertex-group data model: circles, communities and collections thereof.
+
+The paper analyses two kinds of vertex groups (its symbol ``C``):
+
+* **Circles** — owner-created contact containers in Google+ (and Twitter
+  "lists").  A circle has an owner and only contains alters from the
+  owner's ego network.
+* **Communities** — member-joined interest groups of classical OSNs
+  (LiveJournal, Orkut).
+
+Both are structurally just vertex sets; the distinction is carried so that
+analyses can report per-kind and so synthetic generators can encode the
+different construction processes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import EmptyGroupError
+
+Node = Hashable
+
+__all__ = ["VertexGroup", "Circle", "Community", "GroupSet"]
+
+
+@dataclass(frozen=True)
+class VertexGroup:
+    """An immutable named set of vertices — the unit scoring functions act on.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, unique within a :class:`GroupSet`.
+    members:
+        The vertex set :math:`C`.
+    """
+
+    name: str
+    members: frozenset[Node]
+
+    kind = "group"
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise EmptyGroupError(f"group {self.name!r} has no members")
+        if not isinstance(self.members, frozenset):
+            object.__setattr__(self, "members", frozenset(self.members))
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.members)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self.members
+
+    def overlap(self, other: "VertexGroup") -> frozenset[Node]:
+        """Return the vertices shared with ``other``."""
+        return self.members & other.members
+
+    def jaccard(self, other: "VertexGroup") -> float:
+        """Jaccard similarity of the two member sets."""
+        union = self.members | other.members
+        if not union:
+            return 0.0
+        return len(self.members & other.members) / len(union)
+
+
+@dataclass(frozen=True)
+class Circle(VertexGroup):
+    """A selective-sharing circle: owner-created, drawn from an ego network.
+
+    ``owner`` is the creating user.  Following the SNAP ego data sets the
+    owner is *not* a member of the circle (members are alters).
+    """
+
+    owner: Node | None = None
+
+    kind = "circle"
+
+
+@dataclass(frozen=True)
+class Community(VertexGroup):
+    """A classical member-joined community (interest group)."""
+
+    kind = "community"
+
+
+@dataclass
+class GroupSet:
+    """An ordered collection of vertex groups belonging to one data set.
+
+    Provides the small amount of bookkeeping the experiments need: size
+    filtering, top-k selection, and uniqueness of names.
+    """
+
+    groups: list[VertexGroup] = field(default_factory=list)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        names = [group.name for group in self.groups]
+        if len(set(names)) != len(names):
+            raise ValueError(f"group set {self.name!r} has duplicate group names")
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __iter__(self) -> Iterator[VertexGroup]:
+        return iter(self.groups)
+
+    def __getitem__(self, index: int) -> VertexGroup:
+        return self.groups[index]
+
+    def add(self, group: VertexGroup) -> None:
+        """Append ``group``, enforcing name uniqueness."""
+        if any(existing.name == group.name for existing in self.groups):
+            raise ValueError(f"duplicate group name {group.name!r}")
+        self.groups.append(group)
+
+    def sizes(self) -> list[int]:
+        """Member counts of all groups, in collection order."""
+        return [len(group) for group in self.groups]
+
+    def filter_by_size(self, minimum: int = 1, maximum: int | None = None) -> "GroupSet":
+        """Return a new :class:`GroupSet` keeping groups with
+        ``minimum <= |C| <= maximum``."""
+        kept = [
+            group
+            for group in self.groups
+            if len(group) >= minimum and (maximum is None or len(group) <= maximum)
+        ]
+        return GroupSet(groups=kept, name=self.name)
+
+    def top_k(self, k: int) -> "GroupSet":
+        """Return the ``k`` largest groups (ties broken by name), as the
+        paper does for the LiveJournal/Orkut top-5000 communities."""
+        ranked = sorted(self.groups, key=lambda g: (-len(g), g.name))[:k]
+        return GroupSet(groups=ranked, name=self.name)
+
+    def restrict_to(self, nodes: Iterable[Node]) -> "GroupSet":
+        """Intersect every group with ``nodes``, dropping emptied groups.
+
+        Used when a group file references vertices outside the loaded graph
+        (common in sampled/synthetic settings).
+        """
+        universe = frozenset(nodes)
+        kept: list[VertexGroup] = []
+        for group in self.groups:
+            members = group.members & universe
+            if members:
+                kept.append(type(group)(**{**_group_fields(group), "members": members}))
+        return GroupSet(groups=kept, name=self.name)
+
+    def member_universe(self) -> frozenset[Node]:
+        """The union of all group member sets."""
+        universe: set[Node] = set()
+        for group in self.groups:
+            universe |= group.members
+        return frozenset(universe)
+
+
+def _group_fields(group: VertexGroup) -> dict:
+    """Return constructor kwargs of a group (dataclass fields by name)."""
+    fields = {"name": group.name, "members": group.members}
+    if isinstance(group, Circle):
+        fields["owner"] = group.owner
+    return fields

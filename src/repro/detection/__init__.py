@@ -1,0 +1,20 @@
+"""Community detection (extension): Louvain, label propagation, and
+partition-vs-groups agreement metrics for the detected-vs-declared
+comparison."""
+
+from repro.detection.label_propagation import label_propagation_communities
+from repro.detection.louvain import louvain_communities, partition_modularity
+from repro.detection.overlap_metrics import (
+    best_match_jaccard,
+    coverage_fraction,
+    mean_best_jaccard,
+)
+
+__all__ = [
+    "louvain_communities",
+    "partition_modularity",
+    "label_propagation_communities",
+    "best_match_jaccard",
+    "mean_best_jaccard",
+    "coverage_fraction",
+]

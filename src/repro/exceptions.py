@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  Graph-structural problems additionally derive from
+:class:`GraphError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFound",
+    "EdgeNotFound",
+    "NotGraphical",
+    "EmptyGroupError",
+    "FormatError",
+    "FitError",
+    "SamplingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A graph operation was invalid for the given graph."""
+
+
+class NodeNotFound(GraphError, KeyError):
+    """A referenced node is not present in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(node)
+        self.node = node
+
+    def __str__(self) -> str:  # KeyError would repr() the args tuple
+        return f"node {self.node!r} is not in the graph"
+
+
+class EdgeNotFound(GraphError, KeyError):
+    """A referenced edge is not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__((u, v))
+        self.u = u
+        self.v = v
+
+    def __str__(self) -> str:
+        return f"edge ({self.u!r}, {self.v!r}) is not in the graph"
+
+
+class NotGraphical(ReproError, ValueError):
+    """A degree sequence cannot be realized by a simple graph."""
+
+
+class EmptyGroupError(ReproError, ValueError):
+    """A scoring function was applied to an empty vertex group."""
+
+
+class FormatError(ReproError, ValueError):
+    """A data file does not conform to the expected on-disk format."""
+
+
+class FitError(ReproError, ValueError):
+    """A distribution fit could not be computed for the given data."""
+
+
+class SamplingError(ReproError, RuntimeError):
+    """A sampler could not produce a sample under the given constraints."""

@@ -1,0 +1,28 @@
+"""Graph substrate: directed/undirected simple graphs, views, conversions,
+CSR snapshots and on-disk formats.
+
+This subpackage is self-contained — the rest of the library builds on these
+types and never on third-party graph libraries.
+"""
+
+from repro.graph.convert import (
+    from_edges,
+    integer_index,
+    relabel_nodes,
+    to_directed,
+    to_undirected,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+
+__all__ = [
+    "Graph",
+    "DiGraph",
+    "CSRGraph",
+    "to_undirected",
+    "to_directed",
+    "relabel_nodes",
+    "integer_index",
+    "from_edges",
+]

@@ -1,0 +1,257 @@
+"""Directed simple graph backed by successor/predecessor adjacency sets.
+
+:class:`DiGraph` models the Google+/Twitter social graphs of the paper:
+adding a user to a circle creates a *directed* edge.  Reciprocal edges
+(``u -> v`` and ``v -> u``) are two distinct edges.  The paper's degree
+convention for directed graphs — ``d(v) = d_in(v) + d_out(v)`` — is exposed
+as the default :attr:`degree` view.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.exceptions import EdgeNotFound, NodeNotFound
+from repro.graph.views import (
+    DiEdgeView,
+    InDegreeView,
+    NodeView,
+    OutDegreeView,
+    TotalDegreeView,
+)
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+__all__ = ["DiGraph"]
+
+
+class DiGraph:
+    """A simple directed graph.
+
+    Examples
+    --------
+    >>> g = DiGraph()
+    >>> g.add_edge("a", "b")
+    >>> g.add_edge("b", "a")
+    >>> g.number_of_edges()
+    2
+    >>> g.degree("a")  # in + out, the paper's convention
+    2
+    """
+
+    is_directed = True
+
+    __slots__ = ("_succ", "_pred", "_num_edges", "name")
+
+    def __init__(
+        self,
+        edges: Iterable[Edge] | None = None,
+        *,
+        name: str = "",
+    ) -> None:
+        self._succ: dict[Node, set[Node]] = {}
+        self._pred: dict[Node, set[Node]] = {}
+        self._num_edges = 0
+        self.name = name
+        if edges is not None:
+            self.add_edges_from(edges)
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def __contains__(self, node: object) -> bool:
+        try:
+            return node in self._succ
+        except TypeError:
+            return False
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<{type(self).__name__}{label} with "
+            f"{self.number_of_nodes()} nodes and "
+            f"{self.number_of_edges()} edges>"
+        )
+
+    # -- mutation ------------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` to the graph (a no-op if already present)."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def add_nodes_from(self, nodes: Iterable[Node]) -> None:
+        """Add every node in ``nodes``."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the directed edge ``u -> v``, creating endpoints as needed."""
+        if u == v:
+            raise ValueError(f"self-loop ({u!r}, {v!r}) not allowed in a simple graph")
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._succ[u]:
+            self._succ[u].add(v)
+            self._pred[v].add(u)
+            self._num_edges += 1
+
+    def add_edges_from(self, edges: Iterable[Edge]) -> None:
+        """Add every directed edge in ``edges``; duplicates are ignored."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges (both directions)."""
+        try:
+            successors = self._succ.pop(node)
+        except KeyError:
+            raise NodeNotFound(node) from None
+        predecessors = self._pred.pop(node)
+        for other in successors:
+            self._pred[other].discard(node)
+        for other in predecessors:
+            self._succ[other].discard(node)
+        self._num_edges -= len(successors) + len(predecessors)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the directed edge ``u -> v``."""
+        if not self.has_edge(u, v):
+            raise EdgeNotFound(u, v)
+        self._succ[u].discard(v)
+        self._pred[v].discard(u)
+        self._num_edges -= 1
+
+    # -- queries ------------------------------------------------------------
+
+    def has_node(self, node: Node) -> bool:
+        """Return whether ``node`` is in the graph."""
+        return node in self
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return whether the directed edge ``u -> v`` exists."""
+        successors = self._succ.get(u)
+        return successors is not None and v in successors
+
+    def successors(self, node: Node) -> frozenset[Node]:
+        """Return the out-neighbour set of ``node``."""
+        try:
+            return frozenset(self._succ[node])
+        except KeyError:
+            raise NodeNotFound(node) from None
+
+    def predecessors(self, node: Node) -> frozenset[Node]:
+        """Return the in-neighbour set of ``node``."""
+        try:
+            return frozenset(self._pred[node])
+        except KeyError:
+            raise NodeNotFound(node) from None
+
+    def neighbors(self, node: Node) -> frozenset[Node]:
+        """Return all neighbours of ``node``, ignoring edge direction."""
+        try:
+            return frozenset(self._succ[node]) | frozenset(self._pred[node])
+        except KeyError:
+            raise NodeNotFound(node) from None
+
+    def successors_adjacency(self) -> Iterator[tuple[Node, set[Node]]]:
+        """Iterate ``(node, successor_set)`` pairs over live internal sets.
+
+        Fast path for algorithm kernels; callers must not mutate the sets.
+        """
+        return iter(self._succ.items())
+
+    def predecessors_adjacency(self) -> Iterator[tuple[Node, set[Node]]]:
+        """Iterate ``(node, predecessor_set)`` pairs over live internal sets."""
+        return iter(self._pred.items())
+
+    def number_of_nodes(self) -> int:
+        """Return the number of nodes ``n``."""
+        return len(self._succ)
+
+    def number_of_edges(self) -> int:
+        """Return the number of directed edges ``m``."""
+        return self._num_edges
+
+    @property
+    def nodes(self) -> NodeView:
+        """Set-like live view of the nodes."""
+        return NodeView(self._succ)
+
+    @property
+    def edges(self) -> DiEdgeView:
+        """Live view of the directed edges as ``(u, v)`` tuples."""
+        return DiEdgeView(self)
+
+    @property
+    def degree(self) -> TotalDegreeView:
+        """Total degree view: ``d(v) = d_in(v) + d_out(v)``."""
+        return TotalDegreeView(self)
+
+    @property
+    def in_degree(self) -> InDegreeView:
+        """In-degree view."""
+        return InDegreeView(self)
+
+    @property
+    def out_degree(self) -> OutDegreeView:
+        """Out-degree view."""
+        return OutDegreeView(self)
+
+    # -- derived graphs ------------------------------------------------------
+
+    def copy(self) -> "DiGraph":
+        """Return an independent deep copy of the graph structure."""
+        clone = DiGraph(name=self.name)
+        clone._succ = {node: set(succ) for node, succ in self._succ.items()}
+        clone._pred = {node: set(pred) for node, pred in self._pred.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    def subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
+        """Return the subgraph induced by ``nodes`` as a new :class:`DiGraph`."""
+        selected = set(nodes)
+        for node in selected:
+            if node not in self._succ:
+                raise NodeNotFound(node)
+        sub = DiGraph(name=self.name)
+        for node in selected:
+            sub.add_node(node)
+        for node in selected:
+            for other in self._succ[node] & selected:
+                sub.add_edge(node, other)
+        return sub
+
+    def edge_boundary(self, nodes: Iterable[Node]) -> list[Edge]:
+        """Return directed edges with exactly one endpoint in ``nodes``.
+
+        Both outgoing (``u in C, v not in C``) and incoming
+        (``u not in C, v in C``) edges are included — the paper's
+        :math:`c_C` for directed graphs.
+        """
+        selected = set(nodes)
+        boundary = []
+        for node in selected:
+            succ = self._succ.get(node)
+            if succ is None:
+                raise NodeNotFound(node)
+            for other in succ - selected:
+                boundary.append((node, other))
+            for other in self._pred[node] - selected:
+                boundary.append((other, node))
+        return boundary
+
+    def reverse(self) -> "DiGraph":
+        """Return a new graph with every edge direction flipped."""
+        rev = DiGraph(name=self.name)
+        rev._succ = {node: set(pred) for node, pred in self._pred.items()}
+        rev._pred = {node: set(succ) for node, succ in self._succ.items()}
+        rev._num_edges = self._num_edges
+        return rev

@@ -1,0 +1,38 @@
+"""Graph input/output: edge lists, SNAP ego format, SNAP community format,
+node-link JSON."""
+
+from repro.graph.io.edgelist import iter_edges, read_edgelist, write_edgelist
+from repro.graph.io.json_io import (
+    graph_from_dict,
+    graph_to_dict,
+    read_json_graph,
+    write_json_graph,
+)
+from repro.graph.io.snap_community import (
+    read_communities,
+    top_k_by_size,
+    write_communities,
+)
+from repro.graph.io.snap_ego import (
+    read_ego_directory,
+    read_ego_network,
+    write_ego_directory,
+    write_ego_network,
+)
+
+__all__ = [
+    "iter_edges",
+    "read_edgelist",
+    "write_edgelist",
+    "read_json_graph",
+    "write_json_graph",
+    "graph_to_dict",
+    "graph_from_dict",
+    "read_communities",
+    "write_communities",
+    "top_k_by_size",
+    "read_ego_directory",
+    "read_ego_network",
+    "write_ego_directory",
+    "write_ego_network",
+]

@@ -1,0 +1,70 @@
+"""Node-link JSON serialization for graphs.
+
+A small self-describing JSON schema used for caching synthetic data sets and
+for interchange with plotting tools::
+
+    {
+      "name": "...",
+      "directed": true,
+      "nodes": [0, 1, 2],
+      "edges": [[0, 1], [1, 2]]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import FormatError
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+
+__all__ = ["read_json_graph", "write_json_graph", "graph_to_dict", "graph_from_dict"]
+
+
+def graph_to_dict(graph: Graph | DiGraph) -> dict:
+    """Return the node-link dictionary representation of ``graph``."""
+    return {
+        "name": graph.name,
+        "directed": graph.is_directed,
+        "nodes": list(graph.nodes),
+        "edges": [[u, v] for u, v in graph.edges],
+    }
+
+
+def graph_from_dict(data: dict) -> Graph | DiGraph:
+    """Build a graph from a node-link dictionary."""
+    try:
+        directed = bool(data["directed"])
+        nodes = data["nodes"]
+        edges = data["edges"]
+    except KeyError as exc:
+        raise FormatError(f"node-link dict missing key {exc}") from exc
+    graph: Graph | DiGraph = (
+        DiGraph(name=data.get("name", "")) if directed else Graph(name=data.get("name", ""))
+    )
+    graph.add_nodes_from(nodes)
+    for edge in edges:
+        if len(edge) != 2:
+            raise FormatError(f"edge entry {edge!r} is not a pair")
+        graph.add_edge(edge[0], edge[1])
+    return graph
+
+
+def write_json_graph(graph: Graph | DiGraph, path: str | Path) -> None:
+    """Serialize ``graph`` to a JSON file."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(graph_to_dict(graph), handle)
+
+
+def read_json_graph(path: str | Path) -> Graph | DiGraph:
+    """Load a graph from a JSON file written by :func:`write_json_graph`."""
+    path = Path(path)
+    with open(path, encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise FormatError(f"{path}: invalid JSON: {exc}") from exc
+    return graph_from_dict(data)

@@ -1,0 +1,75 @@
+"""Reader/writer for the SNAP ground-truth community format.
+
+The `com-LiveJournal` / `com-Orkut` data sets the paper uses consist of an
+undirected edge list (``*.ungraph.txt``) plus community files
+(``*.all.cmty.txt`` / ``*.top5000.cmty.txt``) with one community per line:
+whitespace-separated member ids.
+"""
+
+from __future__ import annotations
+
+import gzip
+from collections.abc import Callable, Iterable, Sequence
+from pathlib import Path
+from typing import IO, Any
+
+from repro.data.groups import Community
+from repro.exceptions import FormatError
+
+__all__ = ["read_communities", "write_communities", "top_k_by_size"]
+
+
+def _open_text(path: Path, mode: str) -> IO[str]:
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")  # type: ignore[return-value]
+    return open(path, mode, encoding="utf-8")
+
+
+def read_communities(
+    path: str | Path,
+    *,
+    node_type: Callable[[str], Any] = int,
+    name_prefix: str = "cmty",
+) -> list[Community]:
+    """Read a SNAP ``cmty.txt`` file into :class:`Community` objects.
+
+    Communities are named ``<name_prefix>-<line index>`` since the format
+    carries no labels.
+    """
+    path = Path(path)
+    communities: list[Community] = []
+    with _open_text(path, "r") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            members = frozenset(node_type(p) for p in stripped.split())
+            if not members:
+                raise FormatError(f"{path}:{line_number}: empty community line")
+            communities.append(
+                Community(
+                    name=f"{name_prefix}-{len(communities)}", members=members
+                )
+            )
+    return communities
+
+
+def write_communities(
+    communities: Iterable[Community], path: str | Path
+) -> None:
+    """Write communities in SNAP ``cmty.txt`` format (one line per group)."""
+    path = Path(path)
+    with _open_text(path, "w") as handle:
+        for community in communities:
+            handle.write(
+                " ".join(str(member) for member in sorted(community.members))
+            )
+            handle.write("\n")
+
+
+def top_k_by_size(
+    communities: Sequence[Community], k: int
+) -> list[Community]:
+    """Return the ``k`` largest communities, mirroring the paper's use of
+    the top-5000 LiveJournal/Orkut community files."""
+    return sorted(communities, key=lambda c: (-len(c.members), c.name))[:k]

@@ -1,0 +1,116 @@
+"""Reader/writer for the SNAP ego-network format of McAuley & Leskovec.
+
+The `ego-Gplus` / `ego-Twitter` data sets the paper uses ship one file pair
+per ego user ``<ego>``:
+
+``<ego>.edges``
+    Edge list *among the ego's alters* (the ego itself is implicitly
+    connected to every alter and does not appear in the file).
+``<ego>.circles``
+    One circle per line: ``<circle_name>\\t<alter>\\t<alter>...``.
+
+This module parses a directory of such pairs into
+:class:`~repro.data.ego.EgoNetwork` objects, and writes the same format so
+synthetic data sets can round-trip through the on-disk layout the original
+study consumed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from pathlib import Path
+from typing import Any
+
+from repro.data.ego import EgoNetwork, EgoNetworkCollection
+from repro.data.groups import Circle
+from repro.exceptions import FormatError
+
+__all__ = ["read_ego_directory", "read_ego_network", "write_ego_network"]
+
+
+def read_ego_network(
+    edges_path: str | Path,
+    *,
+    directed: bool = True,
+    node_type: Callable[[str], Any] = int,
+) -> EgoNetwork:
+    """Read one ``<ego>.edges`` (+ sibling ``.circles``) file pair.
+
+    The ego id is taken from the file stem, per SNAP convention.
+    """
+    edges_path = Path(edges_path)
+    ego = node_type(edges_path.stem)
+    alter_edges = []
+    with open(edges_path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) != 2:
+                raise FormatError(
+                    f"{edges_path}:{line_number}: expected two fields,"
+                    f" got {len(parts)}"
+                )
+            alter_edges.append((node_type(parts[0]), node_type(parts[1])))
+
+    circles: list[Circle] = []
+    circles_path = edges_path.with_suffix(".circles")
+    if circles_path.exists():
+        with open(circles_path, encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                stripped = line.strip()
+                if not stripped or stripped.startswith("#"):
+                    continue
+                parts = stripped.split()
+                if len(parts) < 2:
+                    raise FormatError(
+                        f"{circles_path}:{line_number}: circle line needs a"
+                        " name and at least one member"
+                    )
+                members = frozenset(node_type(p) for p in parts[1:])
+                circles.append(Circle(name=parts[0], members=members, owner=ego))
+    return EgoNetwork(
+        ego=ego, alter_edges=alter_edges, circles=circles, directed=directed
+    )
+
+
+def read_ego_directory(
+    directory: str | Path,
+    *,
+    directed: bool = True,
+    node_type: Callable[[str], Any] = int,
+    name: str = "",
+) -> EgoNetworkCollection:
+    """Read every ``*.edges`` file under ``directory`` into a collection."""
+    directory = Path(directory)
+    networks = [
+        read_ego_network(path, directed=directed, node_type=node_type)
+        for path in sorted(directory.glob("*.edges"))
+    ]
+    if not networks:
+        raise FormatError(f"no *.edges files found in {directory}")
+    return EgoNetworkCollection(networks, name=name or directory.name)
+
+
+def write_ego_network(network: EgoNetwork, directory: str | Path) -> None:
+    """Write one ego network as the SNAP ``<ego>.edges``/``.circles`` pair."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    edges_path = directory / f"{network.ego}.edges"
+    with open(edges_path, "w", encoding="utf-8") as handle:
+        for u, v in network.alter_edges:
+            handle.write(f"{u} {v}\n")
+    circles_path = directory / f"{network.ego}.circles"
+    with open(circles_path, "w", encoding="utf-8") as handle:
+        for circle in network.circles:
+            members = " ".join(str(member) for member in sorted(circle.members))
+            handle.write(f"{circle.name}\t{members}\n")
+
+
+def write_ego_directory(
+    networks: Iterable[EgoNetwork], directory: str | Path
+) -> None:
+    """Write a collection of ego networks into ``directory``."""
+    for network in networks:
+        write_ego_network(network, directory)

@@ -1,0 +1,213 @@
+"""Undirected simple graph backed by adjacency sets.
+
+:class:`Graph` is the library's undirected substrate.  It stores one
+``dict`` mapping each node to the ``set`` of its neighbours, keeps the edge
+count incrementally, and exposes live views for nodes, edges and degrees.
+Self-loops and parallel edges are not representable: the graph is simple,
+matching the social-graph model of the paper (section IV).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Any
+
+from repro.exceptions import EdgeNotFound, NodeNotFound
+from repro.graph.views import DegreeView, EdgeView, NodeView
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """A simple undirected graph.
+
+    Examples
+    --------
+    >>> g = Graph()
+    >>> g.add_edge(1, 2)
+    >>> g.add_edge(2, 3)
+    >>> sorted(g.neighbors(2))
+    [1, 3]
+    >>> g.number_of_nodes(), g.number_of_edges()
+    (3, 2)
+    """
+
+    is_directed = False
+
+    __slots__ = ("_adj", "_num_edges", "name")
+
+    def __init__(
+        self,
+        edges: Iterable[Edge] | None = None,
+        *,
+        name: str = "",
+    ) -> None:
+        self._adj: dict[Node, set[Node]] = {}
+        self._num_edges = 0
+        self.name = name
+        if edges is not None:
+            self.add_edges_from(edges)
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def __contains__(self, node: object) -> bool:
+        try:
+            return node in self._adj
+        except TypeError:  # unhashable
+            return False
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<{type(self).__name__}{label} with "
+            f"{self.number_of_nodes()} nodes and "
+            f"{self.number_of_edges()} edges>"
+        )
+
+    # -- mutation ------------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` to the graph (a no-op if already present)."""
+        if node not in self._adj:
+            self._adj[node] = set()
+
+    def add_nodes_from(self, nodes: Iterable[Node]) -> None:
+        """Add every node in ``nodes``."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the undirected edge ``{u, v}``, creating endpoints as needed.
+
+        Self-loops are rejected because the social graph is simple.
+        """
+        if u == v:
+            raise ValueError(f"self-loop ({u!r}, {v!r}) not allowed in a simple graph")
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._num_edges += 1
+
+    def add_edges_from(self, edges: Iterable[Edge]) -> None:
+        """Add every edge in ``edges``; duplicates are ignored."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges."""
+        try:
+            neighbors = self._adj.pop(node)
+        except KeyError:
+            raise NodeNotFound(node) from None
+        for other in neighbors:
+            self._adj[other].discard(node)
+        self._num_edges -= len(neighbors)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``{u, v}``."""
+        if not self.has_edge(u, v):
+            raise EdgeNotFound(u, v)
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+
+    # -- queries ------------------------------------------------------------
+
+    def has_node(self, node: Node) -> bool:
+        """Return whether ``node`` is in the graph."""
+        return node in self
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return whether the undirected edge ``{u, v}`` exists."""
+        neighbors = self._adj.get(u)
+        return neighbors is not None and v in neighbors
+
+    def neighbors(self, node: Node) -> frozenset[Node]:
+        """Return the neighbour set of ``node`` (as an immutable snapshot)."""
+        try:
+            return frozenset(self._adj[node])
+        except KeyError:
+            raise NodeNotFound(node) from None
+
+    def adjacency(self) -> Iterator[tuple[Node, set[Node]]]:
+        """Iterate over ``(node, neighbour_set)`` pairs.
+
+        The yielded sets are the live internal sets; callers must not mutate
+        them.  This is the fast path used by algorithm kernels.
+        """
+        return iter(self._adj.items())
+
+    def number_of_nodes(self) -> int:
+        """Return the number of nodes ``n``."""
+        return len(self._adj)
+
+    def number_of_edges(self) -> int:
+        """Return the number of edges ``m`` (each undirected edge once)."""
+        return self._num_edges
+
+    @property
+    def nodes(self) -> NodeView:
+        """Set-like live view of the nodes."""
+        return NodeView(self._adj)
+
+    @property
+    def edges(self) -> EdgeView:
+        """Live view of the edges as ``(u, v)`` tuples."""
+        return EdgeView(self)
+
+    @property
+    def degree(self) -> DegreeView:
+        """Mapping-like live view of node degrees."""
+        return DegreeView(self)
+
+    # -- derived graphs ------------------------------------------------------
+
+    def copy(self) -> "Graph":
+        """Return an independent deep copy of the graph structure."""
+        clone = Graph(name=self.name)
+        clone._adj = {node: set(neighbors) for node, neighbors in self._adj.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """Return the subgraph induced by ``nodes`` as a new :class:`Graph`.
+
+        Nodes not present in the graph raise :class:`NodeNotFound`.
+        """
+        selected = set(nodes)
+        for node in selected:
+            if node not in self._adj:
+                raise NodeNotFound(node)
+        sub = Graph(name=self.name)
+        for node in selected:
+            sub.add_node(node)
+        for node in selected:
+            for other in self._adj[node] & selected:
+                sub.add_edge(node, other)
+        return sub
+
+    def edge_boundary(self, nodes: Iterable[Node]) -> list[Edge]:
+        """Return the edges with exactly one endpoint in ``nodes``.
+
+        This is the paper's :math:`c_C` edge set for undirected graphs.
+        """
+        selected = set(nodes)
+        boundary = []
+        for node in selected:
+            adj = self._adj.get(node)
+            if adj is None:
+                raise NodeNotFound(node)
+            for other in adj - selected:
+                boundary.append((node, other))
+        return boundary

@@ -1,0 +1,207 @@
+"""Lightweight read-only views over graph internals.
+
+The views mirror (a small subset of) the networkx view API: they are live —
+mutating the graph is reflected in an existing view — set-like where that is
+meaningful, and cheap to construct.
+
+``NodeView``
+    Set-like view of the node set.
+``EdgeView`` / ``DiEdgeView``
+    Iterable of ``(u, v)`` tuples with membership tests and ``len``.
+``DegreeView`` and friends
+    Mapping-style access to vertex degrees, iterable as ``(node, degree)``
+    pairs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Set
+from typing import TYPE_CHECKING, Any
+
+from repro.exceptions import NodeNotFound
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.graph.digraph import DiGraph
+    from repro.graph.ugraph import Graph
+
+Node = Any
+Edge = tuple[Node, Node]
+
+__all__ = [
+    "NodeView",
+    "EdgeView",
+    "DiEdgeView",
+    "DegreeView",
+    "InDegreeView",
+    "OutDegreeView",
+    "TotalDegreeView",
+]
+
+
+class NodeView(Set):
+    """Set-like live view of a graph's nodes."""
+
+    __slots__ = ("_adj",)
+
+    def __init__(self, adj: Mapping[Node, Set]) -> None:
+        self._adj = adj
+
+    @classmethod
+    def _from_iterable(cls, iterable) -> set:
+        # Set-algebra results (view & other, view | other, ...) materialize
+        # as plain sets rather than views over a synthetic mapping.
+        return set(iterable)
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._adj
+
+    def __repr__(self) -> str:
+        return f"NodeView({list(self._adj)!r})"
+
+
+class EdgeView(Iterable):
+    """Live view of the edges of an undirected :class:`~repro.graph.Graph`.
+
+    Iteration yields each undirected edge exactly once as ``(u, v)`` with
+    the orientation in which it is stored first encountered.  Membership
+    accepts either orientation.
+    """
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: "Graph") -> None:
+        self._graph = graph
+
+    def __len__(self) -> int:
+        return self._graph.number_of_edges()
+
+    def __iter__(self) -> Iterator[Edge]:
+        seen: set[Node] = set()
+        for u, neighbors in self._graph._adj.items():
+            for v in neighbors:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    def __contains__(self, edge: object) -> bool:
+        if not isinstance(edge, tuple) or len(edge) != 2:
+            return False
+        u, v = edge
+        return self._graph.has_edge(u, v)
+
+    def __repr__(self) -> str:
+        return f"EdgeView({list(self)!r})"
+
+
+class DiEdgeView(Iterable):
+    """Live view of the directed edges of a :class:`~repro.graph.DiGraph`."""
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: "DiGraph") -> None:
+        self._graph = graph
+
+    def __len__(self) -> int:
+        return self._graph.number_of_edges()
+
+    def __iter__(self) -> Iterator[Edge]:
+        for u, successors in self._graph._succ.items():
+            for v in successors:
+                yield (u, v)
+
+    def __contains__(self, edge: object) -> bool:
+        if not isinstance(edge, tuple) or len(edge) != 2:
+            return False
+        u, v = edge
+        return self._graph.has_edge(u, v)
+
+    def __repr__(self) -> str:
+        return f"DiEdgeView({list(self)!r})"
+
+
+class _BaseDegreeView(Mapping):
+    """Shared machinery for degree views.
+
+    Subclasses provide :meth:`_degree_of`.  A view is a mapping from node to
+    degree; calling it with a node is also supported for convenience:
+    ``G.degree(v)`` and ``G.degree[v]`` are equivalent.
+    """
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: Any) -> None:
+        self._graph = graph
+
+    def _degree_of(self, node: Node) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, node: Node) -> int:
+        if node not in self._graph:
+            raise NodeNotFound(node)
+        return self._degree_of(node)
+
+    def __call__(self, node: Node) -> int:
+        return self[node]
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._graph)
+
+    def items(self) -> Iterator[tuple[Node, int]]:  # type: ignore[override]
+        for node in self._graph:
+            yield node, self._degree_of(node)
+
+    def values(self) -> Iterator[int]:  # type: ignore[override]
+        for node in self._graph:
+            yield self._degree_of(node)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({dict(self.items())!r})"
+
+
+class DegreeView(_BaseDegreeView):
+    """Degree of each node in an undirected graph."""
+
+    __slots__ = ()
+
+    def _degree_of(self, node: Node) -> int:
+        return len(self._graph._adj[node])
+
+
+class InDegreeView(_BaseDegreeView):
+    """Number of incoming edges of each node in a directed graph."""
+
+    __slots__ = ()
+
+    def _degree_of(self, node: Node) -> int:
+        return len(self._graph._pred[node])
+
+
+class OutDegreeView(_BaseDegreeView):
+    """Number of outgoing edges of each node in a directed graph."""
+
+    __slots__ = ()
+
+    def _degree_of(self, node: Node) -> int:
+        return len(self._graph._succ[node])
+
+
+class TotalDegreeView(_BaseDegreeView):
+    """Total degree (in + out) of each node in a directed graph.
+
+    This is the degree convention the paper uses for directed graphs:
+    ``d(v) = d_in(v) + d_out(v)``.
+    """
+
+    __slots__ = ()
+
+    def _degree_of(self, node: Node) -> int:
+        return len(self._graph._succ[node]) + len(self._graph._pred[node])

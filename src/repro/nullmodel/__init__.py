@@ -1,0 +1,28 @@
+"""Null models: graphicality tests, configuration models, the
+Viger–Latapy connected random graph, and degree-preserving rewiring."""
+
+from repro.nullmodel.configuration import (
+    configuration_model,
+    directed_configuration_model,
+)
+from repro.nullmodel.degree_sequence import (
+    havel_hakimi_graph,
+    is_digraphical,
+    is_graphical,
+    kleitman_wang_graph,
+)
+from repro.nullmodel.rewiring import directed_edge_swap, double_edge_swap
+from repro.nullmodel.viger_latapy import connect_components, viger_latapy_graph
+
+__all__ = [
+    "is_graphical",
+    "is_digraphical",
+    "havel_hakimi_graph",
+    "kleitman_wang_graph",
+    "configuration_model",
+    "directed_configuration_model",
+    "double_edge_swap",
+    "directed_edge_swap",
+    "viger_latapy_graph",
+    "connect_components",
+]

@@ -1,0 +1,174 @@
+"""Degree-sequence utilities: graphicality tests and deterministic
+realization.
+
+The Modularity null model (paper section V-d) requires random graphs with
+the *same degree sequence* as the original.  These helpers provide the
+foundations: the Erdős–Gallai graphicality test and a Havel–Hakimi
+realization that the Viger–Latapy generator starts from.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+from collections.abc import Sequence
+
+from repro.exceptions import NotGraphical
+from repro.graph.ugraph import Graph
+
+__all__ = [
+    "is_graphical",
+    "havel_hakimi_graph",
+    "is_digraphical",
+    "kleitman_wang_graph",
+]
+
+
+def is_graphical(degrees: Sequence[int]) -> bool:
+    """Erdős–Gallai test: can ``degrees`` be realized by a simple
+    undirected graph?  Vectorized to O(n log n)."""
+    n = len(degrees)
+    if n == 0:
+        return True
+    ranked = np.sort(np.asarray(degrees, dtype=np.int64))[::-1]
+    if ranked[-1] < 0 or ranked[0] >= n:
+        return False
+    total = int(ranked.sum())
+    if total % 2:
+        return False
+    prefix = np.cumsum(ranked)
+    ks = np.arange(1, n + 1, dtype=np.int64)
+    # tail(k) = sum_{i >= k} min(d_i, k) over the descending sequence:
+    # entries >= k contribute k each, the rest contribute their own value.
+    # Since `ranked` is descending, entries >= k form a prefix; locate the
+    # boundary with searchsorted on the ascending reversal.
+    ascending = ranked[::-1]
+    # count of entries (over the whole sequence) that are >= k
+    count_ge = n - np.searchsorted(ascending, ks, side="left")
+    # among indices i >= k (the tail), entries >= k number:
+    tail_count_ge = np.maximum(count_ge - ks, 0)
+    suffix_sum = total - prefix
+    # sum of tail entries that are < k: total tail sum minus the large ones.
+    # Large tail entries are the first `tail_count_ge` entries of the tail;
+    # their sum is prefix[k + tail_count_ge - 1] - prefix[k - 1].
+    large_end = ks + tail_count_ge
+    large_sum = prefix[np.minimum(large_end, n) - 1] - prefix[ks - 1]
+    tail = tail_count_ge * ks + (suffix_sum - large_sum)
+    return bool(np.all(prefix <= ks * (ks - 1) + tail))
+
+
+def is_digraphical(in_degrees: Sequence[int], out_degrees: Sequence[int]) -> bool:
+    """Fulkerson–Chen–Anstee test: can the (in, out) sequence be realized
+    by a simple directed graph (no self-loops)?  Vectorized in chunks."""
+    if len(in_degrees) != len(out_degrees):
+        return False
+    n = len(in_degrees)
+    if n == 0:
+        return True
+    ins_arr = np.asarray(in_degrees, dtype=np.int64)
+    outs_arr = np.asarray(out_degrees, dtype=np.int64)
+    if (ins_arr < 0).any() or (ins_arr >= n).any():
+        return False
+    if (outs_arr < 0).any() or (outs_arr >= n).any():
+        return False
+    if int(ins_arr.sum()) != int(outs_arr.sum()):
+        return False
+    # Sort pairs by out-degree descending (in-degree descending tiebreak).
+    order = np.lexsort((-ins_arr, -outs_arr))
+    outs = outs_arr[order]
+    ins = ins_arr[order]
+    lhs = np.cumsum(outs)
+    # rhs(k) = sum_{i<k} min(ins_i, k-1) + sum_{i>=k} min(ins_i, k),
+    # evaluated for chunks of k values at once to bound memory.
+    chunk = max(1, 2_000_000 // max(n, 1))
+    for start in range(1, n + 1, chunk):
+        ks = np.arange(start, min(start + chunk, n + 1), dtype=np.int64)
+        clipped_head = np.minimum(ins[None, :], (ks - 1)[:, None])
+        clipped_tail = np.minimum(ins[None, :], ks[:, None])
+        positions = np.arange(n, dtype=np.int64)
+        head_mask = positions[None, :] < ks[:, None]
+        rhs = np.where(head_mask, clipped_head, clipped_tail).sum(axis=1)
+        if np.any(lhs[ks - 1] > rhs):
+            return False
+    return True
+
+
+def havel_hakimi_graph(degrees: Sequence[int]) -> Graph:
+    """Deterministically realize ``degrees`` as a simple undirected graph.
+
+    Repeatedly connects the highest-degree vertex to the next-highest
+    candidates (Havel–Hakimi).  Raises
+    :class:`~repro.exceptions.NotGraphical` when the sequence cannot be
+    realized.  Vertices are labelled ``0..n-1`` in input order.
+    """
+    if not is_graphical(degrees):
+        raise NotGraphical(f"degree sequence {list(degrees)!r} is not graphical")
+    graph = Graph()
+    _havel_hakimi_fill(graph, degrees)
+    return graph
+
+
+def _havel_hakimi_fill(graph: Graph, degrees: Sequence[int]) -> None:
+    graph.add_nodes_from(range(len(degrees)))
+    # Max-heap of (remaining degree, vertex).
+    heap = [(-d, v) for v, d in enumerate(degrees) if d > 0]
+    heapq.heapify(heap)
+    while heap:
+        negative, vertex = heapq.heappop(heap)
+        need = -negative
+        taken = []
+        for _ in range(need):
+            if not heap:
+                raise NotGraphical("ran out of stubs during Havel-Hakimi")
+            taken.append(heapq.heappop(heap))
+        for other_negative, other in taken:
+            graph.add_edge(vertex, other)
+        for other_negative, other in taken:
+            remaining = -other_negative - 1
+            if remaining > 0:
+                heapq.heappush(heap, (-remaining, other))
+
+
+def kleitman_wang_graph(
+    in_degrees: Sequence[int], out_degrees: Sequence[int]
+) -> "DiGraph":
+    """Deterministically realize an (in, out) sequence as a simple digraph.
+
+    Kleitman-Wang: repeatedly take a vertex with remaining out-degree and
+    connect it to the vertices with the largest remaining in-degree.
+    Raises :class:`~repro.exceptions.NotGraphical` when the sequence is not
+    digraphical.  Vertices are labelled ``0..n-1`` in input order.
+    """
+    from repro.graph.digraph import DiGraph
+
+    if not is_digraphical(in_degrees, out_degrees):
+        raise NotGraphical("(in, out) degree sequence is not digraphical")
+    n = len(in_degrees)
+    graph = DiGraph()
+    graph.add_nodes_from(range(n))
+    remaining_in = list(in_degrees)
+    remaining_out = list(out_degrees)
+    # Process sources by decreasing remaining out-degree.
+    while True:
+        source = max(range(n), key=lambda v: remaining_out[v])
+        need = remaining_out[source]
+        if need == 0:
+            break
+        remaining_out[source] = 0
+        # Tie-break matters for correctness: among equal remaining
+        # in-degrees, vertices with larger remaining out-degree must be
+        # served first (the lexicographic order of the Kleitman-Wang
+        # theorem), otherwise realizable sequences can dead-end.
+        targets = sorted(
+            (v for v in range(n) if v != source and remaining_in[v] > 0),
+            key=lambda v: (-remaining_in[v], -remaining_out[v], v),
+        )[:need]
+        if len(targets) < need:
+            raise NotGraphical("ran out of in-stubs during Kleitman-Wang")
+        for target in targets:
+            graph.add_edge(source, target)
+            remaining_in[target] -= 1
+    if any(remaining_in):
+        raise NotGraphical("unmatched in-stubs after Kleitman-Wang")
+    return graph

@@ -1,0 +1,107 @@
+"""Degree-preserving edge rewiring (double edge swaps).
+
+Double edge swaps are the MCMC moves behind the Viger–Latapy generator:
+replacing edges ``(a, b), (c, d)`` with ``(a, d), (c, b)`` preserves every
+vertex degree while randomizing the wiring.  Directed swaps preserve both
+in- and out-degree sequences.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable
+
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+
+Node = Hashable
+
+__all__ = ["double_edge_swap", "directed_edge_swap"]
+
+
+def double_edge_swap(
+    graph: Graph,
+    nswap: int,
+    *,
+    seed: int | random.Random | None = None,
+    max_tries_factor: int = 20,
+) -> int:
+    """Perform up to ``nswap`` degree-preserving swaps in place.
+
+    Returns the number of successful swaps.  Swap candidates creating
+    self-loops or parallel edges are skipped; the attempt budget is
+    ``max_tries_factor * nswap``.
+    """
+    if graph.is_directed:
+        raise ValueError("double_edge_swap requires an undirected graph")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    edges = list(graph.edges)
+    if len(edges) < 2:
+        return 0
+    swaps = 0
+    tries = 0
+    budget = max_tries_factor * nswap
+    while swaps < nswap and tries < budget:
+        tries += 1
+        i, j = rng.randrange(len(edges)), rng.randrange(len(edges))
+        if i == j:
+            continue
+        a, b = edges[i]
+        c, d = edges[j]
+        # Randomly orient the second edge so both pairings are reachable.
+        if rng.random() < 0.5:
+            c, d = d, c
+        if len({a, b, c, d}) < 4:
+            continue
+        if graph.has_edge(a, d) or graph.has_edge(c, b):
+            continue
+        graph.remove_edge(a, b)
+        graph.remove_edge(c, d)
+        graph.add_edge(a, d)
+        graph.add_edge(c, b)
+        edges[i] = (a, d)
+        edges[j] = (c, b)
+        swaps += 1
+    return swaps
+
+
+def directed_edge_swap(
+    graph: DiGraph,
+    nswap: int,
+    *,
+    seed: int | random.Random | None = None,
+    max_tries_factor: int = 20,
+) -> int:
+    """Perform up to ``nswap`` in/out-degree-preserving swaps in place.
+
+    Edges ``(a, b), (c, d)`` become ``(a, d), (c, b)``.  Returns the number
+    of successful swaps.
+    """
+    if not graph.is_directed:
+        raise ValueError("directed_edge_swap requires a directed graph")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    edges = list(graph.edges)
+    if len(edges) < 2:
+        return 0
+    swaps = 0
+    tries = 0
+    budget = max_tries_factor * nswap
+    while swaps < nswap and tries < budget:
+        tries += 1
+        i, j = rng.randrange(len(edges)), rng.randrange(len(edges))
+        if i == j:
+            continue
+        a, b = edges[i]
+        c, d = edges[j]
+        if a == d or c == b:
+            continue
+        if graph.has_edge(a, d) or graph.has_edge(c, b):
+            continue
+        graph.remove_edge(a, b)
+        graph.remove_edge(c, d)
+        graph.add_edge(a, d)
+        graph.add_edge(c, b)
+        edges[i] = (a, d)
+        edges[j] = (c, b)
+        swaps += 1
+    return swaps

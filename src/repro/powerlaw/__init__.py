@@ -1,0 +1,32 @@
+"""Heavy-tail distribution fitting per Clauset–Shalizi–Newman."""
+
+from repro.powerlaw.comparison import (
+    LikelihoodRatio,
+    ModelSelection,
+    best_fit,
+    likelihood_ratio,
+)
+from repro.powerlaw.distributions import (
+    DISTRIBUTIONS,
+    ExponentialTail,
+    LogNormalTail,
+    PowerLawTail,
+    TailDistribution,
+)
+from repro.powerlaw.fitting import TailFit, fit_all, fit_tail, scan_xmin
+
+__all__ = [
+    "TailDistribution",
+    "PowerLawTail",
+    "LogNormalTail",
+    "ExponentialTail",
+    "DISTRIBUTIONS",
+    "TailFit",
+    "fit_tail",
+    "fit_all",
+    "scan_xmin",
+    "LikelihoodRatio",
+    "likelihood_ratio",
+    "ModelSelection",
+    "best_fit",
+]

@@ -1,0 +1,20 @@
+"""Vertex-set samplers: the paper's random walk and ablation baselines."""
+
+from repro.sampling.random_sets import (
+    SAMPLERS,
+    bfs_ball_set,
+    forest_fire_set,
+    sample_matched_sets,
+    uniform_vertex_set,
+)
+from repro.sampling.random_walk import matched_random_sets, random_walk_set
+
+__all__ = [
+    "random_walk_set",
+    "matched_random_sets",
+    "uniform_vertex_set",
+    "bfs_ball_set",
+    "forest_fire_set",
+    "SAMPLERS",
+    "sample_matched_sets",
+]

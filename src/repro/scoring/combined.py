@@ -1,0 +1,112 @@
+"""Scoring functions combining internal and external connectivity.
+
+The paper's representative (section V-c) is **Conductance**, which it
+highlights as capturing "the common intuition of a community" and as the
+metric with the most striking circles-vs-communities difference (Fig. 6c).
+The remaining functions are the combined-family members of the
+Yang–Leskovec catalogue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scoring.base import GroupStats
+
+__all__ = [
+    "Conductance",
+    "NormalizedCut",
+    "MaxOutDegreeFraction",
+    "AverageOutDegreeFraction",
+    "FlakeOutDegreeFraction",
+    "Separability",
+]
+
+
+class Conductance:
+    """Conductance: :math:`f(C) = c_C / (2 m_C + c_C)` (paper eq. 3).
+
+    Fraction of the group's total edge volume that points outside.  A well
+    pronounced community scores near 0; a group as densely wired to the
+    outside as inside scores near 1.  Evaluating a ratio of edge counts,
+    it self-corrects for the density of the underlying graph.
+    Isolated groups (no edges at all) score 0 by convention.
+    """
+
+    name = "conductance"
+
+    def __call__(self, stats: GroupStats) -> float:
+        volume = 2 * stats.m_C + stats.c_C
+        if volume == 0:
+            return 0.0
+        return stats.c_C / volume
+
+
+class NormalizedCut:
+    """Normalized Cut (Shi & Malik): conductance plus the complement term
+    :math:`c_C / (2 (m - m_C) + c_C)`."""
+
+    name = "normalized_cut"
+
+    def __call__(self, stats: GroupStats) -> float:
+        first_volume = 2 * stats.m_C + stats.c_C
+        second_volume = 2 * (stats.m - stats.m_C) + stats.c_C
+        first = stats.c_C / first_volume if first_volume else 0.0
+        second = stats.c_C / second_volume if second_volume else 0.0
+        return first + second
+
+
+class MaxOutDegreeFraction:
+    """Max-ODF: the worst member's fraction of edges leaving the group.
+
+    :math:`\\max_{v \\in C} \\frac{|\\{(v,u): u \\notin C\\}|}{d(v)}`.
+    """
+
+    name = "max_odf"
+
+    def __call__(self, stats: GroupStats) -> float:
+        degrees = stats.member_degrees
+        outside = stats.member_boundary_degrees
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fractions = np.where(degrees > 0, outside / np.maximum(degrees, 1), 0.0)
+        return float(fractions.max()) if fractions.size else 0.0
+
+
+class AverageOutDegreeFraction:
+    """Average-ODF: mean fraction of member edges leaving the group."""
+
+    name = "avg_odf"
+
+    def __call__(self, stats: GroupStats) -> float:
+        degrees = stats.member_degrees
+        outside = stats.member_boundary_degrees
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fractions = np.where(degrees > 0, outside / np.maximum(degrees, 1), 0.0)
+        return float(fractions.mean()) if fractions.size else 0.0
+
+
+class FlakeOutDegreeFraction:
+    """Flake-ODF: fraction of members with fewer internal than external
+    edge endpoints (i.e. internal degree < d(v)/2)."""
+
+    name = "flake_odf"
+
+    def __call__(self, stats: GroupStats) -> float:
+        internal = stats.member_internal_degrees
+        flake = int((internal < stats.member_degrees / 2.0).sum())
+        return flake / stats.n_C
+
+
+class Separability:
+    """Separability: ratio of internal to boundary edges, :math:`m_C / c_C`.
+
+    Higher is more separated.  Groups with no boundary edges score
+    ``inf`` when they have internal edges and 0 when fully isolated.
+    """
+
+    name = "separability"
+
+    def __call__(self, stats: GroupStats) -> float:
+        if stats.c_C == 0:
+            return float("inf") if stats.m_C else 0.0
+        return stats.m_C / stats.c_C

@@ -1,0 +1,119 @@
+"""Scoring functions based on internal connectivity.
+
+These characterize a community by how densely its members connect to each
+other, ignoring the surrounding graph.  The paper's representative of this
+family (section V-a) is the **Average Degree**; the remaining functions are
+the internal-connectivity members of the Yang–Leskovec catalogue, included
+as extensions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scoring.base import GroupStats
+
+__all__ = [
+    "AverageDegree",
+    "InternalDensity",
+    "EdgesInside",
+    "FractionOverMedianDegree",
+    "TriangleParticipationRatio",
+]
+
+
+class AverageDegree:
+    """Average internal degree: :math:`f(C) = 2 m_C / n_C` (paper eq. 1).
+
+    The mean number of within-group link contacts per member.  Values scale
+    with the density of the underlying graph, which is why the paper pairs
+    it with density-corrected measures.
+    """
+
+    name = "average_degree"
+
+    def __call__(self, stats: GroupStats) -> float:
+        return 2.0 * stats.m_C / stats.n_C
+
+
+class InternalDensity:
+    """Internal edge density: fraction of possible internal edges present.
+
+    :math:`f(C) = m_C / \\binom{n_C}{2}` (undirected) or
+    :math:`m_C / (n_C (n_C - 1))` (directed).  Single-vertex groups score 0.
+    """
+
+    name = "internal_density"
+
+    def __call__(self, stats: GroupStats) -> float:
+        possible = stats.possible_internal_edges
+        if possible == 0:
+            return 0.0
+        return stats.m_C / possible
+
+
+class EdgesInside:
+    """Raw internal edge count: :math:`f(C) = m_C`."""
+
+    name = "edges_inside"
+
+    def __call__(self, stats: GroupStats) -> float:
+        return float(stats.m_C)
+
+
+class FractionOverMedianDegree:
+    """FOMD: fraction of members whose *internal* degree exceeds the median
+    total degree of the whole graph.
+
+    Requires ``stats.graph_median_degree``; the batch driver in
+    :mod:`repro.scoring.registry` fills it in once per graph.
+    """
+
+    name = "fomd"
+
+    def __call__(self, stats: GroupStats) -> float:
+        median = stats.graph_median_degree
+        if median is None:
+            degrees = np.fromiter(
+                (stats.graph.degree[node] for node in stats.graph),
+                dtype=np.int64,
+                count=stats.n,
+            )
+            median = float(np.median(degrees)) if degrees.size else 0.0
+        over = int((stats.member_internal_degrees > median).sum())
+        return over / stats.n_C
+
+
+class TriangleParticipationRatio:
+    """TPR: fraction of members that close at least one triangle inside C.
+
+    Triangles are evaluated on the undirected skeleton of the induced
+    subgraph, the Yang–Leskovec convention.
+    """
+
+    name = "tpr"
+
+    def __call__(self, stats: GroupStats) -> float:
+        member_set = frozenset(stats.members)
+        graph = stats.graph
+        # Undirected-skeleton neighbour sets restricted to the group.
+        if graph.is_directed:
+            succ = graph._succ  # noqa: SLF001
+            pred = graph._pred  # noqa: SLF001
+            inside = {
+                node: (succ[node] | pred[node]) & member_set
+                for node in stats.members
+            }
+        else:
+            adj = graph._adj  # noqa: SLF001
+            inside = {node: adj[node] & member_set for node in stats.members}
+        in_triangle = 0
+        for node, neighbors in inside.items():
+            found = False
+            for u in neighbors:
+                if inside[u] & neighbors - {node}:
+                    found = True
+                    break
+            if found:
+                in_triangle += 1
+        return in_triangle / stats.n_C

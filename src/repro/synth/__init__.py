@@ -1,0 +1,41 @@
+"""Synthetic data generation: ego collections, planted communities, and
+the paper's four scaled-down corpora."""
+
+from repro.synth.community_graph import (
+    CommunityGraphConfig,
+    generate_community_graph,
+)
+from repro.synth.ego_generator import EgoCollectionConfig, generate_ego_collection
+from repro.synth.heavy_tail import bounded_zipf_sample, lognormal_sizes, zipf_weights
+from repro.synth.random_graphs import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    watts_strogatz_graph,
+)
+from repro.synth.paper_datasets import (
+    build_google_plus,
+    build_livejournal,
+    build_magno_reference,
+    build_orkut,
+    build_twitter,
+    load_all_paper_datasets,
+)
+
+__all__ = [
+    "EgoCollectionConfig",
+    "generate_ego_collection",
+    "CommunityGraphConfig",
+    "generate_community_graph",
+    "lognormal_sizes",
+    "zipf_weights",
+    "bounded_zipf_sample",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "build_google_plus",
+    "build_twitter",
+    "build_livejournal",
+    "build_orkut",
+    "build_magno_reference",
+    "load_all_paper_datasets",
+]

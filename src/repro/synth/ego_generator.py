@@ -1,0 +1,342 @@
+"""Synthetic ego-network-collection generator (Google+/Twitter stand-in).
+
+The McAuley–Leskovec crawl the paper uses is not downloadable in this
+environment, so we reproduce its *construction process* (DESIGN.md,
+"Substitutions"):
+
+1. A shared pool of users; each ego network samples its alters from the
+   pool with Zipf-weighted popularity, so a few pool users appear in many
+   ego networks (the bridges of paper Figs. 1–2).
+2. Ego-network sizes are log-normal (multiplicative circle growth — the
+   process behind the paper's log-normal in-degree finding).
+3. Alters inside an ego network are densely wired at ``edge_probability``;
+   circles are attribute-based subsets wired even more densely
+   (``circle_edge_boost``).
+4. A fraction of egos additionally share a Fang-et-al. "celebrity" circle:
+   very popular members, *no* extra internal wiring — the star-like,
+   low-score tail of the paper's Fig. 5 distributions.
+
+Joining the generated ego networks yields a graph with the crawl's
+signature: ambient density far above a BFS crawl, high clustering, and
+circles that are internally dense yet massively connected to the outside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.ego import EgoNetwork, EgoNetworkCollection
+from repro.data.groups import Circle
+from repro.synth.heavy_tail import lognormal_sizes, zipf_weights
+
+__all__ = ["EgoCollectionConfig", "generate_ego_collection"]
+
+
+@dataclass(frozen=True)
+class EgoCollectionConfig:
+    """Parameters of the synthetic ego-network collection.
+
+    The defaults produce a Google+-like corpus at laptop scale; the
+    Twitter-like preset in :mod:`repro.synth.paper_datasets` overrides
+    them with sparser values.
+    """
+
+    #: number of ego networks (the paper's corpus has 133)
+    num_egos: int = 40
+    #: size of the shared user pool alters are drawn from
+    pool_size: int = 3000
+    #: median ego-network size (log-normal)
+    ego_size_median: float = 120.0
+    #: log-space sigma of ego-network sizes
+    ego_size_sigma: float = 0.6
+    #: hard cap on ego-network size
+    ego_size_max: int = 800
+    #: Zipf exponent of pool-member popularity (higher => stronger bridges)
+    membership_zipf_exponent: float = 0.8
+    #: fraction of each ego's alters that are private (crawled only here);
+    #: drives the large exactly-one-membership population of paper Fig. 2
+    private_alter_fraction: float = 0.45
+    #: probability that an ego network is fully private (no shared alters);
+    #: tunes the overlap fraction below 1 (paper reports 93.5 %)
+    isolated_ego_probability: float = 0.06
+    #: probability of a directed edge between two alters of the same ego
+    edge_probability: float = 0.08
+    #: fraction of intra-ego wiring budget spent on *local* (latent-space)
+    #: edges rather than uniform-random ones.  Alters get positions in a
+    #: latent social space and preferentially link to nearby alters, which
+    #: produces the high clustering coefficient of real ego networks
+    #: (paper Fig. 4: mean 0.49); the remainder are uniform shortcuts.
+    local_edge_fraction: float = 0.75
+    #: probability that an edge gains its reverse edge
+    reciprocity: float = 0.4
+    #: number of latent attribute groups per ego network
+    attribute_groups_min: int = 3
+    attribute_groups_max: int = 7
+    #: circles kept per ego network
+    circles_per_ego_min: int = 2
+    circles_per_ego_max: int = 5
+    #: minimum circle size (smaller attribute groups are not shared)
+    circle_size_min: int = 8
+    #: extra directed-edge probability inside a circle
+    circle_edge_boost: float = 0.25
+    #: fraction of egos that also share a celebrity circle
+    celebrity_fraction: float = 0.15
+    #: celebrity circle size range
+    celebrity_size_min: int = 8
+    celebrity_size_max: int = 20
+    #: Zipf exponent used when picking celebrities (high => only stars)
+    celebrity_zipf_exponent: float = 1.6
+    #: fraction of *shared* (globally popular) alters eligible for ordinary
+    #: circles; private contacts are always eligible.  Close-contact facets
+    #: (family, colleagues) are made of personal contacts, not celebrities —
+    #: which keeps circle members less hub-like than the random-walk
+    #: baseline (the paper's Fig. 5b separation)
+    shared_circle_inclusion: float = 0.5
+    #: directed edges (Google+/Twitter) vs undirected
+    directed: bool = True
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on inconsistent parameters."""
+        if self.num_egos < 1:
+            raise ValueError("num_egos must be >= 1")
+        if self.pool_size < self.ego_size_max:
+            raise ValueError("pool_size must be >= ego_size_max")
+        if not 0 <= self.edge_probability <= 1:
+            raise ValueError("edge_probability must be in [0, 1]")
+        if not 0 <= self.circle_edge_boost <= 1:
+            raise ValueError("circle_edge_boost must be in [0, 1]")
+        if not 0 <= self.reciprocity <= 1:
+            raise ValueError("reciprocity must be in [0, 1]")
+        if not 0 <= self.celebrity_fraction <= 1:
+            raise ValueError("celebrity_fraction must be in [0, 1]")
+        if self.circle_size_min < 2:
+            raise ValueError("circle_size_min must be >= 2")
+        if self.circles_per_ego_min > self.circles_per_ego_max:
+            raise ValueError("circles_per_ego range is inverted")
+        if self.attribute_groups_min > self.attribute_groups_max:
+            raise ValueError("attribute_groups range is inverted")
+        if self.celebrity_size_min > self.celebrity_size_max:
+            raise ValueError("celebrity_size range is inverted")
+        if not 0 <= self.private_alter_fraction <= 1:
+            raise ValueError("private_alter_fraction must be in [0, 1]")
+        if not 0 <= self.isolated_ego_probability <= 1:
+            raise ValueError("isolated_ego_probability must be in [0, 1]")
+        if not 0 <= self.shared_circle_inclusion <= 1:
+            raise ValueError("shared_circle_inclusion must be in [0, 1]")
+        if not 0 <= self.local_edge_fraction <= 1:
+            raise ValueError("local_edge_fraction must be in [0, 1]")
+
+
+def _random_ordered_pairs(
+    count: int, probability: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample distinct ordered pairs (i, j), i != j, from ``count`` items,
+    each included with ``probability``; returns an (m, 2) index array."""
+    total = count * (count - 1)
+    if total == 0 or probability <= 0:
+        return np.empty((0, 2), dtype=np.int64)
+    m = rng.binomial(total, probability)
+    if m == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    flat = rng.choice(total, size=m, replace=False)
+    i = flat // (count - 1)
+    j = flat % (count - 1)
+    j = np.where(j >= i, j + 1, j)  # skip the diagonal
+    return np.stack([i, j], axis=1)
+
+
+def _edges_within(
+    members: np.ndarray,
+    probability: float,
+    rng: np.random.Generator,
+    *,
+    directed: bool,
+) -> set[tuple[int, int]]:
+    """Random simple edges among ``members`` with the given probability."""
+    pairs = _random_ordered_pairs(len(members), probability, rng)
+    edges: set[tuple[int, int]] = set()
+    for i, j in pairs:
+        u, v = int(members[i]), int(members[j])
+        if not directed and u > v:
+            u, v = v, u
+        edges.add((u, v))
+    return edges
+
+
+def _geometric_edges_within(
+    members: np.ndarray,
+    probability: float,
+    local_fraction: float,
+    rng: np.random.Generator,
+    *,
+    directed: bool,
+) -> set[tuple[int, int]]:
+    """Clustered intra-ego wiring: latent-space neighbours plus shortcuts.
+
+    Alters get uniform positions in the unit square; the ``local_fraction``
+    share of the pair-probability budget connects each alter to its nearest
+    neighbours (a random geometric graph, whose triangle density yields the
+    high clustering of real ego networks), the rest are uniform-random
+    shortcut pairs preserving the small-world mixing.
+    """
+    k = len(members)
+    if k < 2 or probability <= 0:
+        return set()
+    if local_fraction <= 0:
+        return _edges_within(members, probability, rng, directed=directed)
+    positions = rng.random((k, 2))
+    # Radius so the expected geometric degree matches the local budget:
+    # pi r^2 (k-1) = local_fraction * probability * (k-1)  =>  r^2 = lf*p/pi.
+    radius_sq = local_fraction * probability / np.pi
+    deltas = positions[:, None, :] - positions[None, :, :]
+    close = (deltas**2).sum(axis=2) <= radius_sq
+    np.fill_diagonal(close, False)
+    edges: set[tuple[int, int]] = set()
+    rows, cols = np.nonzero(np.triu(close, k=1))
+    for i, j in zip(rows, cols):
+        u, v = int(members[i]), int(members[j])
+        if directed:
+            # Orient each geometric pair; both directions are likely,
+            # matching the high within-facet reciprocity of real contacts.
+            if rng.random() < 0.75:
+                edges.add((u, v))
+            if rng.random() < 0.75:
+                edges.add((v, u))
+        else:
+            edges.add((u, v) if u < v else (v, u))
+    # Remaining budget: uniform shortcuts across the whole ego network.
+    shortcut_probability = probability * (1.0 - local_fraction)
+    edges |= _edges_within(members, shortcut_probability, rng, directed=directed)
+    return edges
+
+
+def generate_ego_collection(
+    config: EgoCollectionConfig | None = None,
+    *,
+    seed: int | None = None,
+    name: str = "synthetic-ego",
+) -> EgoNetworkCollection:
+    """Generate an :class:`EgoNetworkCollection` per ``config``.
+
+    Pool members carry ids ``0 .. pool_size-1``; egos use
+    ``pool_size .. pool_size+num_egos-1`` so the two never collide.
+    Deterministic under ``seed``.
+    """
+    config = config or EgoCollectionConfig()
+    config.validate()
+    rng = np.random.default_rng(seed)
+    pool_weights = zipf_weights(config.pool_size, config.membership_zipf_exponent)
+    celebrity_weights = zipf_weights(
+        config.pool_size, config.celebrity_zipf_exponent
+    )
+    sizes = lognormal_sizes(
+        config.num_egos,
+        median=config.ego_size_median,
+        sigma=config.ego_size_sigma,
+        minimum=max(config.circle_size_min * 2, 10),
+        maximum=config.ego_size_max,
+        rng=rng,
+    )
+    networks: list[EgoNetwork] = []
+    # Private alters get fresh ids beyond the shared pool and the egos.
+    next_private_id = config.pool_size + config.num_egos
+    for index in range(config.num_egos):
+        ego_id = config.pool_size + index
+        k = int(sizes[index])
+        isolated = rng.random() < config.isolated_ego_probability
+        if isolated:
+            private_count = k
+        else:
+            private_count = int(round(k * config.private_alter_fraction))
+            private_count = min(private_count, k - 1)  # keep >=1 shared alter
+        shared_count = k - private_count
+        shared = (
+            rng.choice(
+                config.pool_size, size=shared_count, replace=False, p=pool_weights
+            )
+            if shared_count
+            else np.empty(0, dtype=np.int64)
+        )
+        private = np.arange(
+            next_private_id, next_private_id + private_count, dtype=np.int64
+        )
+        next_private_id += private_count
+        alters = np.concatenate([shared, private])
+        rng.shuffle(alters)
+
+        # Latent attribute groups partition the circle-eligible alters;
+        # circles are the largest groups (a facet must have enough members
+        # to be shared).  Globally popular alters are only partially
+        # eligible — close-contact facets are made of personal contacts.
+        eligible_mask = np.ones(k, dtype=bool)
+        shared_positions = np.flatnonzero(alters < config.pool_size)
+        if shared_positions.size:
+            drop = rng.random(shared_positions.size) > config.shared_circle_inclusion
+            eligible_mask[shared_positions[drop]] = False
+        eligible = alters[eligible_mask]
+        group_count = int(
+            rng.integers(config.attribute_groups_min, config.attribute_groups_max + 1)
+        )
+        assignments = rng.integers(0, group_count, size=len(eligible))
+        groups = [eligible[assignments == g] for g in range(group_count)]
+        groups = [g for g in groups if len(g) >= config.circle_size_min]
+        groups.sort(key=len, reverse=True)
+        circle_count = int(
+            rng.integers(config.circles_per_ego_min, config.circles_per_ego_max + 1)
+        )
+        chosen = groups[:circle_count]
+
+        # Base wiring among alters plus denser wiring inside circles.
+        edges = _geometric_edges_within(
+            alters,
+            config.edge_probability,
+            config.local_edge_fraction,
+            rng,
+            directed=config.directed,
+        )
+        for members in chosen:
+            edges |= _edges_within(
+                members, config.circle_edge_boost, rng, directed=config.directed
+            )
+        if config.directed and config.reciprocity > 0:
+            for u, v in list(edges):
+                if (v, u) not in edges and rng.random() < config.reciprocity:
+                    edges.add((v, u))
+
+        circles = [
+            Circle(
+                name=f"circle{i}",
+                members=frozenset(int(v) for v in members),
+                owner=ego_id,
+            )
+            for i, members in enumerate(chosen)
+        ]
+
+        # Celebrity circle: popular users, no extra internal wiring.  An
+        # isolated ego stays fully private (no shared members at all).
+        if not isolated and rng.random() < config.celebrity_fraction:
+            size = int(
+                rng.integers(config.celebrity_size_min, config.celebrity_size_max + 1)
+            )
+            celebrities = rng.choice(
+                config.pool_size, size=size, replace=False, p=celebrity_weights
+            )
+            circles.append(
+                Circle(
+                    name="celebrities",
+                    members=frozenset(int(v) for v in celebrities),
+                    owner=ego_id,
+                )
+            )
+
+        networks.append(
+            EgoNetwork(
+                ego=ego_id,
+                alter_edges=sorted(edges),
+                circles=circles,
+                directed=config.directed,
+            )
+        )
+    return EgoNetworkCollection(networks, name=name)

@@ -1,0 +1,77 @@
+"""Heavy-tailed integer samplers used by the synthetic generators.
+
+The crawl the paper analyses exhibits two heavy-tailed quantities that the
+generators must reproduce:
+
+* ego-network sizes — multiplicative growth, hence log-normal (the paper's
+  in-degree finding, Fig. 3, traces back to this);
+* vertex membership multiplicity across ego networks — a few "bridge"
+  vertices appear in dozens of ego networks (Fig. 2), a Zipf-like pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lognormal_sizes", "zipf_weights", "bounded_zipf_sample"]
+
+
+def lognormal_sizes(
+    count: int,
+    *,
+    median: float,
+    sigma: float,
+    minimum: int = 1,
+    maximum: int | None = None,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Sample ``count`` integer sizes from a log-normal distribution.
+
+    ``median`` is the distribution median (``exp(mu)``), ``sigma`` the
+    log-space standard deviation.  Values are clipped to
+    ``[minimum, maximum]`` and rounded to integers.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if median <= 0 or sigma <= 0:
+        raise ValueError("median and sigma must be positive")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    raw = rng.lognormal(mean=np.log(median), sigma=sigma, size=count)
+    sizes = np.round(raw).astype(np.int64)
+    sizes = np.maximum(sizes, minimum)
+    if maximum is not None:
+        sizes = np.minimum(sizes, maximum)
+    return sizes
+
+
+def zipf_weights(count: int, exponent: float = 1.0) -> np.ndarray:
+    """Normalized Zipf weights ``w_i ~ (i + 1)^(-exponent)`` over ``count``
+    items — the selection bias that makes a few pool vertices appear in
+    many ego networks."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def bounded_zipf_sample(
+    population: int,
+    size: int,
+    *,
+    exponent: float = 1.0,
+    rng: np.random.Generator | None = None,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Sample ``size`` distinct items from ``range(population)`` with
+    Zipf-weighted inclusion probability (without replacement)."""
+    if size > population:
+        raise ValueError(f"cannot sample {size} from population {population}")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    weights = zipf_weights(population, exponent)
+    return rng.choice(population, size=size, replace=False, p=weights)

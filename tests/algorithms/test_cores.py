@@ -1,0 +1,57 @@
+"""k-core decomposition tests against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.cores import core_numbers, k_core
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+
+
+def _from_nx(oracle: nx.Graph) -> Graph:
+    graph = Graph()
+    graph.add_nodes_from(oracle.nodes)
+    graph.add_edges_from(oracle.edges)
+    return graph
+
+
+class TestCoreNumbers:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        oracle = nx.gnp_random_graph(60, 0.08, seed=seed)
+        assert core_numbers(_from_nx(oracle)) == nx.core_number(oracle)
+
+    def test_clique_core(self):
+        assert set(core_numbers(_from_nx(nx.complete_graph(5))).values()) == {4}
+
+    def test_path_graph(self):
+        cores = core_numbers(_from_nx(nx.path_graph(5)))
+        assert set(cores.values()) == {1}
+
+    def test_isolated_vertex_core_zero(self):
+        graph = Graph([(1, 2)])
+        graph.add_node(3)
+        assert core_numbers(graph)[3] == 0
+
+    def test_directed_uses_total_degree(self):
+        graph = DiGraph([(1, 2), (2, 3), (3, 1)])
+        assert set(core_numbers(graph).values()) == {2}
+
+    def test_empty_graph(self):
+        assert core_numbers(Graph()) == {}
+
+
+class TestKCore:
+    def test_k_core_of_two_cliques(self, two_cliques_graph):
+        # Both 4-cliques form the 3-core; the bridge does not change that.
+        assert k_core(two_cliques_graph, 3) == set(range(8))
+        assert k_core(two_cliques_graph, 4) == set()
+
+    def test_k_core_matches_networkx(self):
+        oracle = nx.gnp_random_graph(50, 0.15, seed=4)
+        graph = _from_nx(oracle)
+        for k in (1, 2, 3):
+            assert k_core(graph, k) == set(nx.k_core(oracle, k).nodes)
+
+    def test_k_zero_is_everything(self, triangle_graph):
+        assert k_core(triangle_graph, 0) == {1, 2, 3, 4}

@@ -1,0 +1,110 @@
+"""Degree statistics, reciprocity and assortativity tests."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.degrees import (
+    average_degree,
+    average_in_degree,
+    average_out_degree,
+    degree_assortativity,
+    degree_histogram,
+    degree_sequence,
+    in_degree_sequence,
+    out_degree_sequence,
+    reciprocity,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+
+
+class TestSequences:
+    def test_degree_sequence_undirected(self, triangle_graph):
+        assert sorted(degree_sequence(triangle_graph)) == [1, 2, 2, 3]
+
+    def test_degree_sequence_directed_total(self, small_digraph):
+        assert sorted(degree_sequence(small_digraph)) == [1, 2, 2, 3]
+
+    def test_in_out_sequences(self, small_digraph):
+        assert in_degree_sequence(small_digraph).sum() == 4
+        assert out_degree_sequence(small_digraph).sum() == 4
+
+    def test_in_sequence_requires_directed(self, triangle_graph):
+        with pytest.raises(ValueError):
+            in_degree_sequence(triangle_graph)
+        with pytest.raises(ValueError):
+            out_degree_sequence(triangle_graph)
+
+    def test_histogram(self, triangle_graph):
+        histogram = degree_histogram(degree_sequence(triangle_graph))
+        assert histogram == {1: 1, 2: 2, 3: 1}
+
+
+class TestAverages:
+    def test_average_degree_undirected(self, triangle_graph):
+        assert average_degree(triangle_graph) == pytest.approx(2.0)
+
+    def test_average_degree_directed_counts_both_endpoints(self, small_digraph):
+        assert average_degree(small_digraph) == pytest.approx(2.0)
+
+    def test_average_in_out_equal(self, small_digraph):
+        assert average_in_degree(small_digraph) == average_out_degree(small_digraph)
+        assert average_in_degree(small_digraph) == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        assert average_degree(Graph()) == 0.0
+        assert average_in_degree(DiGraph()) == 0.0
+
+    def test_requires_directed(self, triangle_graph):
+        with pytest.raises(ValueError):
+            average_in_degree(triangle_graph)
+
+
+class TestReciprocity:
+    def test_fully_reciprocal(self):
+        graph = DiGraph([(1, 2), (2, 1), (2, 3), (3, 2)])
+        assert reciprocity(graph) == 1.0
+
+    def test_no_reciprocity(self):
+        graph = DiGraph([(1, 2), (2, 3)])
+        assert reciprocity(graph) == 0.0
+
+    def test_partial(self, small_digraph):
+        assert reciprocity(small_digraph) == pytest.approx(0.5)
+
+    def test_matches_networkx(self):
+        oracle = nx.gnp_random_graph(30, 0.1, seed=2, directed=True)
+        graph = DiGraph()
+        graph.add_nodes_from(oracle.nodes)
+        graph.add_edges_from(oracle.edges)
+        assert reciprocity(graph) == pytest.approx(nx.reciprocity(oracle))
+
+    def test_empty_graph_zero(self):
+        assert reciprocity(DiGraph()) == 0.0
+
+    def test_requires_directed(self, triangle_graph):
+        with pytest.raises(ValueError):
+            reciprocity(triangle_graph)
+
+
+class TestAssortativity:
+    def test_matches_networkx_undirected(self):
+        oracle = nx.gnp_random_graph(60, 0.08, seed=3)
+        graph = Graph()
+        graph.add_nodes_from(oracle.nodes)
+        graph.add_edges_from(oracle.edges)
+        assert degree_assortativity(graph) == pytest.approx(
+            nx.degree_assortativity_coefficient(oracle), abs=1e-9
+        )
+
+    def test_star_is_disassortative(self):
+        graph = Graph([(0, i) for i in range(1, 8)])
+        assert degree_assortativity(graph) < 0
+
+    def test_constant_degree_graph_returns_zero(self):
+        cycle = Graph([(i, (i + 1) % 6) for i in range(6)])
+        assert degree_assortativity(cycle) == 0.0
+
+    def test_empty_graph_returns_zero(self):
+        assert degree_assortativity(Graph()) == 0.0

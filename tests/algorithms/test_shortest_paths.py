@@ -1,0 +1,126 @@
+"""Diameter / average-shortest-path tests against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.shortest_paths import (
+    average_shortest_path,
+    diameter,
+    distance_distribution,
+    double_sweep_lower_bound,
+    eccentricity,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+
+
+def _from_nx(oracle: nx.Graph) -> Graph:
+    graph = Graph()
+    graph.add_nodes_from(oracle.nodes)
+    graph.add_edges_from(oracle.edges)
+    return graph
+
+
+class TestDiameter:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_networkx_on_random_graphs(self, seed):
+        oracle = nx.gnp_random_graph(50, 0.08, seed=seed)
+        giant = oracle.subgraph(max(nx.connected_components(oracle), key=len))
+        assert diameter(_from_nx(oracle), seed=seed) == nx.diameter(giant)
+
+    def test_path_graph(self):
+        assert diameter(_from_nx(nx.path_graph(10))) == 9
+
+    def test_cycle_graph(self):
+        assert diameter(_from_nx(nx.cycle_graph(11))) == 5
+
+    def test_star_graph(self):
+        assert diameter(_from_nx(nx.star_graph(9))) == 2
+
+    def test_complete_graph(self):
+        assert diameter(_from_nx(nx.complete_graph(6))) == 1
+
+    def test_single_node(self):
+        graph = Graph()
+        graph.add_node(0)
+        assert diameter(graph) == 0
+
+    def test_uses_largest_component(self):
+        graph = _from_nx(nx.path_graph(6))
+        graph.add_edge("a", "b")  # small second component
+        assert diameter(graph) == 5
+
+    def test_directed_uses_undirected_skeleton(self):
+        graph = DiGraph([(0, 1), (1, 2), (2, 3)])
+        assert diameter(graph) == 3
+
+    def test_accepts_csr(self, triangle_graph):
+        assert diameter(CSRGraph(triangle_graph)) == 2
+
+
+class TestEccentricityAndBounds:
+    def test_eccentricity_matches_networkx(self):
+        oracle = nx.path_graph(8)
+        graph = _from_nx(oracle)
+        csr = CSRGraph(graph)
+        for node in oracle:
+            assert eccentricity(csr, csr.index_of[node]) == nx.eccentricity(
+                oracle, node
+            )
+
+    def test_double_sweep_is_lower_bound(self):
+        oracle = nx.gnp_random_graph(60, 0.07, seed=7)
+        giant = oracle.subgraph(max(nx.connected_components(oracle), key=len))
+        graph = _from_nx(giant)
+        bound, endpoint = double_sweep_lower_bound(CSRGraph(graph), seed=0)
+        assert bound <= nx.diameter(giant)
+        assert 0 <= endpoint < graph.number_of_nodes()
+
+    def test_double_sweep_exact_on_path(self):
+        graph = _from_nx(nx.path_graph(12))
+        bound, _ = double_sweep_lower_bound(CSRGraph(graph), seed=0)
+        assert bound == 11
+
+
+class TestAverageShortestPath:
+    def test_exact_matches_networkx(self):
+        oracle = nx.gnp_random_graph(40, 0.1, seed=5)
+        giant = oracle.subgraph(max(nx.connected_components(oracle), key=len))
+        ours = average_shortest_path(_from_nx(oracle), sample_sources=None)
+        theirs = nx.average_shortest_path_length(giant)
+        assert ours == pytest.approx(theirs, rel=1e-9)
+
+    def test_sampled_estimate_is_close(self):
+        oracle = nx.gnp_random_graph(120, 0.06, seed=6)
+        giant = oracle.subgraph(max(nx.connected_components(oracle), key=len))
+        estimate = average_shortest_path(
+            _from_nx(oracle), sample_sources=60, seed=0
+        )
+        exact = nx.average_shortest_path_length(giant)
+        assert estimate == pytest.approx(exact, rel=0.1)
+
+    def test_single_node_is_zero(self):
+        graph = Graph()
+        graph.add_node(1)
+        assert average_shortest_path(graph) == 0.0
+
+    def test_invalid_sample_count(self, triangle_graph):
+        with pytest.raises(ValueError):
+            average_shortest_path(triangle_graph, sample_sources=0)
+
+
+class TestDistanceDistribution:
+    def test_path_graph_distribution(self):
+        histogram = distance_distribution(_from_nx(nx.path_graph(4)))
+        # ordered pairs at each distance: d=1 -> 6, d=2 -> 4, d=3 -> 2
+        assert histogram == {1: 6, 2: 4, 3: 2}
+
+    def test_empty_for_single_node(self):
+        graph = Graph()
+        graph.add_node(0)
+        assert distance_distribution(graph) == {}
+
+    def test_invalid_sample_count(self, triangle_graph):
+        with pytest.raises(ValueError):
+            distance_distribution(triangle_graph, sample_sources=-1)

@@ -1,0 +1,134 @@
+"""Traversal tests, cross-checked against networkx where useful."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.traversal import (
+    bfs_layers,
+    bfs_order,
+    connected_components,
+    csr_bfs_distances,
+    csr_connected_components,
+    dfs_order,
+    is_connected,
+    largest_connected_component,
+)
+from repro.exceptions import NodeNotFound
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+
+
+def _random_graph(seed: int, n: int = 60, p: float = 0.05) -> tuple[Graph, nx.Graph]:
+    oracle = nx.gnp_random_graph(n, p, seed=seed)
+    graph = Graph()
+    graph.add_nodes_from(oracle.nodes)
+    graph.add_edges_from(oracle.edges)
+    return graph, oracle
+
+
+class TestBFS:
+    def test_bfs_order_visits_component(self, triangle_graph):
+        order = bfs_order(triangle_graph, 1)
+        assert set(order) == {1, 2, 3, 4}
+        assert order[0] == 1
+
+    def test_bfs_layers_distances(self, triangle_graph):
+        layers = list(bfs_layers(triangle_graph, 1))
+        assert layers[0] == [1]
+        assert set(layers[1]) == {2, 3}
+        assert layers[2] == [4]
+
+    def test_bfs_missing_source_raises(self, triangle_graph):
+        with pytest.raises(NodeNotFound):
+            bfs_order(triangle_graph, 404)
+
+    def test_bfs_ignores_direction(self):
+        graph = DiGraph([(1, 2), (3, 2)])
+        assert set(bfs_order(graph, 1)) == {1, 2, 3}
+
+    def test_dfs_reaches_component(self, triangle_graph):
+        assert set(dfs_order(triangle_graph, 2)) == {1, 2, 3, 4}
+
+    def test_dfs_missing_source_raises(self, triangle_graph):
+        with pytest.raises(NodeNotFound):
+            dfs_order(triangle_graph, 404)
+
+
+class TestComponents:
+    def test_single_component(self, triangle_graph):
+        components = connected_components(triangle_graph)
+        assert len(components) == 1
+        assert components[0] == {1, 2, 3, 4}
+
+    def test_multiple_components_sorted_by_size(self):
+        graph = Graph([(1, 2), (2, 3), (10, 11)])
+        graph.add_node(99)
+        components = connected_components(graph)
+        assert [len(c) for c in components] == [3, 2, 1]
+
+    def test_directed_weak_components(self):
+        graph = DiGraph([(1, 2), (3, 4)])
+        assert len(connected_components(graph)) == 2
+
+    def test_matches_networkx(self):
+        graph, oracle = _random_graph(seed=1)
+        ours = sorted(len(c) for c in connected_components(graph))
+        theirs = sorted(len(c) for c in nx.connected_components(oracle))
+        assert ours == theirs
+
+    def test_largest_component(self):
+        graph = Graph([(1, 2), (2, 3), (10, 11)])
+        assert largest_connected_component(graph) == {1, 2, 3}
+
+    def test_largest_component_empty_graph(self):
+        assert largest_connected_component(Graph()) == set()
+
+    def test_is_connected(self, triangle_graph):
+        assert is_connected(triangle_graph)
+        triangle_graph.add_node(99)
+        assert not is_connected(triangle_graph)
+
+    def test_empty_graph_not_connected(self):
+        assert not is_connected(Graph())
+
+
+class TestCSRKernels:
+    def test_bfs_distances_match_networkx(self):
+        graph, oracle = _random_graph(seed=2)
+        csr = CSRGraph(graph)
+        source_label = next(iter(graph))
+        source = csr.index_of[source_label]
+        distances = csr_bfs_distances(csr, source)
+        oracle_distances = nx.single_source_shortest_path_length(
+            oracle, source_label
+        )
+        for label, vertex in csr.index_of.items():
+            expected = oracle_distances.get(label, -1)
+            assert distances[vertex] == expected
+
+    def test_bfs_unreachable_is_minus_one(self):
+        graph = Graph([(1, 2)])
+        graph.add_node(3)
+        csr = CSRGraph(graph)
+        distances = csr_bfs_distances(csr, csr.index_of[1])
+        assert distances[csr.index_of[3]] == -1
+
+    def test_bfs_bad_source_raises(self, triangle_graph):
+        csr = CSRGraph(triangle_graph)
+        with pytest.raises(NodeNotFound):
+            csr_bfs_distances(csr, 99)
+
+    def test_component_labels(self):
+        graph = Graph([(1, 2), (3, 4)])
+        csr = CSRGraph(graph)
+        labels = csr_connected_components(csr)
+        assert labels[csr.index_of[1]] == labels[csr.index_of[2]]
+        assert labels[csr.index_of[3]] == labels[csr.index_of[4]]
+        assert labels[csr.index_of[1]] != labels[csr.index_of[3]]
+
+    def test_component_count_matches(self):
+        graph, oracle = _random_graph(seed=3, p=0.02)
+        labels = csr_connected_components(CSRGraph(graph))
+        assert len(np.unique(labels)) == nx.number_connected_components(oracle)

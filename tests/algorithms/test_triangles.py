@@ -1,0 +1,106 @@
+"""Triangle counting and clustering-coefficient tests against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.triangles import (
+    average_clustering,
+    clustering_values,
+    local_clustering,
+    transitivity,
+    triangles_per_vertex,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+
+
+def _from_nx(oracle: nx.Graph) -> Graph:
+    graph = Graph()
+    graph.add_nodes_from(oracle.nodes)
+    graph.add_edges_from(oracle.edges)
+    return graph
+
+
+class TestTriangleCounts:
+    def test_single_triangle(self, triangle_graph):
+        csr = CSRGraph(triangle_graph)
+        counts = triangles_per_vertex(csr)
+        by_label = {csr.nodes[i]: counts[i] for i in range(len(counts))}
+        assert by_label == {1: 1, 2: 1, 3: 1, 4: 0}
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        oracle = nx.gnp_random_graph(50, 0.1, seed=seed)
+        graph = _from_nx(oracle)
+        csr = CSRGraph(graph)
+        counts = triangles_per_vertex(csr)
+        expected = nx.triangles(oracle)
+        for label, vertex in csr.index_of.items():
+            assert counts[vertex] == expected[label]
+
+    def test_subset_of_vertices(self, triangle_graph):
+        csr = CSRGraph(triangle_graph)
+        subset = [csr.index_of[3], csr.index_of[4]]
+        counts = triangles_per_vertex(csr, subset)
+        assert list(counts) == [1, 0]
+
+    def test_directed_uses_union_skeleton(self):
+        # 1->2, 2->3, 3->1 is a directed cycle: one undirected triangle.
+        graph = DiGraph([(1, 2), (2, 3), (3, 1)])
+        counts = triangles_per_vertex(graph)
+        assert list(counts) == [1, 1, 1]
+
+
+class TestClustering:
+    def test_local_values_match_networkx(self):
+        oracle = nx.gnp_random_graph(40, 0.15, seed=3)
+        graph = _from_nx(oracle)
+        csr = CSRGraph(graph)
+        expected = nx.clustering(oracle)
+        for label, vertex in csr.index_of.items():
+            assert local_clustering(csr, vertex) == pytest.approx(expected[label])
+
+    def test_average_matches_networkx(self):
+        oracle = nx.gnp_random_graph(40, 0.15, seed=4)
+        ours = average_clustering(_from_nx(oracle))
+        theirs = nx.average_clustering(oracle)
+        assert ours == pytest.approx(theirs)
+
+    def test_degenerate_vertices_score_zero(self):
+        graph = Graph([(1, 2)])
+        values = clustering_values(graph)
+        assert list(values) == [0.0, 0.0]
+
+    def test_exclude_degenerate(self, triangle_graph):
+        values = clustering_values(triangle_graph, include_degenerate=False)
+        assert len(values) == 3  # node 4 has degree 1
+
+    def test_sampled_values_subset(self, triangle_graph):
+        values = clustering_values(triangle_graph, sample=2, seed=0)
+        assert len(values) == 2
+
+    def test_sample_zero_rejected(self, triangle_graph):
+        with pytest.raises(ValueError):
+            clustering_values(triangle_graph, sample=0)
+
+    def test_complete_graph_is_one(self):
+        assert average_clustering(_from_nx(nx.complete_graph(5))) == 1.0
+
+    def test_empty_graph_is_zero(self):
+        assert average_clustering(Graph()) == 0.0
+
+
+class TestTransitivity:
+    def test_matches_networkx(self):
+        oracle = nx.gnp_random_graph(40, 0.15, seed=5)
+        assert transitivity(_from_nx(oracle)) == pytest.approx(
+            nx.transitivity(oracle)
+        )
+
+    def test_triangle_free_graph_zero(self):
+        assert transitivity(_from_nx(nx.path_graph(5))) == 0.0
+
+    def test_empty_graph_zero(self):
+        assert transitivity(Graph()) == 0.0

@@ -1,0 +1,66 @@
+"""Empirical CDF tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import EmpiricalCDF
+
+
+class TestEmpiricalCDF:
+    def test_step_values(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == 0.25
+        assert cdf(2.5) == 0.5
+        assert cdf(4.0) == 1.0
+        assert cdf(99.0) == 1.0
+
+    def test_non_finite_dropped(self):
+        cdf = EmpiricalCDF([1.0, float("inf"), float("nan"), 2.0])
+        assert len(cdf) == 2
+
+    def test_empty(self):
+        cdf = EmpiricalCDF([])
+        assert len(cdf) == 0
+        assert cdf(1.0) == 0.0
+        assert cdf.mean == 0.0
+        assert cdf.median == 0.0
+        with pytest.raises(ValueError):
+            cdf.quantile(0.5)
+
+    def test_quantile(self):
+        cdf = EmpiricalCDF(range(101))
+        assert cdf.quantile(0.5) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_mean_median(self):
+        cdf = EmpiricalCDF([1, 2, 3, 10])
+        assert cdf.mean == pytest.approx(4.0)
+        assert cdf.median == pytest.approx(2.5)
+
+    def test_fraction_above(self):
+        cdf = EmpiricalCDF([0.1, 0.5, 0.95, 0.99])
+        assert cdf.fraction_above(0.9) == pytest.approx(0.5)
+        assert cdf.fraction_above(2.0) == 0.0
+
+    def test_series_monotone(self):
+        rng = np.random.default_rng(0)
+        cdf = EmpiricalCDF(rng.normal(size=500))
+        xs, ys = cdf.series(points=40)
+        assert len(xs) == 40
+        assert (np.diff(ys) >= 0).all()
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_series_constant_sample(self):
+        xs, ys = EmpiricalCDF([5.0, 5.0]).series()
+        assert list(xs) == [5.0]
+        assert list(ys) == [1.0]
+
+    def test_series_empty(self):
+        xs, ys = EmpiricalCDF([]).series()
+        assert len(xs) == 0
+        assert len(ys) == 0
+
+    def test_label_in_repr(self):
+        assert "conductance" in repr(EmpiricalCDF([1.0], label="conductance"))

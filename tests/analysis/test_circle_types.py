@@ -1,0 +1,182 @@
+"""Fang-et-al. circle classification tests."""
+
+import pytest
+
+from repro.analysis.circle_types import circle_features, classify_circles
+from repro.data.groups import Circle, GroupSet
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+
+
+def _community_circle_graph():
+    """Owner 0 with a dense, fully reciprocated circle {1, 2, 3}."""
+    graph = DiGraph()
+    for member in (1, 2, 3):
+        graph.add_edge(0, member)
+        graph.add_edge(member, 0)
+    for u in (1, 2, 3):
+        for v in (1, 2, 3):
+            if u != v:
+                graph.add_edge(u, v)
+    return graph
+
+
+def _celebrity_circle_graph():
+    """Owner 0 follows stars {1, 2, 3} who don't follow back or connect,
+    but have huge in-degree from fans."""
+    graph = DiGraph()
+    for star in (1, 2, 3):
+        graph.add_edge(0, star)
+        for fan in range(10, 40):
+            graph.add_edge(fan, star)
+    return graph
+
+
+class TestCircleFeatures:
+    def test_community_circle_features(self):
+        graph = _community_circle_graph()
+        circle = Circle(name="friends", members=frozenset({1, 2, 3}), owner=0)
+        features = circle_features(graph, circle)
+        assert features.internal_density == 1.0
+        assert features.owner_reciprocity == 1.0
+        assert features.size == 3
+
+    def test_celebrity_circle_features(self):
+        graph = _celebrity_circle_graph()
+        circle = Circle(name="stars", members=frozenset({1, 2, 3}), owner=0)
+        features = circle_features(graph, circle)
+        assert features.internal_density == 0.0
+        assert features.owner_reciprocity == 0.0
+        assert features.mean_member_in_degree > 20
+
+    def test_missing_members_ignored(self):
+        graph = _community_circle_graph()
+        circle = Circle(name="c", members=frozenset({1, 2, 999}), owner=0)
+        assert circle_features(graph, circle).size == 2
+
+    def test_all_members_missing_raises(self):
+        graph = _community_circle_graph()
+        circle = Circle(name="c", members=frozenset({777}), owner=0)
+        with pytest.raises(ValueError):
+            circle_features(graph, circle)
+
+    def test_undirected_graph_supported(self):
+        graph = Graph([(0, 1), (0, 2), (1, 2)])
+        circle = Circle(name="c", members=frozenset({1, 2}), owner=0)
+        features = circle_features(graph, circle)
+        assert features.internal_density == 1.0
+        assert features.owner_reciprocity == 1.0
+
+    def test_absent_owner_zero_reciprocity(self):
+        graph = Graph([(1, 2)])
+        circle = Circle(name="c", members=frozenset({1, 2}), owner=None)
+        assert circle_features(graph, circle).owner_reciprocity == 0.0
+
+    def test_as_row_keys(self):
+        graph = _community_circle_graph()
+        circle = Circle(name="friends", members=frozenset({1, 2, 3}), owner=0)
+        row = circle_features(graph, circle).as_row()
+        assert set(row) == {
+            "circle",
+            "size",
+            "internal_density",
+            "owner_reciprocity",
+            "mean_in_degree",
+        }
+
+
+class TestClassifyCircles:
+    def _mixed_graph_and_circles(self):
+        graph = DiGraph()
+        circles = []
+        # Three community circles: dense reciprocated blocks.
+        for block in range(3):
+            owner = 1000 + block
+            members = [block * 10 + i for i in range(1, 6)]
+            for member in members:
+                graph.add_edge(owner, member)
+                graph.add_edge(member, owner)
+            for u in members:
+                for v in members:
+                    if u != v:
+                        graph.add_edge(u, v)
+            circles.append(
+                Circle(
+                    name=f"community{block}",
+                    members=frozenset(members),
+                    owner=owner,
+                )
+            )
+        # Two celebrity circles: disconnected stars with fan mass.
+        for block in range(2):
+            owner = 2000 + block
+            stars = [500 + block * 10 + i for i in range(3)]
+            for star in stars:
+                graph.add_edge(owner, star)
+                for fan in range(3000 + 100 * block, 3040 + 100 * block):
+                    graph.add_edge(fan, star)
+            circles.append(
+                Circle(
+                    name=f"celebrity{block}",
+                    members=frozenset(stars),
+                    owner=owner,
+                )
+            )
+        return graph, GroupSet(groups=circles)
+
+    def test_threshold_method(self):
+        graph, circles = self._mixed_graph_and_circles()
+        classification = classify_circles(graph, circles, method="threshold")
+        assert set(classification.of_kind("celebrity")) == {
+            "celebrity0",
+            "celebrity1",
+        }
+        assert len(classification.of_kind("community")) == 3
+
+    def test_kmeans_method(self):
+        graph, circles = self._mixed_graph_and_circles()
+        classification = classify_circles(graph, circles, method="kmeans", seed=0)
+        assert set(classification.of_kind("celebrity")) == {
+            "celebrity0",
+            "celebrity1",
+        }
+
+    def test_unknown_method_rejected(self):
+        graph, circles = self._mixed_graph_and_circles()
+        with pytest.raises(ValueError):
+            classify_circles(graph, circles, method="bogus")
+
+    def test_single_circle_defaults_to_community(self):
+        graph = _community_circle_graph()
+        circles = [Circle(name="only", members=frozenset({1, 2, 3}), owner=0)]
+        classification = classify_circles(graph, circles, method="kmeans")
+        assert classification.labels == {"only": "community"}
+
+    def test_summary_counts(self):
+        graph, circles = self._mixed_graph_and_circles()
+        summary = classify_circles(graph, circles, method="threshold").summary()
+        assert summary["community_count"] == 3
+        assert summary["celebrity_count"] == 2
+        assert summary["celebrity_mean_in_degree"] > summary[
+            "community_mean_in_degree"
+        ]
+
+    def test_recovers_generator_ground_truth(self, small_circles_dataset):
+        """The synthetic generator labels its celebrity circles; the
+        classifier should recover most of them by popularity."""
+        truth = {
+            group.name
+            for group in small_circles_dataset.groups
+            if group.name.endswith("/celebrities")
+        }
+        if not truth:
+            pytest.skip("no celebrity circles in this seed")
+        classification = classify_circles(
+            small_circles_dataset.graph,
+            small_circles_dataset.groups,
+            method="kmeans",
+            seed=0,
+        )
+        predicted = set(classification.of_kind("celebrity"))
+        recovered = len(truth & predicted) / len(truth)
+        assert recovered >= 0.5

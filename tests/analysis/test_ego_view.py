@@ -1,0 +1,73 @@
+"""Ego-centred view tests (paper section VI future work)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ego_view import ego_centered_scores
+from repro.scoring import make_function
+
+
+class TestEgoCenteredScores:
+    @pytest.fixture(scope="class")
+    def result(self, small_ego_collection):
+        return ego_centered_scores(small_ego_collection)
+
+    def test_alignment(self, result):
+        assert len(result.circle_names) == len(result.owners)
+        for name in result.function_names():
+            assert len(result.local[name]) == len(result)
+            assert len(result.global_[name]) == len(result)
+
+    def test_paper_functions_by_default(self, result):
+        assert result.function_names() == [
+            "average_degree",
+            "ratio_cut",
+            "conductance",
+            "modularity",
+        ]
+
+    def test_owner_prefix_in_names(self, result):
+        for name, owner in zip(result.circle_names, result.owners):
+            assert name.startswith(f"{owner}/")
+
+    def test_circles_more_confined_locally(self, result):
+        """The ego-centred refinement: conductance drops when a circle is
+        evaluated inside its owner's world only."""
+        gains = result.confinement_gain()
+        assert gains["conductance_drop_median"] > 0.0
+        assert gains["circles_more_confined_locally"] > 0.6
+
+    def test_local_ratio_cut_larger_than_global(self, result):
+        """Ratio Cut divides by n_C (n - n_C): the tiny ego graph makes the
+        normalization much smaller, so local values exceed global ones."""
+        local = result.local["ratio_cut"]
+        global_ = result.global_["ratio_cut"]
+        assert np.median(local) > np.median(global_)
+
+    def test_cdf_pair_labels(self, result):
+        local, global_ = result.cdf_pair("conductance")
+        assert local.label == "ego-local"
+        assert global_.label == "global"
+
+    def test_summary_keys(self, result):
+        summary = result.summary()
+        for row in summary.values():
+            assert set(row) == {"local_median", "global_median"}
+
+    def test_reusing_joined_graph_matches(self, small_ego_collection):
+        joined = small_ego_collection.join()
+        direct = ego_centered_scores(small_ego_collection)
+        reused = ego_centered_scores(small_ego_collection, joined=joined)
+        for name in direct.function_names():
+            assert (direct.global_[name] == reused.global_[name]).all()
+
+    def test_custom_functions(self, small_ego_collection):
+        result = ego_centered_scores(
+            small_ego_collection, functions=[make_function("expansion")]
+        )
+        assert result.function_names() == ["expansion"]
+
+    def test_min_group_size_filter(self, small_ego_collection):
+        loose = ego_centered_scores(small_ego_collection, min_group_size=2)
+        strict = ego_centered_scores(small_ego_collection, min_group_size=8)
+        assert len(strict) <= len(loose)

@@ -1,0 +1,69 @@
+"""Report-rendering tests."""
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.report import render_cdf_panel, render_kv, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(
+            [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_column_selection_and_missing_cells(self):
+        text = render_table([{"a": 1}], columns=["a", "z"])
+        assert "z" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in render_table([], title="empty")
+
+    def test_float_formatting(self):
+        text = render_table([{"v": 0.000012345}, {"v": 123456.0}])
+        assert "1.23e-05" in text
+        assert "1.23e+05" in text
+
+
+class TestRenderKV:
+    def test_alignment(self):
+        text = render_kv({"short": 1, "a_longer_key": 2.5})
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty(self):
+        assert "(empty)" in render_kv({})
+
+
+class TestRenderCdfPanel:
+    def test_two_series_with_legend(self):
+        panel = render_cdf_panel(
+            {
+                "circles": EmpiricalCDF([0.9, 0.92, 0.95]),
+                "random": EmpiricalCDF([0.1, 0.2, 0.3]),
+            },
+            title="Fig",
+            width=30,
+            height=8,
+        )
+        assert panel.startswith("Fig")
+        assert "*=circles" in panel
+        assert "o=random" in panel
+        assert "1.0 |" in panel
+        assert "0.0 |" in panel
+
+    def test_log_axis(self):
+        panel = render_cdf_panel(
+            {"s": EmpiricalCDF([1, 10, 100, 1000])}, log_x=True
+        )
+        assert "(log)" in panel
+
+    def test_empty_series_skipped(self):
+        panel = render_cdf_panel({"empty": EmpiricalCDF([])})
+        assert "(no data)" in panel
+
+    def test_constant_series(self):
+        panel = render_cdf_panel({"c": EmpiricalCDF([2.0, 2.0])}, width=10)
+        assert "x: [2, 2]" in panel

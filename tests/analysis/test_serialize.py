@@ -1,0 +1,95 @@
+"""Serialization tests for experiment results."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.characterization import characterize
+from repro.analysis.ego_view import ego_centered_scores
+from repro.analysis.experiment import circles_vs_random
+from repro.analysis.overlap import analyze_overlap
+from repro.analysis.robustness import directed_vs_undirected
+from repro.analysis.serialize import (
+    result_to_dict,
+    save_result,
+    score_table_from_dict,
+    score_table_to_dict,
+)
+from repro.scoring.registry import score_groups
+
+
+class TestScoreTableRoundTrip:
+    def test_lossless(self, small_circles_dataset):
+        table = score_groups(
+            small_circles_dataset.graph, small_circles_dataset.groups
+        )
+        rebuilt = score_table_from_dict(score_table_to_dict(table))
+        assert rebuilt.group_names == table.group_names
+        assert rebuilt.group_sizes == table.group_sizes
+        for name in table.function_names():
+            np.testing.assert_allclose(rebuilt.scores(name), table.scores(name))
+
+    def test_json_serializable(self, small_circles_dataset):
+        table = score_groups(
+            small_circles_dataset.graph, small_circles_dataset.groups
+        )
+        text = json.dumps(result_to_dict(table))
+        assert "score_table" in text
+
+
+class TestResultToDict:
+    def test_characterization(self, small_circles_dataset):
+        result = characterize(
+            small_circles_dataset,
+            asp_sample_sources=30,
+            clustering_sample=200,
+            seed=0,
+        )
+        data = result_to_dict(result)
+        assert data["kind"] == "characterization"
+        assert data["vertices"] == small_circles_dataset.graph.number_of_nodes()
+        assert "degree_fit" in data
+        json.dumps(data, default=float)
+
+    def test_overlap(self, small_ego_collection):
+        data = result_to_dict(analyze_overlap(small_ego_collection))
+        assert data["kind"] == "overlap"
+        assert sum(data["membership_histogram"].values()) == data["vertices"]
+        json.dumps(data)
+
+    def test_circles_vs_random(self, small_circles_dataset):
+        result = circles_vs_random(small_circles_dataset, seed=0)
+        data = result_to_dict(result)
+        assert data["kind"] == "circles_vs_random"
+        assert data["sampler"] == "random_walk"
+        assert set(data["separation_summary"]) == set(result.function_names())
+        json.dumps(data)
+
+    def test_robustness(self, small_circles_dataset):
+        result = directed_vs_undirected(small_circles_dataset)
+        data = result_to_dict(result)
+        assert data["kind"] == "robustness"
+        assert "overall_relative_deviation" in data["summary"]
+        json.dumps(data)
+
+    def test_ego_view(self, small_ego_collection):
+        result = ego_centered_scores(small_ego_collection)
+        data = result_to_dict(result)
+        assert data["kind"] == "ego_view"
+        assert len(data["circle_names"]) == len(data["owners"])
+        json.dumps(data)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            result_to_dict("not a result")
+
+
+class TestSaveResult:
+    def test_writes_valid_json(self, tmp_path, small_circles_dataset):
+        result = circles_vs_random(small_circles_dataset, seed=0)
+        path = save_result(result, tmp_path / "out" / "result.json")
+        assert path.exists()
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["kind"] == "circles_vs_random"

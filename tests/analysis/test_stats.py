@@ -1,0 +1,98 @@
+"""Two-sample statistics tests, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.analysis.stats import ks_two_sample, mann_whitney_u, separation_report
+
+
+@pytest.fixture(scope="module")
+def shifted_samples():
+    rng = np.random.default_rng(0)
+    return rng.normal(0.0, 1.0, 300), rng.normal(0.6, 1.0, 250)
+
+
+@pytest.fixture(scope="module")
+def identical_samples():
+    rng = np.random.default_rng(1)
+    return rng.normal(0.0, 1.0, 200), rng.normal(0.0, 1.0, 200)
+
+
+class TestKSTwoSample:
+    def test_statistic_matches_scipy(self, shifted_samples):
+        a, b = shifted_samples
+        ours = ks_two_sample(a, b)
+        theirs = scipy.stats.ks_2samp(a, b)
+        assert ours.statistic == pytest.approx(theirs.statistic, abs=1e-12)
+
+    def test_p_value_close_to_scipy(self, shifted_samples):
+        a, b = shifted_samples
+        ours = ks_two_sample(a, b)
+        theirs = scipy.stats.ks_2samp(a, b, method="asymp")
+        assert ours.p_value == pytest.approx(theirs.pvalue, abs=0.02)
+
+    def test_detects_shift(self, shifted_samples):
+        assert ks_two_sample(*shifted_samples).significant
+
+    def test_identical_distributions_not_significant(self, identical_samples):
+        assert not ks_two_sample(*identical_samples).significant
+
+    def test_symmetry(self, shifted_samples):
+        a, b = shifted_samples
+        assert ks_two_sample(a, b).statistic == ks_two_sample(b, a).statistic
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_two_sample([], [1.0])
+
+    def test_non_finite_dropped(self):
+        result = ks_two_sample([1, 2, float("inf")], [1, 2, float("nan")])
+        assert result.statistic == 0.0
+
+
+class TestMannWhitney:
+    def test_p_value_matches_scipy(self, shifted_samples):
+        a, b = shifted_samples
+        ours = mann_whitney_u(a, b)
+        theirs = scipy.stats.mannwhitneyu(a, b, alternative="two-sided")
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=0.05, abs=1e-6)
+
+    def test_effect_size_direction(self, shifted_samples):
+        a, b = shifted_samples  # b is shifted upward
+        result = mann_whitney_u(a, b)
+        assert result.statistic < 0.5  # P(a > b) below half
+
+    def test_no_difference(self, identical_samples):
+        result = mann_whitney_u(*identical_samples)
+        assert result.statistic == pytest.approx(0.5, abs=0.1)
+        assert not result.significant
+
+    def test_handles_ties(self):
+        a = [1, 1, 1, 2, 2, 3]
+        b = [1, 2, 2, 3, 3, 3]
+        ours = mann_whitney_u(a, b)
+        theirs = scipy.stats.mannwhitneyu(a, b, alternative="two-sided")
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=0.05)
+
+    def test_constant_samples(self):
+        result = mann_whitney_u([1.0, 1.0], [1.0, 1.0])
+        assert result.p_value == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([1.0], [])
+
+
+class TestSeparationReport:
+    def test_separated_flag(self, shifted_samples):
+        report = separation_report(
+            *shifted_samples, labels=("circles", "random")
+        )
+        assert report["separated"] is True
+        assert "circles_median" in report
+        assert "random_median" in report
+
+    def test_not_separated(self, identical_samples):
+        report = separation_report(*identical_samples)
+        assert report["separated"] is False

@@ -1,0 +1,109 @@
+"""Shared fixtures: small deterministic graphs and reduced-size synthetic
+data sets (unit tests never build the full paper-scale corpora)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import Dataset
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+from repro.synth.community_graph import CommunityGraphConfig, generate_community_graph
+from repro.synth.ego_generator import EgoCollectionConfig, generate_ego_collection
+
+#: A small ego-collection config that keeps unit tests fast (< 1 s).
+SMALL_EGO_CONFIG = EgoCollectionConfig(
+    num_egos=8,
+    pool_size=300,
+    ego_size_median=70.0,
+    ego_size_sigma=0.4,
+    ego_size_max=150,
+    membership_zipf_exponent=0.5,
+    private_alter_fraction=0.4,
+    isolated_ego_probability=0.1,
+    edge_probability=0.2,
+    local_edge_fraction=0.8,
+    reciprocity=0.4,
+    attribute_groups_min=6,
+    attribute_groups_max=9,
+    circles_per_ego_min=2,
+    circles_per_ego_max=3,
+    circle_size_min=4,
+    circle_edge_boost=0.25,
+    celebrity_fraction=0.1,
+    shared_circle_inclusion=0.6,
+    directed=True,
+)
+
+#: A small planted-community config for the same purpose.
+SMALL_COMMUNITY_CONFIG = CommunityGraphConfig(
+    num_nodes=600,
+    num_communities=25,
+    community_size_median=14.0,
+    community_size_sigma=0.5,
+    community_size_min=5,
+    community_size_max=60,
+    internal_degree_median=6.0,
+    internal_degree_sigma=0.5,
+    background_degree=4.0,
+    background_weight_sigma=0.6,
+)
+
+
+@pytest.fixture
+def triangle_graph() -> Graph:
+    """The 4-node graph: triangle 1-2-3 plus pendant edge 3-4."""
+    return Graph([(1, 2), (2, 3), (3, 1), (3, 4)])
+
+
+@pytest.fixture
+def small_digraph() -> DiGraph:
+    """A 4-node digraph with one reciprocal pair and two one-way edges."""
+    return DiGraph([("a", "b"), ("b", "a"), ("b", "c"), ("c", "d")])
+
+
+@pytest.fixture
+def two_cliques_graph() -> Graph:
+    """Two 4-cliques joined by a single bridge edge — a textbook
+    two-community graph."""
+    graph = Graph()
+    left = [0, 1, 2, 3]
+    right = [4, 5, 6, 7]
+    for block in (left, right):
+        for i, u in enumerate(block):
+            for v in block[i + 1 :]:
+                graph.add_edge(u, v)
+    graph.add_edge(3, 4)
+    return graph
+
+
+@pytest.fixture(scope="session")
+def small_ego_collection():
+    """Session-cached small ego-network collection."""
+    return generate_ego_collection(SMALL_EGO_CONFIG, seed=3, name="small-ego")
+
+
+@pytest.fixture(scope="session")
+def small_circles_dataset(small_ego_collection) -> Dataset:
+    """Session-cached circle data set built from the small collection."""
+    return Dataset(
+        name="small-circles",
+        graph=small_ego_collection.join(),
+        groups=small_ego_collection.circles(),
+        structure="circles",
+        ego_collection=small_ego_collection,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_community_dataset() -> Dataset:
+    """Session-cached community data set from the small planted config."""
+    graph, groups = generate_community_graph(
+        SMALL_COMMUNITY_CONFIG, seed=5, name="small-communities"
+    )
+    return Dataset(
+        name="small-communities",
+        graph=graph,
+        groups=groups,
+        structure="communities",
+    )

@@ -1,0 +1,51 @@
+"""Dataset bundle and paper-registry tests."""
+
+from repro.data.datasets import MAGNO_REFERENCE, PAPER_DATASETS, Dataset
+
+
+class TestPaperRegistry:
+    def test_four_corpora(self):
+        assert set(PAPER_DATASETS) == {
+            "google_plus",
+            "twitter",
+            "livejournal",
+            "orkut",
+        }
+
+    def test_table3_published_numbers(self):
+        spec = PAPER_DATASETS["google_plus"]
+        assert spec.vertices == 107_614
+        assert spec.edges == 13_673_453
+        assert spec.num_groups == 468
+        assert spec.directed
+        assert spec.structure == "circles"
+        assert PAPER_DATASETS["orkut"].edges == 117_185_083
+        assert not PAPER_DATASETS["livejournal"].directed
+
+    def test_google_plus_extras(self):
+        extras = PAPER_DATASETS["google_plus"].extras
+        assert extras["num_ego_networks"] == 133
+        assert extras["overlap_fraction"] == 0.935
+        assert extras["mean_clustering"] == 0.4901
+
+    def test_magno_reference(self):
+        assert MAGNO_REFERENCE.diameter == 19
+        assert MAGNO_REFERENCE.average_shortest_path == 5.9
+        assert "power-law" in (MAGNO_REFERENCE.degree_distribution or "")
+
+
+class TestDataset:
+    def test_summary_row(self, small_circles_dataset: Dataset):
+        row = small_circles_dataset.summary_row()
+        assert row["dataset"] == "small-circles"
+        assert row["type"] == "directed"
+        assert row["structure"] == "Circles"
+        assert row["vertices"] == small_circles_dataset.graph.number_of_nodes()
+        assert row["num_groups"] == len(small_circles_dataset.groups)
+
+    def test_directed_flag(self, small_community_dataset: Dataset):
+        assert not small_community_dataset.directed
+        assert small_community_dataset.summary_row()["type"] == "undirected"
+
+    def test_repr_mentions_structure(self, small_circles_dataset: Dataset):
+        assert "circles" in repr(small_circles_dataset)

@@ -1,0 +1,109 @@
+"""Ego-network model tests (Figs. 1-2 machinery)."""
+
+import pytest
+
+from repro.data.ego import EgoNetwork, EgoNetworkCollection
+from repro.data.groups import Circle
+
+
+def _network(ego, alters_edges, circle_members=(), directed=True):
+    circles = (
+        [Circle(name="c0", members=frozenset(circle_members), owner=ego)]
+        if circle_members
+        else []
+    )
+    return EgoNetwork(
+        ego=ego, alter_edges=list(alters_edges), circles=circles, directed=directed
+    )
+
+
+class TestEgoNetwork:
+    def test_alters_from_edges_and_circles(self):
+        network = _network(0, [(1, 2)], circle_members=(3,))
+        assert network.alters == frozenset({1, 2, 3})
+        assert network.vertices == frozenset({0, 1, 2, 3})
+
+    def test_ego_excluded_from_alters(self):
+        network = _network(0, [(0, 1), (1, 2)])
+        assert 0 not in network.alters
+
+    def test_graph_connects_ego_to_all_alters(self):
+        network = _network(9, [(1, 2)], circle_members=(3,))
+        graph = network.graph()
+        assert graph.has_edge(9, 1)
+        assert graph.has_edge(9, 3)
+        assert graph.has_edge(1, 2)
+
+    def test_graph_undirected_variant(self):
+        network = _network(9, [(1, 2)], directed=False)
+        graph = network.graph()
+        assert not graph.is_directed
+        assert graph.has_edge(2, 1)
+
+
+class TestEgoNetworkCollection:
+    def _collection(self):
+        return EgoNetworkCollection(
+            [
+                _network(100, [(1, 2), (2, 3)]),
+                _network(200, [(3, 4)]),  # overlaps via vertex 3
+                _network(300, [(50, 51)]),  # isolated from the others
+            ],
+            name="test",
+        )
+
+    def test_sequence_protocol(self):
+        collection = self._collection()
+        assert len(collection) == 3
+        assert collection[0].ego == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EgoNetworkCollection([])
+
+    def test_duplicate_egos_rejected(self):
+        with pytest.raises(ValueError):
+            EgoNetworkCollection([_network(1, [(2, 3)]), _network(1, [(4, 5)])])
+
+    def test_mixed_directedness_rejected(self):
+        with pytest.raises(ValueError):
+            EgoNetworkCollection(
+                [_network(1, [(2, 3)]), _network(9, [(4, 5)], directed=False)]
+            )
+
+    def test_join_merges_overlapping_networks(self):
+        joined = self._collection().join()
+        # vertex 3 stitches the first two ego networks together
+        assert joined.has_edge(100, 3)
+        assert joined.has_edge(200, 3)
+        assert joined.number_of_nodes() == 9
+
+    def test_membership_counts(self):
+        counts = self._collection().membership_counts()
+        assert counts[3] == 2
+        assert counts[1] == 1
+        assert counts[100] == 1
+
+    def test_membership_histogram(self):
+        histogram = self._collection().membership_histogram()
+        assert histogram[2] == 1  # only vertex 3 is in two networks
+        assert histogram[1] == 8
+
+    def test_overlap_fraction(self):
+        # two of three networks share vertex 3
+        assert self._collection().overlap_fraction() == pytest.approx(2 / 3)
+
+    def test_pairwise_overlaps(self):
+        overlaps = self._collection().pairwise_overlaps()
+        assert overlaps == {(100, 200): 1}
+
+    def test_circles_namespaced_by_ego(self):
+        collection = EgoNetworkCollection(
+            [
+                _network(1, [(2, 3)], circle_members=(2, 3)),
+                _network(9, [(4, 5)], circle_members=(4, 5)),
+            ]
+        )
+        groups = collection.circles()
+        assert sorted(g.name for g in groups) == ["1/c0", "9/c0"]
+        assert groups[0].owner in (1, 9)

@@ -1,0 +1,117 @@
+"""Vertex-group data model tests."""
+
+import pytest
+
+from repro.data.groups import Circle, Community, GroupSet, VertexGroup
+from repro.exceptions import EmptyGroupError
+
+
+class TestVertexGroup:
+    def test_basic_protocols(self):
+        group = VertexGroup(name="g", members=frozenset({1, 2, 3}))
+        assert len(group) == 3
+        assert 2 in group
+        assert set(group) == {1, 2, 3}
+
+    def test_members_coerced_to_frozenset(self):
+        group = VertexGroup(name="g", members={1, 2})  # type: ignore[arg-type]
+        assert isinstance(group.members, frozenset)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyGroupError):
+            VertexGroup(name="empty", members=frozenset())
+
+    def test_overlap_and_jaccard(self):
+        a = VertexGroup(name="a", members=frozenset({1, 2, 3}))
+        b = VertexGroup(name="b", members=frozenset({2, 3, 4}))
+        assert a.overlap(b) == frozenset({2, 3})
+        assert a.jaccard(b) == pytest.approx(2 / 4)
+
+    def test_jaccard_disjoint(self):
+        a = VertexGroup(name="a", members=frozenset({1}))
+        b = VertexGroup(name="b", members=frozenset({2}))
+        assert a.jaccard(b) == 0.0
+
+    def test_kinds(self):
+        assert Circle(name="c", members=frozenset({1}), owner=9).kind == "circle"
+        assert Community(name="m", members=frozenset({1})).kind == "community"
+        assert VertexGroup(name="g", members=frozenset({1})).kind == "group"
+
+    def test_circle_owner(self):
+        circle = Circle(name="c", members=frozenset({1, 2}), owner=42)
+        assert circle.owner == 42
+
+
+class TestGroupSet:
+    def _sample(self) -> GroupSet:
+        return GroupSet(
+            groups=[
+                Community(name="a", members=frozenset(range(10))),
+                Community(name="b", members=frozenset(range(4))),
+                Community(name="c", members=frozenset(range(7))),
+            ],
+            name="sample",
+        )
+
+    def test_sequence_protocols(self):
+        groups = self._sample()
+        assert len(groups) == 3
+        assert groups[1].name == "b"
+        assert [g.name for g in groups] == ["a", "b", "c"]
+
+    def test_duplicate_names_rejected_at_init(self):
+        with pytest.raises(ValueError):
+            GroupSet(
+                groups=[
+                    Community(name="x", members=frozenset({1})),
+                    Community(name="x", members=frozenset({2})),
+                ]
+            )
+
+    def test_add_enforces_uniqueness(self):
+        groups = self._sample()
+        with pytest.raises(ValueError):
+            groups.add(Community(name="a", members=frozenset({1})))
+        groups.add(Community(name="d", members=frozenset({1})))
+        assert len(groups) == 4
+
+    def test_sizes(self):
+        assert self._sample().sizes() == [10, 4, 7]
+
+    def test_filter_by_size(self):
+        filtered = self._sample().filter_by_size(minimum=5)
+        assert [g.name for g in filtered] == ["a", "c"]
+        bounded = self._sample().filter_by_size(minimum=1, maximum=6)
+        assert [g.name for g in bounded] == ["b"]
+
+    def test_top_k(self):
+        top = self._sample().top_k(2)
+        assert [g.name for g in top] == ["a", "c"]
+
+    def test_top_k_tie_break_by_name(self):
+        groups = GroupSet(
+            groups=[
+                Community(name="z", members=frozenset({1, 2})),
+                Community(name="a", members=frozenset({3, 4})),
+            ]
+        )
+        assert [g.name for g in groups.top_k(1)] == ["a"]
+
+    def test_restrict_to_drops_and_intersects(self):
+        restricted = self._sample().restrict_to(range(5))
+        by_name = {g.name: g for g in restricted}
+        assert set(by_name) == {"a", "b", "c"}
+        assert by_name["a"].members == frozenset(range(5))
+        fully = self._sample().restrict_to([100])
+        assert len(fully) == 0
+
+    def test_restrict_preserves_circle_owner(self):
+        groups = GroupSet(
+            groups=[Circle(name="c", members=frozenset({1, 2}), owner=9)]
+        )
+        restricted = groups.restrict_to([1])
+        assert isinstance(restricted[0], Circle)
+        assert restricted[0].owner == 9
+
+    def test_member_universe(self):
+        assert self._sample().member_universe() == frozenset(range(10))

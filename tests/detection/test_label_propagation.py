@@ -1,0 +1,53 @@
+"""Label-propagation detection tests."""
+
+import networkx as nx
+
+from repro.detection.label_propagation import label_propagation_communities
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+
+
+class TestLabelPropagation:
+    def test_recovers_two_cliques(self, two_cliques_graph):
+        partition = label_propagation_communities(two_cliques_graph, seed=0)
+        assert sorted(sorted(block) for block in partition) == [
+            [0, 1, 2, 3],
+            [4, 5, 6, 7],
+        ]
+
+    def test_partition_is_exact_cover(self):
+        oracle = nx.gnp_random_graph(50, 0.1, seed=1)
+        graph = Graph()
+        graph.add_nodes_from(oracle.nodes)
+        graph.add_edges_from(oracle.edges)
+        partition = label_propagation_communities(graph, seed=0)
+        covered: set = set()
+        for block in partition:
+            assert not block & covered
+            covered |= block
+        assert covered == set(graph.nodes)
+
+    def test_separates_well_planted_blocks(self):
+        oracle = nx.planted_partition_graph(3, 25, 0.7, 0.005, seed=2)
+        graph = Graph()
+        graph.add_nodes_from(oracle.nodes)
+        graph.add_edges_from(oracle.edges)
+        partition = label_propagation_communities(graph, seed=0)
+        # LPA can merge but must find at least the coarse structure.
+        large = [block for block in partition if len(block) >= 20]
+        assert len(large) >= 2
+
+    def test_isolated_vertices_stay_singletons(self):
+        graph = Graph([(1, 2)])
+        graph.add_node(9)
+        partition = label_propagation_communities(graph, seed=0)
+        assert {9} in partition
+
+    def test_directed_supported(self, small_digraph):
+        partition = label_propagation_communities(small_digraph, seed=0)
+        assert sum(len(block) for block in partition) == 4
+
+    def test_deterministic_under_seed(self, two_cliques_graph):
+        a = label_propagation_communities(two_cliques_graph, seed=3)
+        b = label_propagation_communities(two_cliques_graph, seed=3)
+        assert sorted(map(sorted, a)) == sorted(map(sorted, b))

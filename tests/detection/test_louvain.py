@@ -1,0 +1,105 @@
+"""Louvain detection tests, with networkx as quality oracle."""
+
+import networkx as nx
+import pytest
+
+from repro.detection.louvain import louvain_communities, partition_modularity
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+
+
+def _from_nx(oracle: nx.Graph) -> Graph:
+    graph = Graph()
+    graph.add_nodes_from(oracle.nodes)
+    graph.add_edges_from(oracle.edges)
+    return graph
+
+
+class TestLouvain:
+    def test_recovers_two_cliques(self, two_cliques_graph):
+        partition = louvain_communities(two_cliques_graph, seed=0)
+        assert sorted(sorted(block) for block in partition) == [
+            [0, 1, 2, 3],
+            [4, 5, 6, 7],
+        ]
+
+    def test_partition_is_exact_cover(self):
+        oracle = nx.gnp_random_graph(60, 0.08, seed=2)
+        graph = _from_nx(oracle)
+        partition = louvain_communities(graph, seed=0)
+        covered: set = set()
+        for block in partition:
+            assert not block & covered  # disjoint
+            covered |= block
+        assert covered == set(graph.nodes)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_quality_matches_networkx(self, seed):
+        oracle = nx.planted_partition_graph(5, 16, 0.5, 0.03, seed=seed)
+        graph = _from_nx(oracle)
+        ours = louvain_communities(graph, seed=0)
+        q_ours = partition_modularity(graph, ours)
+        q_theirs = nx.community.modularity(
+            oracle, nx.community.louvain_communities(oracle, seed=0)
+        )
+        assert q_ours >= q_theirs - 0.05
+
+    def test_recovers_planted_blocks(self):
+        oracle = nx.planted_partition_graph(4, 20, 0.6, 0.01, seed=3)
+        graph = _from_nx(oracle)
+        partition = louvain_communities(graph, seed=0)
+        assert len(partition) == 4
+        expected = [set(range(i * 20, (i + 1) * 20)) for i in range(4)]
+        assert sorted(map(sorted, partition)) == sorted(map(sorted, expected))
+
+    def test_directed_uses_skeleton(self):
+        graph = DiGraph()
+        for block_start in (0, 10):
+            nodes = range(block_start, block_start + 5)
+            for u in nodes:
+                for v in nodes:
+                    if u != v:
+                        graph.add_edge(u, v)
+        graph.add_edge(0, 10)
+        partition = louvain_communities(graph, seed=0)
+        assert len(partition) == 2
+
+    def test_deterministic_under_seed(self, two_cliques_graph):
+        a = louvain_communities(two_cliques_graph, seed=5)
+        b = louvain_communities(two_cliques_graph, seed=5)
+        assert sorted(map(sorted, a)) == sorted(map(sorted, b))
+
+    def test_empty_graph(self):
+        assert louvain_communities(Graph(), seed=0) == []
+
+    def test_edgeless_graph_singletons(self):
+        graph = Graph()
+        graph.add_nodes_from(range(4))
+        partition = louvain_communities(graph, seed=0)
+        assert len(partition) == 4
+
+
+class TestPartitionModularity:
+    def test_matches_networkx(self, two_cliques_graph):
+        oracle = nx.Graph()
+        oracle.add_nodes_from(two_cliques_graph.nodes)
+        oracle.add_edges_from(two_cliques_graph.edges)
+        partition = [{0, 1, 2, 3}, {4, 5, 6, 7}]
+        ours = partition_modularity(two_cliques_graph, partition)
+        theirs = nx.community.modularity(oracle, partition)
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_trivial_partition_zero(self, two_cliques_graph):
+        whole = [set(two_cliques_graph.nodes)]
+        assert partition_modularity(two_cliques_graph, whole) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_resolution_parameter(self, two_cliques_graph):
+        partition = [{0, 1, 2, 3}, {4, 5, 6, 7}]
+        low = partition_modularity(two_cliques_graph, partition, resolution=0.5)
+        high = partition_modularity(two_cliques_graph, partition, resolution=2.0)
+        assert low > high
+
+    def test_empty_graph_zero(self):
+        assert partition_modularity(Graph(), []) == 0.0

@@ -1,0 +1,68 @@
+"""Partition-vs-groups agreement metric tests."""
+
+import pytest
+
+from repro.data.groups import Community, GroupSet
+from repro.detection.overlap_metrics import (
+    best_match_jaccard,
+    coverage_fraction,
+    mean_best_jaccard,
+)
+
+
+@pytest.fixture
+def partition():
+    return [{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9}]
+
+
+class TestBestMatchJaccard:
+    def test_exact_match(self, partition):
+        group = Community(name="g", members=frozenset({0, 1, 2, 3}))
+        assert best_match_jaccard(group, partition) == 1.0
+
+    def test_partial_match(self, partition):
+        group = Community(name="g", members=frozenset({0, 1, 4}))
+        # vs block 0: |{0,1}| / |{0,1,2,3,4}| = 2/5
+        assert best_match_jaccard(group, partition) == pytest.approx(2 / 5)
+
+    def test_no_overlap(self, partition):
+        group = Community(name="g", members=frozenset({100}))
+        assert best_match_jaccard(group, partition) == 0.0
+
+    def test_accepts_frozenset(self, partition):
+        assert best_match_jaccard(frozenset({8, 9}), partition) == 1.0
+
+    def test_empty_partition(self):
+        group = Community(name="g", members=frozenset({1}))
+        assert best_match_jaccard(group, []) == 0.0
+
+
+class TestMeanBestJaccard:
+    def test_perfect_recovery(self, partition):
+        groups = GroupSet(
+            groups=[
+                Community(name="a", members=frozenset({0, 1, 2, 3})),
+                Community(name="b", members=frozenset({4, 5, 6, 7})),
+            ]
+        )
+        assert mean_best_jaccard(groups, partition) == 1.0
+
+    def test_mixed_recovery(self, partition):
+        groups = [
+            Community(name="a", members=frozenset({0, 1, 2, 3})),  # 1.0
+            Community(name="b", members=frozenset({100})),  # 0.0
+        ]
+        assert mean_best_jaccard(groups, partition) == pytest.approx(0.5)
+
+    def test_empty_groups(self, partition):
+        assert mean_best_jaccard([], partition) == 0.0
+
+
+class TestCoverageFraction:
+    def test_fully_contained(self, partition):
+        group = Community(name="g", members=frozenset({4, 5}))
+        assert coverage_fraction(group, partition) == 1.0
+
+    def test_split_group(self, partition):
+        group = Community(name="g", members=frozenset({3, 4}))
+        assert coverage_fraction(group, partition) == pytest.approx(0.5)

@@ -1,0 +1,111 @@
+"""Tests for graph conversions (the section IV-B collapse among them)."""
+
+import pytest
+
+from repro.graph.convert import (
+    from_edges,
+    integer_index,
+    relabel_nodes,
+    to_directed,
+    to_undirected,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+
+
+class TestToUndirected:
+    def test_reciprocal_pair_collapses_to_one_edge(self):
+        graph = DiGraph([(1, 2), (2, 1), (2, 3)])
+        undirected = to_undirected(graph)
+        assert undirected.number_of_edges() == 2
+        assert undirected.has_edge(1, 2)
+        assert undirected.has_edge(2, 3)
+
+    def test_keeps_isolated_nodes(self):
+        graph = DiGraph([(1, 2)])
+        graph.add_node(99)
+        assert 99 in to_undirected(graph)
+
+    def test_reciprocal_only_drops_one_way_edges(self):
+        graph = DiGraph([(1, 2), (2, 1), (2, 3)])
+        undirected = to_undirected(graph, reciprocal_only=True)
+        assert undirected.number_of_edges() == 1
+        assert undirected.has_edge(1, 2)
+
+    def test_undirected_input_returns_copy(self, triangle_graph):
+        copy = to_undirected(triangle_graph)
+        assert copy.number_of_edges() == triangle_graph.number_of_edges()
+        copy.remove_edge(1, 2)
+        assert triangle_graph.has_edge(1, 2)
+
+    def test_reciprocal_only_invalid_for_undirected(self, triangle_graph):
+        with pytest.raises(ValueError):
+            to_undirected(triangle_graph, reciprocal_only=True)
+
+
+class TestToDirected:
+    def test_each_edge_becomes_reciprocal_pair(self, triangle_graph):
+        directed = to_directed(triangle_graph)
+        assert directed.number_of_edges() == 2 * triangle_graph.number_of_edges()
+        assert directed.has_edge(1, 2)
+        assert directed.has_edge(2, 1)
+
+    def test_round_trip_restores_graph(self, triangle_graph):
+        restored = to_undirected(to_directed(triangle_graph))
+        assert restored.number_of_edges() == triangle_graph.number_of_edges()
+        assert set(map(frozenset, restored.edges)) == set(
+            map(frozenset, triangle_graph.edges)
+        )
+
+
+class TestRelabel:
+    def test_relabel_undirected(self, triangle_graph):
+        mapping = {1: "a", 2: "b", 3: "c", 4: "d"}
+        renamed = relabel_nodes(triangle_graph, mapping)
+        assert renamed.has_edge("a", "b")
+        assert renamed.number_of_edges() == 4
+
+    def test_relabel_directed_preserves_direction(self, small_digraph):
+        mapping = {node: node.upper() for node in small_digraph}
+        renamed = relabel_nodes(small_digraph, mapping)
+        assert renamed.has_edge("C", "D")
+        assert not renamed.has_edge("D", "C")
+
+    def test_non_injective_mapping_rejected(self, triangle_graph):
+        with pytest.raises(ValueError):
+            relabel_nodes(triangle_graph, {1: "x", 2: "x", 3: "y", 4: "z"})
+
+    def test_missing_node_in_mapping_raises(self, triangle_graph):
+        with pytest.raises(KeyError):
+            relabel_nodes(triangle_graph, {1: "a"})
+
+
+class TestIntegerIndex:
+    def test_round_trip(self, small_digraph):
+        index_of, nodes = integer_index(small_digraph)
+        for label, idx in index_of.items():
+            assert nodes[idx] == label
+
+    def test_stable_across_calls(self, small_digraph):
+        first, _ = integer_index(small_digraph)
+        second, _ = integer_index(small_digraph)
+        assert first == second
+
+    def test_covers_all_nodes(self, triangle_graph):
+        index_of, nodes = integer_index(triangle_graph)
+        assert len(index_of) == len(nodes) == triangle_graph.number_of_nodes()
+
+
+class TestFromEdges:
+    def test_undirected_default(self):
+        graph = from_edges([(1, 2)])
+        assert isinstance(graph, Graph)
+
+    def test_directed(self):
+        graph = from_edges([(1, 2)], directed=True)
+        assert isinstance(graph, DiGraph)
+        assert not graph.has_edge(2, 1)
+
+    def test_extra_isolated_nodes(self):
+        graph = from_edges([(1, 2)], nodes=[7, 8])
+        assert graph.number_of_nodes() == 4

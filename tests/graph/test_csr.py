@@ -1,0 +1,65 @@
+"""Tests for the CSR snapshot structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+
+
+class TestUndirectedCSR:
+    def test_degrees_match_graph(self, triangle_graph):
+        csr = CSRGraph(triangle_graph)
+        for node in triangle_graph:
+            vertex = csr.index_of[node]
+            assert csr.degree(vertex) == triangle_graph.degree[node]
+
+    def test_neighbors_sorted_and_correct(self, triangle_graph):
+        csr = CSRGraph(triangle_graph)
+        vertex = csr.index_of[3]
+        neighbors = csr.neighbors(vertex)
+        assert list(neighbors) == sorted(neighbors)
+        labels = {csr.nodes[i] for i in neighbors}
+        assert labels == {1, 2, 4}
+
+    def test_half_edges_is_twice_edge_count(self, triangle_graph):
+        csr = CSRGraph(triangle_graph)
+        assert csr.num_half_edges == 2 * triangle_graph.number_of_edges()
+
+    def test_orientation_rejected_for_undirected(self, triangle_graph):
+        with pytest.raises(ValueError):
+            CSRGraph(triangle_graph, orientation="out")
+
+    def test_label_round_trip(self, triangle_graph):
+        csr = CSRGraph(triangle_graph)
+        ids = csr.vertex_ids([3, 1])
+        assert csr.labels(ids) == [3, 1]
+
+
+class TestDirectedCSR:
+    def test_out_orientation(self, small_digraph):
+        csr = CSRGraph(small_digraph, orientation="out")
+        vertex = csr.index_of["b"]
+        labels = {csr.nodes[i] for i in csr.neighbors(vertex)}
+        assert labels == {"a", "c"}
+
+    def test_in_orientation(self, small_digraph):
+        csr = CSRGraph(small_digraph, orientation="in")
+        vertex = csr.index_of["b"]
+        labels = {csr.nodes[i] for i in csr.neighbors(vertex)}
+        assert labels == {"a"}
+
+    def test_union_counts_reciprocal_once(self):
+        graph = DiGraph([(1, 2), (2, 1), (2, 3)])
+        csr = CSRGraph(graph)  # union by default
+        vertex = csr.index_of[2]
+        assert csr.degree(vertex) == 2
+
+    def test_degrees_array(self, small_digraph):
+        csr = CSRGraph(small_digraph, orientation="out")
+        degrees = csr.degrees()
+        assert degrees.sum() == small_digraph.number_of_edges()
+        assert degrees.dtype == np.int64
+
+    def test_num_vertices(self, small_digraph):
+        assert CSRGraph(small_digraph).num_vertices == 4

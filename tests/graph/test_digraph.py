@@ -1,0 +1,137 @@
+"""Unit tests for the directed DiGraph substrate."""
+
+import pytest
+
+from repro.exceptions import EdgeNotFound, NodeNotFound
+from repro.graph.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_empty(self):
+        graph = DiGraph()
+        assert len(graph) == 0
+        assert graph.number_of_edges() == 0
+
+    def test_from_edges(self, small_digraph):
+        assert small_digraph.number_of_nodes() == 4
+        assert small_digraph.number_of_edges() == 4
+
+    def test_is_directed_flag(self):
+        assert DiGraph.is_directed is True
+
+
+class TestEdgeDirection:
+    def test_edge_is_directional(self):
+        graph = DiGraph([(1, 2)])
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 1)
+
+    def test_reciprocal_pair_counts_twice(self):
+        graph = DiGraph([(1, 2), (2, 1)])
+        assert graph.number_of_edges() == 2
+
+    def test_duplicate_directed_edge_ignored(self):
+        graph = DiGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(1, 2)
+        assert graph.number_of_edges() == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            DiGraph().add_edge("x", "x")
+
+    def test_successors_predecessors(self, small_digraph):
+        assert small_digraph.successors("b") == frozenset({"a", "c"})
+        assert small_digraph.predecessors("b") == frozenset({"a"})
+
+    def test_neighbors_ignores_direction(self, small_digraph):
+        assert small_digraph.neighbors("c") == frozenset({"b", "d"})
+
+    def test_missing_node_raises(self, small_digraph):
+        with pytest.raises(NodeNotFound):
+            small_digraph.successors("zz")
+        with pytest.raises(NodeNotFound):
+            small_digraph.predecessors("zz")
+
+
+class TestDegrees:
+    def test_total_degree_is_in_plus_out(self, small_digraph):
+        assert small_digraph.degree["b"] == 3
+        assert small_digraph.in_degree["b"] == 1
+        assert small_digraph.out_degree["b"] == 2
+
+    def test_degree_of_missing_node_raises(self, small_digraph):
+        with pytest.raises(NodeNotFound):
+            small_digraph.degree["nope"]
+
+    def test_degree_sums_equal_edge_counts(self, small_digraph):
+        m = small_digraph.number_of_edges()
+        assert sum(small_digraph.in_degree.values()) == m
+        assert sum(small_digraph.out_degree.values()) == m
+        assert sum(small_digraph.degree.values()) == 2 * m
+
+
+class TestMutation:
+    def test_remove_edge(self, small_digraph):
+        small_digraph.remove_edge("a", "b")
+        assert not small_digraph.has_edge("a", "b")
+        assert small_digraph.has_edge("b", "a")
+
+    def test_remove_missing_edge_raises(self, small_digraph):
+        with pytest.raises(EdgeNotFound):
+            small_digraph.remove_edge("d", "c")
+
+    def test_remove_node_updates_both_directions(self, small_digraph):
+        small_digraph.remove_node("b")
+        assert small_digraph.number_of_nodes() == 3
+        assert small_digraph.number_of_edges() == 1  # only c -> d remains
+        assert not small_digraph.has_edge("a", "b")
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(NodeNotFound):
+            DiGraph().remove_node(1)
+
+    def test_edge_count_consistent_after_mutations(self):
+        graph = DiGraph([(i, i + 1) for i in range(8)])
+        graph.add_edge(3, 1)
+        graph.remove_node(2)
+        listed = sum(1 for _ in graph.edges)
+        assert graph.number_of_edges() == listed
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self, small_digraph):
+        clone = small_digraph.copy()
+        clone.remove_edge("b", "c")
+        assert small_digraph.has_edge("b", "c")
+
+    def test_subgraph_directed_edges(self, small_digraph):
+        sub = small_digraph.subgraph(["a", "b"])
+        assert sub.number_of_edges() == 2
+        assert sub.has_edge("a", "b")
+        assert sub.has_edge("b", "a")
+
+    def test_subgraph_missing_node_raises(self, small_digraph):
+        with pytest.raises(NodeNotFound):
+            small_digraph.subgraph(["a", "zz"])
+
+    def test_edge_boundary_includes_both_directions(self, small_digraph):
+        boundary = small_digraph.edge_boundary(["b"])
+        assert sorted(boundary) == [("a", "b"), ("b", "a"), ("b", "c")]
+
+    def test_edge_boundary_counts_reciprocal_separately(self):
+        graph = DiGraph([(1, 2), (2, 1), (2, 3)])
+        boundary = graph.edge_boundary([1])
+        assert sorted(boundary) == [(1, 2), (2, 1)]
+
+    def test_reverse_flips_edges(self, small_digraph):
+        reverse = small_digraph.reverse()
+        assert reverse.has_edge("b", "a")
+        assert reverse.has_edge("c", "b")
+        assert reverse.has_edge("d", "c")
+        assert reverse.number_of_edges() == small_digraph.number_of_edges()
+
+    def test_reverse_is_independent_copy(self, small_digraph):
+        reverse = small_digraph.reverse()
+        reverse.remove_edge("d", "c")
+        assert small_digraph.has_edge("c", "d")

@@ -1,0 +1,182 @@
+"""Tests for the graph I/O formats (edge lists, SNAP ego/community, JSON)."""
+
+import gzip
+
+import pytest
+
+from repro.data.ego import EgoNetwork
+from repro.data.groups import Circle, Community
+from repro.exceptions import FormatError
+from repro.graph.digraph import DiGraph
+from repro.graph.io.edgelist import iter_edges, read_edgelist, write_edgelist
+from repro.graph.io.json_io import (
+    graph_from_dict,
+    graph_to_dict,
+    read_json_graph,
+    write_json_graph,
+)
+from repro.graph.io.snap_community import (
+    read_communities,
+    top_k_by_size,
+    write_communities,
+)
+from repro.graph.io.snap_ego import (
+    read_ego_directory,
+    read_ego_network,
+    write_ego_network,
+)
+from repro.graph.ugraph import Graph
+
+
+class TestEdgelist:
+    def test_round_trip_undirected(self, tmp_path, triangle_graph):
+        path = tmp_path / "graph.txt"
+        write_edgelist(triangle_graph, path)
+        loaded = read_edgelist(path)
+        assert loaded.number_of_edges() == triangle_graph.number_of_edges()
+        assert set(map(frozenset, loaded.edges)) == set(
+            map(frozenset, triangle_graph.edges)
+        )
+
+    def test_round_trip_directed(self, tmp_path, small_digraph):
+        path = tmp_path / "graph.txt"
+        write_edgelist(small_digraph, path)
+        loaded = read_edgelist(path, directed=True, node_type=str)
+        assert set(loaded.edges) == set(small_digraph.edges)
+
+    def test_gzip_round_trip(self, tmp_path, triangle_graph):
+        path = tmp_path / "graph.txt.gz"
+        write_edgelist(triangle_graph, path)
+        with gzip.open(path, "rt") as handle:
+            assert handle.readline().startswith("#")
+        assert read_edgelist(path).number_of_edges() == 4
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# header\n\n1 2\n  \n2 3\n")
+        assert list(iter_edges(path)) == [(1, 2), (2, 3)]
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("1 2\n1 2 3\n")
+        with pytest.raises(FormatError, match="graph.txt:2"):
+            list(iter_edges(path))
+
+    def test_bad_node_type_raises(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("a b\n")
+        with pytest.raises(FormatError):
+            list(iter_edges(path, node_type=int))
+
+
+class TestSnapEgo:
+    def _write_pair(self, directory, ego=0):
+        (directory / f"{ego}.edges").write_text("1 2\n2 3\n")
+        (directory / f"{ego}.circles").write_text("circle0\t1 2\ncircle1\t3\n")
+
+    def test_read_single_network(self, tmp_path):
+        self._write_pair(tmp_path)
+        network = read_ego_network(tmp_path / "0.edges")
+        assert network.ego == 0
+        assert network.alters == frozenset({1, 2, 3})
+        assert len(network.circles) == 2
+        assert network.circles[0].members == frozenset({1, 2})
+
+    def test_read_directory(self, tmp_path):
+        self._write_pair(tmp_path, ego=0)
+        self._write_pair(tmp_path, ego=7)
+        collection = read_ego_directory(tmp_path)
+        assert len(collection) == 2
+        assert {network.ego for network in collection} == {0, 7}
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(FormatError):
+            read_ego_directory(tmp_path)
+
+    def test_round_trip(self, tmp_path):
+        original = EgoNetwork(
+            ego=5,
+            alter_edges=[(1, 2), (2, 3)],
+            circles=[Circle(name="c0", members=frozenset({1, 3}), owner=5)],
+            directed=True,
+        )
+        write_ego_network(original, tmp_path)
+        loaded = read_ego_network(tmp_path / "5.edges")
+        assert loaded.ego == 5
+        assert sorted(loaded.alter_edges) == sorted(original.alter_edges)
+        assert loaded.circles[0].members == frozenset({1, 3})
+
+    def test_malformed_circle_line_raises(self, tmp_path):
+        (tmp_path / "0.edges").write_text("1 2\n")
+        (tmp_path / "0.circles").write_text("lonely\n")
+        with pytest.raises(FormatError):
+            read_ego_network(tmp_path / "0.edges")
+
+    def test_missing_circles_file_means_no_circles(self, tmp_path):
+        (tmp_path / "0.edges").write_text("1 2\n")
+        assert read_ego_network(tmp_path / "0.edges").circles == []
+
+
+class TestSnapCommunity:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "cmty.txt"
+        communities = [
+            Community(name="a", members=frozenset({1, 2, 3})),
+            Community(name="b", members=frozenset({4, 5})),
+        ]
+        write_communities(communities, path)
+        loaded = read_communities(path)
+        assert [c.members for c in loaded] == [
+            frozenset({1, 2, 3}),
+            frozenset({4, 5}),
+        ]
+
+    def test_names_are_generated(self, tmp_path):
+        path = tmp_path / "cmty.txt"
+        path.write_text("1 2\n3 4\n")
+        loaded = read_communities(path, name_prefix="grp")
+        assert [c.name for c in loaded] == ["grp-0", "grp-1"]
+
+    def test_top_k_by_size(self):
+        communities = [
+            Community(name="small", members=frozenset({1})),
+            Community(name="big", members=frozenset(range(10))),
+            Community(name="mid", members=frozenset(range(5))),
+        ]
+        top = top_k_by_size(communities, 2)
+        assert [c.name for c in top] == ["big", "mid"]
+
+
+class TestJson:
+    def test_round_trip_directed(self, tmp_path, small_digraph):
+        path = tmp_path / "graph.json"
+        write_json_graph(small_digraph, path)
+        loaded = read_json_graph(path)
+        assert isinstance(loaded, DiGraph)
+        assert set(loaded.edges) == set(small_digraph.edges)
+
+    def test_round_trip_undirected(self, tmp_path, triangle_graph):
+        path = tmp_path / "graph.json"
+        write_json_graph(triangle_graph, path)
+        loaded = read_json_graph(path)
+        assert isinstance(loaded, Graph)
+        assert loaded.number_of_edges() == 4
+
+    def test_dict_representation(self, triangle_graph):
+        data = graph_to_dict(triangle_graph)
+        assert data["directed"] is False
+        assert len(data["edges"]) == 4
+
+    def test_missing_key_raises(self):
+        with pytest.raises(FormatError):
+            graph_from_dict({"nodes": [], "edges": []})
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(FormatError):
+            read_json_graph(path)
+
+    def test_bad_edge_entry_raises(self):
+        with pytest.raises(FormatError):
+            graph_from_dict({"directed": False, "nodes": [1], "edges": [[1]]})

@@ -1,0 +1,167 @@
+"""Unit tests for the undirected Graph substrate."""
+
+import pytest
+
+from repro.exceptions import EdgeNotFound, NodeNotFound
+from repro.graph.ugraph import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        graph = Graph()
+        assert len(graph) == 0
+        assert graph.number_of_nodes() == 0
+        assert graph.number_of_edges() == 0
+
+    def test_from_edges(self):
+        graph = Graph([(1, 2), (2, 3)])
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 2
+
+    def test_name(self):
+        assert Graph(name="social").name == "social"
+
+    def test_repr_mentions_counts(self, triangle_graph):
+        text = repr(triangle_graph)
+        assert "4 nodes" in text
+        assert "4 edges" in text
+
+
+class TestNodeOperations:
+    def test_add_node(self):
+        graph = Graph()
+        graph.add_node("x")
+        assert "x" in graph
+        assert graph.has_node("x")
+
+    def test_add_node_idempotent(self):
+        graph = Graph([(1, 2)])
+        graph.add_node(1)
+        assert graph.number_of_nodes() == 2
+        assert graph.has_edge(1, 2)
+
+    def test_add_nodes_from(self):
+        graph = Graph()
+        graph.add_nodes_from(range(5))
+        assert graph.number_of_nodes() == 5
+
+    def test_remove_node_drops_incident_edges(self, triangle_graph):
+        triangle_graph.remove_node(3)
+        assert triangle_graph.number_of_nodes() == 3
+        assert triangle_graph.number_of_edges() == 1
+        assert triangle_graph.has_edge(1, 2)
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(NodeNotFound):
+            Graph().remove_node(9)
+
+    def test_contains_unhashable_is_false(self):
+        assert [1, 2] not in Graph([(1, 2)])
+
+    def test_iteration_order_is_insertion(self):
+        graph = Graph()
+        graph.add_nodes_from([5, 1, 3])
+        assert list(graph) == [5, 1, 3]
+
+
+class TestEdgeOperations:
+    def test_add_edge_creates_endpoints(self):
+        graph = Graph()
+        graph.add_edge("u", "v")
+        assert graph.has_node("u")
+        assert graph.has_node("v")
+        assert graph.number_of_edges() == 1
+
+    def test_edge_is_symmetric(self):
+        graph = Graph([(1, 2)])
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(2, 1)
+
+    def test_duplicate_edge_ignored(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 1)
+        assert graph.number_of_edges() == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Graph().add_edge(1, 1)
+
+    def test_remove_edge(self, triangle_graph):
+        triangle_graph.remove_edge(1, 2)
+        assert not triangle_graph.has_edge(2, 1)
+        assert triangle_graph.number_of_edges() == 3
+
+    def test_remove_edge_reversed_orientation(self, triangle_graph):
+        triangle_graph.remove_edge(2, 1)
+        assert triangle_graph.number_of_edges() == 3
+
+    def test_remove_missing_edge_raises(self, triangle_graph):
+        with pytest.raises(EdgeNotFound):
+            triangle_graph.remove_edge(1, 4)
+
+    def test_has_edge_missing_node(self):
+        assert not Graph().has_edge(1, 2)
+
+    def test_edge_count_consistent_after_mixed_mutations(self):
+        graph = Graph()
+        graph.add_edges_from([(i, i + 1) for i in range(10)])
+        graph.remove_node(5)
+        graph.add_edge(4, 6)
+        listed = sum(1 for _ in graph.edges)
+        assert graph.number_of_edges() == listed
+
+
+class TestQueries:
+    def test_neighbors(self, triangle_graph):
+        assert triangle_graph.neighbors(3) == frozenset({1, 2, 4})
+
+    def test_neighbors_missing_raises(self, triangle_graph):
+        with pytest.raises(NodeNotFound):
+            triangle_graph.neighbors(99)
+
+    def test_neighbors_snapshot_is_immutable(self, triangle_graph):
+        snapshot = triangle_graph.neighbors(1)
+        with pytest.raises(AttributeError):
+            snapshot.add(99)  # type: ignore[attr-defined]
+
+    def test_degree_view(self, triangle_graph):
+        assert triangle_graph.degree[3] == 3
+        assert triangle_graph.degree(4) == 1
+
+    def test_adjacency_iterates_all_nodes(self, triangle_graph):
+        assert {node for node, _ in triangle_graph.adjacency()} == {1, 2, 3, 4}
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.remove_edge(1, 2)
+        assert triangle_graph.has_edge(1, 2)
+        assert clone.number_of_edges() == triangle_graph.number_of_edges() - 1
+
+    def test_subgraph_keeps_internal_edges_only(self, triangle_graph):
+        sub = triangle_graph.subgraph([1, 2, 3])
+        assert sub.number_of_nodes() == 3
+        assert sub.number_of_edges() == 3
+        assert not sub.has_node(4)
+
+    def test_subgraph_missing_node_raises(self, triangle_graph):
+        with pytest.raises(NodeNotFound):
+            triangle_graph.subgraph([1, 99])
+
+    def test_subgraph_with_isolated_selection(self, triangle_graph):
+        sub = triangle_graph.subgraph([1, 4])
+        assert sub.number_of_edges() == 0
+        assert sub.number_of_nodes() == 2
+
+    def test_edge_boundary(self, triangle_graph):
+        boundary = triangle_graph.edge_boundary([1, 2])
+        assert sorted(boundary) == [(1, 3), (2, 3)]
+
+    def test_edge_boundary_whole_graph_is_empty(self, triangle_graph):
+        assert triangle_graph.edge_boundary([1, 2, 3, 4]) == []
+
+    def test_edge_boundary_missing_node_raises(self, triangle_graph):
+        with pytest.raises(NodeNotFound):
+            triangle_graph.edge_boundary([1, 42])

@@ -1,0 +1,86 @@
+"""Tests for the live node/edge/degree views."""
+
+import pytest
+
+from repro.exceptions import NodeNotFound
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+
+
+class TestNodeView:
+    def test_len_iter_contains(self, triangle_graph):
+        view = triangle_graph.nodes
+        assert len(view) == 4
+        assert set(view) == {1, 2, 3, 4}
+        assert 1 in view
+        assert 99 not in view
+
+    def test_view_is_live(self, triangle_graph):
+        view = triangle_graph.nodes
+        triangle_graph.add_node(42)
+        assert 42 in view
+        assert len(view) == 5
+
+    def test_set_semantics(self, triangle_graph):
+        assert triangle_graph.nodes & {1, 2, 99} == {1, 2}
+
+
+class TestEdgeView:
+    def test_len_matches_edge_count(self, triangle_graph):
+        assert len(triangle_graph.edges) == 4
+
+    def test_each_edge_yielded_once(self, triangle_graph):
+        edges = [frozenset(edge) for edge in triangle_graph.edges]
+        assert len(edges) == len(set(edges)) == 4
+
+    def test_contains_both_orientations(self, triangle_graph):
+        assert (1, 2) in triangle_graph.edges
+        assert (2, 1) in triangle_graph.edges
+        assert (1, 4) not in triangle_graph.edges
+
+    def test_contains_non_tuple_is_false(self, triangle_graph):
+        assert "nope" not in triangle_graph.edges
+
+    def test_directed_view_orientation(self, small_digraph):
+        edges = set(small_digraph.edges)
+        assert ("a", "b") in edges
+        assert ("c", "d") in edges
+        assert ("d", "c") not in edges
+
+    def test_directed_contains(self, small_digraph):
+        assert ("b", "c") in small_digraph.edges
+        assert ("c", "b") not in small_digraph.edges
+
+
+class TestDegreeViews:
+    def test_mapping_protocol(self, triangle_graph):
+        view = triangle_graph.degree
+        assert dict(view.items()) == {1: 2, 2: 2, 3: 3, 4: 1}
+        assert sorted(view.values()) == [1, 2, 2, 3]
+        assert len(view) == 4
+
+    def test_call_and_getitem_agree(self, triangle_graph):
+        assert triangle_graph.degree(3) == triangle_graph.degree[3]
+
+    def test_missing_node_raises(self, triangle_graph):
+        with pytest.raises(NodeNotFound):
+            triangle_graph.degree[1000]
+
+    def test_degree_views_are_live(self):
+        graph = Graph([(1, 2)])
+        view = graph.degree
+        graph.add_edge(1, 3)
+        assert view[1] == 2
+
+    def test_directed_views_consistent(self, small_digraph):
+        for node in small_digraph:
+            assert (
+                small_digraph.degree[node]
+                == small_digraph.in_degree[node] + small_digraph.out_degree[node]
+            )
+
+    def test_in_out_views_on_chain(self):
+        graph = DiGraph([(1, 2), (2, 3)])
+        assert graph.in_degree[1] == 0
+        assert graph.out_degree[3] == 0
+        assert graph.in_degree[2] == graph.out_degree[2] == 1

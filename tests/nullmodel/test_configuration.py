@@ -1,0 +1,71 @@
+"""Configuration-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotGraphical
+from repro.nullmodel.configuration import (
+    configuration_model,
+    directed_configuration_model,
+)
+
+
+class TestUndirected:
+    def test_preserves_degrees_on_sparse_sequence(self):
+        rng = np.random.default_rng(0)
+        degrees = sorted(rng.integers(1, 5, size=40).tolist())
+        if sum(degrees) % 2:
+            degrees[0] += 1
+        graph = configuration_model(degrees, seed=1)
+        assert sorted(graph.degree[v] for v in graph) == sorted(degrees)
+
+    def test_simple_graph_invariants(self):
+        degrees = [3] * 20
+        graph = configuration_model(degrees, seed=2)
+        for u, v in graph.edges:
+            assert u != v
+        listed = list(graph.edges)
+        assert len({frozenset(e) for e in listed}) == len(listed)
+
+    def test_different_seeds_differ(self):
+        degrees = [2] * 30
+        a = configuration_model(degrees, seed=1)
+        b = configuration_model(degrees, seed=2)
+        assert set(map(frozenset, a.edges)) != set(map(frozenset, b.edges))
+
+    def test_same_seed_reproducible(self):
+        degrees = [2] * 30
+        a = configuration_model(degrees, seed=5)
+        b = configuration_model(degrees, seed=5)
+        assert set(map(frozenset, a.edges)) == set(map(frozenset, b.edges))
+
+    def test_non_graphical_raises(self):
+        with pytest.raises(NotGraphical):
+            configuration_model([7, 1])
+
+    def test_dense_sequence_falls_back_to_exact_realization(self):
+        # Nearly complete graph: stub matching will collide; the fallback
+        # must still realize the degrees exactly.
+        degrees = [9] * 10
+        graph = configuration_model(degrees, seed=3, max_attempts=1)
+        assert sorted(graph.degree[v] for v in graph) == degrees
+
+
+class TestDirected:
+    def test_preserves_sequences(self):
+        rng = np.random.default_rng(1)
+        outs = rng.integers(1, 4, size=30)
+        ins = np.roll(outs, 7)  # same multiset, guaranteed equal sums
+        graph = directed_configuration_model(ins.tolist(), outs.tolist(), seed=2)
+        assert sorted(graph.in_degree[v] for v in graph) == sorted(ins)
+        assert sorted(graph.out_degree[v] for v in graph) == sorted(outs)
+
+    def test_simple_digraph_invariants(self):
+        graph = directed_configuration_model([2] * 20, [2] * 20, seed=4)
+        edges = list(graph.edges)
+        assert len(set(edges)) == len(edges)
+        assert all(u != v for u, v in edges)
+
+    def test_not_digraphical_raises(self):
+        with pytest.raises(NotGraphical):
+            directed_configuration_model([2, 0], [0, 1])

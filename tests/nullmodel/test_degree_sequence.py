@@ -1,0 +1,100 @@
+"""Graphicality tests and Havel-Hakimi realization, with hypothesis
+cross-checks against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NotGraphical
+from repro.nullmodel.degree_sequence import (
+    havel_hakimi_graph,
+    is_digraphical,
+    is_graphical,
+)
+
+
+class TestIsGraphical:
+    def test_simple_cases(self):
+        assert is_graphical([1, 1])
+        assert is_graphical([2, 2, 2])
+        assert is_graphical([3, 3, 3, 3])
+        assert is_graphical([])
+
+    def test_odd_sum_rejected(self):
+        assert not is_graphical([1, 1, 1])
+
+    def test_degree_exceeding_n_rejected(self):
+        assert not is_graphical([3, 1, 1, 1][0:3])  # degree 3 with n=3
+
+    def test_negative_rejected(self):
+        assert not is_graphical([-1, 1])
+
+    def test_classic_non_graphical(self):
+        # Erdos-Gallai violation: one vertex wants everyone, another none.
+        assert not is_graphical([4, 4, 4, 1, 1])
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=12)
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_networkx(self, degrees):
+        assert is_graphical(degrees) == nx.is_graphical(degrees)
+
+
+class TestIsDigraphical:
+    def test_simple_cases(self):
+        assert is_digraphical([1, 1], [1, 1])
+        assert not is_digraphical([2, 0], [0, 1])
+        assert not is_digraphical([1], [1])  # needs a self-loop
+
+    def test_length_mismatch(self):
+        assert not is_digraphical([1], [1, 0])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=5),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_networkx(self, pairs):
+        ins = [p[0] for p in pairs]
+        outs = [p[1] for p in pairs]
+        assert is_digraphical(ins, outs) == nx.is_digraphical(ins, outs)
+
+
+class TestHavelHakimi:
+    def test_realizes_exact_degrees(self):
+        degrees = [3, 3, 2, 2, 2]
+        graph = havel_hakimi_graph(degrees)
+        assert sorted(graph.degree[v] for v in graph) == sorted(degrees)
+
+    def test_simple_graph_no_duplicates(self):
+        graph = havel_hakimi_graph([4, 4, 4, 4, 4])
+        assert graph.number_of_edges() == 10  # complete graph on 5
+
+    def test_zero_degrees_allowed(self):
+        graph = havel_hakimi_graph([0, 0, 2, 1, 1])
+        assert graph.degree[0] == 0
+        assert graph.number_of_edges() == 2
+
+    def test_non_graphical_raises(self):
+        with pytest.raises(NotGraphical):
+            havel_hakimi_graph([5, 1, 1])
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=8), min_size=2, max_size=14)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_realization(self, degrees):
+        if not is_graphical(degrees):
+            with pytest.raises(NotGraphical):
+                havel_hakimi_graph(degrees)
+            return
+        graph = havel_hakimi_graph(degrees)
+        assert sorted(graph.degree[v] for v in graph) == sorted(degrees)

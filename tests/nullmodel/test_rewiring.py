@@ -1,0 +1,71 @@
+"""Degree-preserving edge-swap tests."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+from repro.nullmodel.rewiring import directed_edge_swap, double_edge_swap
+
+
+def _ring(n: int) -> Graph:
+    return Graph([(i, (i + 1) % n) for i in range(n)])
+
+
+class TestDoubleEdgeSwap:
+    def test_preserves_degree_sequence(self):
+        graph = _ring(20)
+        before = sorted(graph.degree.values())
+        swaps = double_edge_swap(graph, 30, seed=0)
+        assert swaps > 0
+        assert sorted(graph.degree.values()) == before
+
+    def test_preserves_edge_count(self):
+        graph = _ring(20)
+        double_edge_swap(graph, 30, seed=1)
+        assert graph.number_of_edges() == 20
+
+    def test_keeps_graph_simple(self):
+        graph = _ring(16)
+        double_edge_swap(graph, 40, seed=2)
+        edges = list(graph.edges)
+        assert len({frozenset(e) for e in edges}) == len(edges)
+        assert all(u != v for u, v in edges)
+
+    def test_changes_wiring(self):
+        graph = _ring(30)
+        original = set(map(frozenset, graph.edges))
+        double_edge_swap(graph, 50, seed=3)
+        assert set(map(frozenset, graph.edges)) != original
+
+    def test_rejects_directed(self, small_digraph):
+        with pytest.raises(ValueError):
+            double_edge_swap(small_digraph, 1)
+
+    def test_tiny_graph_zero_swaps(self):
+        graph = Graph([(1, 2)])
+        assert double_edge_swap(graph, 10, seed=0) == 0
+
+
+class TestDirectedEdgeSwap:
+    def _directed_ring(self, n: int) -> DiGraph:
+        return DiGraph([(i, (i + 1) % n) for i in range(n)])
+
+    def test_preserves_in_out_degrees(self):
+        graph = self._directed_ring(20)
+        in_before = sorted(graph.in_degree.values())
+        out_before = sorted(graph.out_degree.values())
+        swaps = directed_edge_swap(graph, 30, seed=0)
+        assert swaps > 0
+        assert sorted(graph.in_degree.values()) == in_before
+        assert sorted(graph.out_degree.values()) == out_before
+
+    def test_keeps_simple(self):
+        graph = self._directed_ring(16)
+        directed_edge_swap(graph, 40, seed=1)
+        edges = list(graph.edges)
+        assert len(set(edges)) == len(edges)
+        assert all(u != v for u, v in edges)
+
+    def test_rejects_undirected(self, triangle_graph):
+        with pytest.raises(ValueError):
+            directed_edge_swap(triangle_graph, 1)

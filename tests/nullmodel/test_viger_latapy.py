@@ -1,0 +1,78 @@
+"""Viger-Latapy connected random graph tests."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.traversal import is_connected
+from repro.exceptions import NotGraphical, SamplingError
+from repro.graph.ugraph import Graph
+from repro.nullmodel.viger_latapy import connect_components, viger_latapy_graph
+
+
+class TestVigerLatapy:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_connected_with_exact_degrees(self, seed):
+        rng = np.random.default_rng(seed)
+        degrees = rng.integers(1, 6, size=50).tolist()
+        if sum(degrees) % 2:
+            degrees[0] += 1
+        while sum(degrees) // 2 < len(degrees) - 1:
+            degrees[rng.integers(len(degrees))] += 2
+        graph = viger_latapy_graph(degrees, seed=seed)
+        assert is_connected(graph)
+        assert sorted(graph.degree[v] for v in graph) == sorted(degrees)
+
+    def test_reproducible_under_seed(self):
+        degrees = [2, 2, 2, 3, 3, 2]
+        a = viger_latapy_graph(degrees, seed=9)
+        b = viger_latapy_graph(degrees, seed=9)
+        assert set(map(frozenset, a.edges)) == set(map(frozenset, b.edges))
+
+    def test_non_graphical_rejected(self):
+        with pytest.raises(NotGraphical):
+            viger_latapy_graph([9, 1])
+
+    def test_zero_degree_rejected(self):
+        with pytest.raises(SamplingError):
+            viger_latapy_graph([0, 2, 2, 2])
+
+    def test_too_few_edges_rejected(self):
+        # Graphical (two disjoint edges) but cannot be connected: 2 edges
+        # for 4 vertices is fine (path), 1 edge for 4 vertices is not.
+        with pytest.raises(SamplingError):
+            viger_latapy_graph([1, 1, 1, 1, 1, 1, 1, 1][:8])
+
+    def test_empty_sequence(self):
+        assert viger_latapy_graph([]).number_of_nodes() == 0
+
+    def test_randomization_changes_wiring(self):
+        degrees = [3] * 30
+        a = viger_latapy_graph(degrees, seed=1)
+        b = viger_latapy_graph(degrees, seed=2)
+        assert set(map(frozenset, a.edges)) != set(map(frozenset, b.edges))
+
+
+class TestConnectComponents:
+    def test_merges_two_triangles(self):
+        graph = Graph([(0, 1), (1, 2), (2, 0), (10, 11), (11, 12), (12, 10)])
+        before = sorted(graph.degree.values())
+        connect_components(graph, seed=0)
+        assert is_connected(graph)
+        assert sorted(graph.degree.values()) == before
+
+    def test_noop_when_connected(self, triangle_graph):
+        edges_before = set(map(frozenset, triangle_graph.edges))
+        connect_components(triangle_graph, seed=0)
+        assert set(map(frozenset, triangle_graph.edges)) == edges_before
+
+    def test_isolated_vertex_cannot_be_connected(self):
+        graph = Graph([(0, 1), (1, 2), (2, 0)])
+        graph.add_node(99)
+        with pytest.raises(SamplingError):
+            connect_components(graph, seed=0)
+
+    def test_forest_component_cannot_donate(self):
+        # Two paths: neither component has a cycle edge to swap out.
+        graph = Graph([(0, 1), (1, 2), (10, 11)])
+        with pytest.raises(SamplingError):
+            connect_components(graph, seed=0)

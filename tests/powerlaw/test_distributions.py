@@ -1,0 +1,116 @@
+"""Tail-distribution tests: normalization, CDF sanity, parameter recovery."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FitError
+from repro.powerlaw.distributions import (
+    DISTRIBUTIONS,
+    ExponentialTail,
+    LogNormalTail,
+    PowerLawTail,
+)
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(12345)
+
+
+class TestPowerLawTail:
+    def test_pmf_normalizes(self):
+        model = PowerLawTail(xmin=2, n_tail=10, loglikelihood=0.0, alpha=2.5)
+        support = np.arange(2, 100_000)
+        total = np.exp(model.logpmf(support)).sum()
+        assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_cdf_monotone_and_bounded(self):
+        model = PowerLawTail(xmin=1, n_tail=10, loglikelihood=0.0, alpha=2.2)
+        values = np.arange(1, 200)
+        cdf = model.cdf(values)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[0] >= 0
+        assert cdf[-1] <= 1
+
+    def test_mle_recovers_exponent(self, rng):
+        sample = rng.zipf(2.7, size=30_000)
+        fit = PowerLawTail.fit(sample, xmin=1)
+        assert fit.alpha == pytest.approx(2.7, abs=0.05)
+
+    def test_mle_with_xmin_cut(self, rng):
+        sample = rng.zipf(2.4, size=30_000)
+        fit = PowerLawTail.fit(sample, xmin=5)
+        assert fit.alpha == pytest.approx(2.4, abs=0.15)
+        assert fit.n_tail == int((sample >= 5).sum())
+
+    def test_ks_distance_small_for_true_model(self, rng):
+        sample = rng.zipf(2.5, size=20_000)
+        fit = PowerLawTail.fit(sample, xmin=1)
+        assert fit.ks_distance(sample) < 0.02
+
+    def test_tiny_tail_rejected(self):
+        with pytest.raises(FitError):
+            PowerLawTail.fit(np.array([1, 1, 1]), xmin=10)
+
+
+class TestLogNormalTail:
+    def test_pmf_normalizes(self):
+        model = LogNormalTail(xmin=1, n_tail=10, loglikelihood=0.0, mu=2.0, sigma=0.7)
+        support = np.arange(1, 50_000)
+        total = np.exp(model.logpmf(support)).sum()
+        assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_recovers_parameters(self, rng):
+        sample = np.round(rng.lognormal(3.0, 0.5, size=30_000)).astype(int)
+        sample = sample[sample >= 1]
+        fit = LogNormalTail.fit(sample, xmin=1)
+        assert fit.mu == pytest.approx(3.0, abs=0.05)
+        assert fit.sigma == pytest.approx(0.5, abs=0.05)
+
+    def test_cdf_monotone(self):
+        model = LogNormalTail(xmin=3, n_tail=10, loglikelihood=0.0, mu=2.0, sigma=1.0)
+        cdf = model.cdf(np.arange(3, 500))
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[-1] <= 1 + 1e-9
+
+    def test_deep_tail_logpmf_finite(self):
+        # The survival-function formulation must stay finite far out.
+        model = LogNormalTail(xmin=50, n_tail=10, loglikelihood=0.0, mu=1.0, sigma=0.5)
+        values = model.logpmf(np.array([60.0, 80.0, 120.0]))
+        assert np.all(np.isfinite(values))
+
+
+class TestExponentialTail:
+    def test_pmf_normalizes(self):
+        model = ExponentialTail(xmin=4, n_tail=10, loglikelihood=0.0, rate=0.3)
+        support = np.arange(4, 500)
+        total = np.exp(model.logpmf(support)).sum()
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_recovers_rate(self, rng):
+        sample = np.round(rng.exponential(25.0, size=30_000)).astype(int)
+        sample = sample[sample >= 1]
+        fit = ExponentialTail.fit(sample, xmin=1)
+        assert fit.rate == pytest.approx(1 / 25.0, rel=0.1)
+
+    def test_closed_form_stable_at_huge_values(self):
+        model = ExponentialTail(xmin=10, n_tail=10, loglikelihood=0.0, rate=2.0)
+        values = model.logpmf(np.array([10.0, 100.0, 1000.0]))
+        assert np.all(np.isfinite(values))
+        # mass decays by exactly rate per unit step
+        assert values[0] - model.logpmf(np.array([11.0]))[0] == pytest.approx(2.0)
+
+    def test_cdf_reaches_one(self):
+        model = ExponentialTail(xmin=1, n_tail=10, loglikelihood=0.0, rate=0.5)
+        assert model.cdf(np.array([100.0]))[0] == pytest.approx(1.0)
+
+
+class TestRegistry:
+    def test_three_candidates(self):
+        assert set(DISTRIBUTIONS) == {"power_law", "log_normal", "exponential"}
+
+    def test_params_reported(self):
+        model = PowerLawTail(xmin=1, n_tail=5, loglikelihood=0.0, alpha=2.0)
+        assert model.params() == {"alpha": 2.0}
+        assert model.num_params == 1
+        assert LogNormalTail(1, 5, 0.0, 1.0, 1.0).num_params == 2

@@ -1,0 +1,160 @@
+"""GroupStats invariants — unit cases plus hypothesis properties."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EmptyGroupError, NodeNotFound
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+from repro.scoring.base import compute_group_stats
+
+
+class TestUndirectedStats:
+    def test_triangle_subset(self, triangle_graph):
+        stats = compute_group_stats(triangle_graph, [1, 2, 3])
+        assert stats.n == 4
+        assert stats.m == 4
+        assert stats.n_C == 3
+        assert stats.m_C == 3
+        assert stats.c_C == 1
+
+    def test_boundary_matches_edge_boundary(self, two_cliques_graph):
+        members = [0, 1, 2, 3]
+        stats = compute_group_stats(two_cliques_graph, members)
+        assert stats.c_C == len(two_cliques_graph.edge_boundary(members))
+        assert stats.m_C == 6
+
+    def test_member_degree_arrays(self, triangle_graph):
+        stats = compute_group_stats(triangle_graph, [3, 4])
+        degrees = dict(zip(stats.members, stats.member_degrees))
+        internal = dict(zip(stats.members, stats.member_internal_degrees))
+        assert degrees == {3: 3, 4: 1}
+        assert internal == {3: 1, 4: 1}
+        assert stats.member_boundary_degrees.sum() == stats.c_C
+
+    def test_internal_degree_sum_is_twice_m_C(self, two_cliques_graph):
+        stats = compute_group_stats(two_cliques_graph, [0, 1, 2, 3, 4])
+        assert stats.internal_degree_sum == 2 * stats.m_C
+
+    def test_duplicated_members_deduplicated(self, triangle_graph):
+        stats = compute_group_stats(triangle_graph, [1, 1, 2, 2])
+        assert stats.n_C == 2
+
+    def test_empty_group_raises(self, triangle_graph):
+        with pytest.raises(EmptyGroupError):
+            compute_group_stats(triangle_graph, [])
+
+    def test_missing_member_raises(self, triangle_graph):
+        with pytest.raises(NodeNotFound):
+            compute_group_stats(triangle_graph, [1, 999])
+
+    def test_whole_graph_has_no_boundary(self, triangle_graph):
+        stats = compute_group_stats(triangle_graph, [1, 2, 3, 4])
+        assert stats.c_C == 0
+        assert stats.m_C == triangle_graph.number_of_edges()
+
+    def test_possible_internal_edges(self, triangle_graph):
+        stats = compute_group_stats(triangle_graph, [1, 2, 3])
+        assert stats.possible_internal_edges == 3
+
+
+class TestDirectedStats:
+    def test_directed_counts(self, small_digraph):
+        stats = compute_group_stats(small_digraph, ["a", "b"])
+        assert stats.m_C == 2  # a->b and b->a
+        assert stats.c_C == 1  # b->c
+        assert stats.directed
+
+    def test_boundary_counts_both_directions(self):
+        graph = DiGraph([(1, 2), (3, 1), (1, 4), (5, 1)])
+        stats = compute_group_stats(graph, [1, 2])
+        assert stats.m_C == 1
+        assert stats.c_C == 3
+
+    def test_in_out_arrays(self, small_digraph):
+        stats = compute_group_stats(small_digraph, ["b"])
+        assert stats.member_in_degrees[0] == 1
+        assert stats.member_out_degrees[0] == 2
+        assert stats.member_degrees[0] == 3
+
+    def test_internal_degree_sum_is_twice_m_C(self, small_digraph):
+        stats = compute_group_stats(small_digraph, ["a", "b", "c"])
+        assert stats.internal_degree_sum == 2 * stats.m_C
+
+    def test_possible_internal_edges_directed(self, small_digraph):
+        stats = compute_group_stats(small_digraph, ["a", "b", "c"])
+        assert stats.possible_internal_edges == 6
+
+    def test_with_median_degree(self, small_digraph):
+        stats = compute_group_stats(small_digraph, ["a", "b"])
+        enriched = stats.with_median_degree(2.0)
+        assert enriched.graph_median_degree == 2.0
+        assert enriched.m_C == stats.m_C
+
+
+@st.composite
+def graph_and_group(draw):
+    """A random undirected graph plus a random non-empty vertex subset."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=40,
+        )
+    )
+    graph = Graph()
+    graph.add_nodes_from(range(n))
+    for u, v in edges:
+        if u != v:
+            graph.add_edge(u, v)
+    members = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=1,
+            max_size=n,
+            unique=True,
+        )
+    )
+    return graph, members
+
+
+class TestProperties:
+    @given(graph_and_group())
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_match_networkx(self, data):
+        graph, members = data
+        stats = compute_group_stats(graph, members)
+        oracle = nx.Graph()
+        oracle.add_nodes_from(graph.nodes)
+        oracle.add_edges_from(graph.edges)
+        member_set = set(members)
+        expected_internal = oracle.subgraph(member_set).number_of_edges()
+        expected_boundary = len(list(nx.edge_boundary(oracle, member_set)))
+        assert stats.m_C == expected_internal
+        assert stats.c_C == expected_boundary
+        # Conservation: every endpoint of a member is internal or boundary.
+        assert stats.degree_sum == 2 * stats.m_C + stats.c_C
+        assert stats.internal_degree_sum == 2 * stats.m_C
+        assert 0 <= stats.m_C <= stats.possible_internal_edges
+
+    @given(graph_and_group())
+    @settings(max_examples=30, deadline=None)
+    def test_directed_conservation(self, data):
+        graph, members = data
+        directed = DiGraph()
+        directed.add_nodes_from(graph.nodes)
+        for u, v in graph.edges:
+            directed.add_edge(u, v)
+            directed.add_edge(v, u)
+        stats = compute_group_stats(directed, members)
+        undirected_stats = compute_group_stats(graph, members)
+        # Full symmetrization doubles every count.
+        assert stats.m_C == 2 * undirected_stats.m_C
+        assert stats.c_C == 2 * undirected_stats.c_C
+        assert stats.degree_sum == 2 * stats.m_C + stats.c_C

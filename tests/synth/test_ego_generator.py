@@ -1,0 +1,119 @@
+"""Synthetic ego-collection generator tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.synth.ego_generator import EgoCollectionConfig, generate_ego_collection
+from tests.conftest import SMALL_EGO_CONFIG
+
+
+class TestConfigValidation:
+    def test_default_config_valid(self):
+        EgoCollectionConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_egos", 0),
+            ("edge_probability", 1.5),
+            ("circle_edge_boost", -0.1),
+            ("reciprocity", 2.0),
+            ("celebrity_fraction", -1.0),
+            ("circle_size_min", 1),
+            ("private_alter_fraction", 1.2),
+            ("isolated_ego_probability", -0.1),
+            ("shared_circle_inclusion", 1.5),
+            ("local_edge_fraction", -0.5),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        config = dataclasses.replace(SMALL_EGO_CONFIG, **{field: value})
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_pool_smaller_than_ego_max_rejected(self):
+        config = dataclasses.replace(
+            SMALL_EGO_CONFIG, pool_size=10, ego_size_max=50
+        )
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_inverted_ranges_rejected(self):
+        for fields in (
+            {"circles_per_ego_min": 5, "circles_per_ego_max": 2},
+            {"attribute_groups_min": 9, "attribute_groups_max": 3},
+            {"celebrity_size_min": 30, "celebrity_size_max": 10},
+        ):
+            config = dataclasses.replace(SMALL_EGO_CONFIG, **fields)
+            with pytest.raises(ValueError):
+                config.validate()
+
+
+class TestGeneration:
+    def test_deterministic_under_seed(self):
+        a = generate_ego_collection(SMALL_EGO_CONFIG, seed=5)
+        b = generate_ego_collection(SMALL_EGO_CONFIG, seed=5)
+        assert len(a) == len(b)
+        for net_a, net_b in zip(a, b):
+            assert net_a.ego == net_b.ego
+            assert net_a.alter_edges == net_b.alter_edges
+            assert [c.members for c in net_a.circles] == [
+                c.members for c in net_b.circles
+            ]
+
+    def test_different_seeds_differ(self):
+        a = generate_ego_collection(SMALL_EGO_CONFIG, seed=1)
+        b = generate_ego_collection(SMALL_EGO_CONFIG, seed=2)
+        assert a[0].alter_edges != b[0].alter_edges
+
+    def test_network_count(self, small_ego_collection):
+        assert len(small_ego_collection) == SMALL_EGO_CONFIG.num_egos
+
+    def test_ego_ids_disjoint_from_pool(self, small_ego_collection):
+        pool = SMALL_EGO_CONFIG.pool_size
+        for network in small_ego_collection:
+            assert network.ego >= pool
+            assert all(
+                alter < pool or alter >= pool + SMALL_EGO_CONFIG.num_egos
+                for alter in network.alters
+            )
+
+    def test_every_ego_has_circles_within_bounds(self, small_ego_collection):
+        for network in small_ego_collection:
+            ordinary = [c for c in network.circles if c.name != "celebrities"]
+            assert len(ordinary) <= SMALL_EGO_CONFIG.circles_per_ego_max
+            for circle in ordinary:
+                assert len(circle) >= SMALL_EGO_CONFIG.circle_size_min
+
+    def test_circle_members_are_alters(self, small_ego_collection):
+        for network in small_ego_collection:
+            for circle in network.circles:
+                assert circle.members <= network.alters
+                assert circle.owner == network.ego
+
+    def test_edges_are_simple_and_loop_free(self, small_ego_collection):
+        for network in small_ego_collection:
+            edges = network.alter_edges
+            assert len(set(edges)) == len(edges)
+            assert all(u != v for u, v in edges)
+
+    def test_heavy_multiplicity_tail_exists(self, small_ego_collection):
+        histogram = small_ego_collection.membership_histogram()
+        assert max(histogram) >= 3  # some pool users bridge many egos
+        assert histogram[1] > sum(
+            count for k, count in histogram.items() if k > 1
+        )  # but most vertices are in exactly one network (Fig. 2)
+
+    def test_undirected_variant(self):
+        config = dataclasses.replace(SMALL_EGO_CONFIG, directed=False)
+        collection = generate_ego_collection(config, seed=0)
+        assert not collection.directed
+        assert not collection.join().is_directed
+
+    def test_isolated_egos_drive_overlap_below_one(self):
+        config = dataclasses.replace(
+            SMALL_EGO_CONFIG, isolated_ego_probability=0.9, celebrity_fraction=0.0
+        )
+        collection = generate_ego_collection(config, seed=3)
+        assert collection.overlap_fraction() < 1.0

@@ -1,0 +1,77 @@
+"""Heavy-tailed sampler tests."""
+
+import numpy as np
+import pytest
+
+from repro.synth.heavy_tail import bounded_zipf_sample, lognormal_sizes, zipf_weights
+
+
+class TestLognormalSizes:
+    def test_shape_and_bounds(self):
+        sizes = lognormal_sizes(500, median=50, sigma=0.5, minimum=5, maximum=200, seed=0)
+        assert len(sizes) == 500
+        assert sizes.min() >= 5
+        assert sizes.max() <= 200
+        assert sizes.dtype == np.int64
+
+    def test_median_roughly_respected(self):
+        sizes = lognormal_sizes(5000, median=100, sigma=0.4, seed=1)
+        assert np.median(sizes) == pytest.approx(100, rel=0.1)
+
+    def test_reproducible(self):
+        a = lognormal_sizes(50, median=30, sigma=0.5, seed=7)
+        b = lognormal_sizes(50, median=30, sigma=0.5, seed=7)
+        assert (a == b).all()
+
+    def test_zero_count(self):
+        assert len(lognormal_sizes(0, median=10, sigma=0.5, seed=0)) == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            lognormal_sizes(-1, median=10, sigma=0.5)
+        with pytest.raises(ValueError):
+            lognormal_sizes(5, median=0, sigma=0.5)
+        with pytest.raises(ValueError):
+            lognormal_sizes(5, median=10, sigma=-1)
+
+
+class TestZipfWeights:
+    def test_normalized_and_decreasing(self):
+        weights = zipf_weights(100, 1.0)
+        assert weights.sum() == pytest.approx(1.0)
+        assert (np.diff(weights) <= 0).all()
+
+    def test_exponent_zero_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_higher_exponent_concentrates(self):
+        flat = zipf_weights(100, 0.5)
+        steep = zipf_weights(100, 2.0)
+        assert steep[0] > flat[0]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, -0.5)
+
+
+class TestBoundedZipfSample:
+    def test_distinct_and_in_range(self):
+        sample = bounded_zipf_sample(100, 30, exponent=1.0, seed=0)
+        assert len(sample) == 30
+        assert len(set(sample.tolist())) == 30
+        assert sample.min() >= 0
+        assert sample.max() < 100
+
+    def test_bias_toward_low_ranks(self):
+        hits = np.zeros(50)
+        for seed in range(200):
+            sample = bounded_zipf_sample(50, 5, exponent=1.5, seed=seed)
+            hits[sample] += 1
+        assert hits[0] > hits[25]
+
+    def test_oversample_rejected(self):
+        with pytest.raises(ValueError):
+            bounded_zipf_sample(5, 10)

@@ -1,0 +1,89 @@
+"""Paper-corpus builder tests (run on reduced configs where possible)."""
+
+import dataclasses
+
+import pytest
+
+from repro.synth.paper_datasets import (
+    GOOGLE_PLUS_CONFIG,
+    LIVEJOURNAL_CONFIG,
+    ORKUT_CONFIG,
+    TWITTER_CONFIG,
+    build_google_plus,
+    build_livejournal,
+    build_magno_reference,
+    build_orkut,
+    build_twitter,
+)
+
+
+#: Shrunken copies of the paper configs — same shape knobs, unit-test cost.
+TINY_GPLUS = dataclasses.replace(
+    GOOGLE_PLUS_CONFIG, num_egos=6, pool_size=400, ego_size_median=50.0,
+    ego_size_max=120,
+)
+TINY_TWITTER = dataclasses.replace(
+    TWITTER_CONFIG, num_egos=5, pool_size=300, ego_size_median=40.0,
+    ego_size_max=100,
+)
+TINY_LJ = dataclasses.replace(
+    LIVEJOURNAL_CONFIG, num_nodes=1500, num_communities=30,
+    community_size_max=150,
+)
+TINY_ORKUT = dataclasses.replace(
+    ORKUT_CONFIG, num_nodes=1200, num_communities=30, community_size_max=150,
+)
+
+
+class TestBuilders:
+    def test_google_plus_shape(self):
+        dataset = build_google_plus(seed=1, config=TINY_GPLUS)
+        assert dataset.name == "google_plus"
+        assert dataset.directed
+        assert dataset.structure == "circles"
+        assert dataset.ego_collection is not None
+        assert len(dataset.groups) > 0
+
+    def test_twitter_shape(self):
+        dataset = build_twitter(seed=1, config=TINY_TWITTER)
+        assert dataset.name == "twitter"
+        assert dataset.directed
+        assert dataset.structure == "circles"
+
+    def test_livejournal_shape(self):
+        dataset = build_livejournal(seed=1, config=TINY_LJ)
+        assert dataset.name == "livejournal"
+        assert not dataset.directed
+        assert dataset.structure == "communities"
+        assert dataset.ego_collection is None
+
+    def test_orkut_shape(self):
+        dataset = build_orkut(seed=1, config=TINY_ORKUT)
+        assert dataset.name == "orkut"
+        assert not dataset.directed
+
+    def test_magno_reference_shape(self):
+        dataset = build_magno_reference(seed=1, num_nodes=800)
+        assert dataset.name == "magno_bfs_crawl"
+        assert dataset.directed
+        assert len(dataset.groups) == 0
+        assert dataset.graph.number_of_nodes() == 800
+
+    def test_builders_deterministic(self):
+        a = build_google_plus(seed=3, config=TINY_GPLUS)
+        b = build_google_plus(seed=3, config=TINY_GPLUS)
+        assert a.graph.number_of_edges() == b.graph.number_of_edges()
+        assert [g.name for g in a.groups] == [g.name for g in b.groups]
+
+    def test_magno_in_out_sequences_balanced(self):
+        dataset = build_magno_reference(seed=2, num_nodes=600)
+        graph = dataset.graph
+        total_in = sum(graph.in_degree.values())
+        total_out = sum(graph.out_degree.values())
+        assert total_in == total_out == graph.number_of_edges()
+
+    def test_default_paper_configs_are_valid(self):
+        GOOGLE_PLUS_CONFIG.validate()
+        TWITTER_CONFIG.validate()
+        LIVEJOURNAL_CONFIG.validate()
+        ORKUT_CONFIG.validate()

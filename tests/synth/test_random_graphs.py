@@ -1,0 +1,106 @@
+"""Random-graph generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.degrees import degree_sequence
+from repro.algorithms.traversal import is_connected
+from repro.algorithms.triangles import average_clustering
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+from repro.synth.random_graphs import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    watts_strogatz_graph,
+)
+
+
+class TestErdosRenyi:
+    def test_edge_count_near_expectation(self):
+        graph = erdos_renyi_graph(200, 0.05, seed=0)
+        expected = 0.05 * 200 * 199 / 2
+        assert graph.number_of_edges() == pytest.approx(expected, rel=0.2)
+
+    def test_directed_variant(self):
+        graph = erdos_renyi_graph(100, 0.05, directed=True, seed=1)
+        assert isinstance(graph, DiGraph)
+        expected = 0.05 * 100 * 99
+        assert graph.number_of_edges() == pytest.approx(expected, rel=0.25)
+
+    def test_no_self_loops_or_duplicates(self):
+        graph = erdos_renyi_graph(80, 0.2, seed=2)
+        edges = list(graph.edges)
+        assert all(u != v for u, v in edges)
+        assert len({frozenset(e) for e in edges}) == len(edges)
+
+    def test_p_zero_and_one(self):
+        empty = erdos_renyi_graph(10, 0.0, seed=0)
+        assert empty.number_of_edges() == 0
+        complete = erdos_renyi_graph(10, 1.0, seed=0)
+        assert complete.number_of_edges() == 45
+
+    def test_deterministic(self):
+        a = erdos_renyi_graph(50, 0.1, seed=9)
+        b = erdos_renyi_graph(50, 0.1, seed=9)
+        assert set(map(frozenset, a.edges)) == set(map(frozenset, b.edges))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(-1, 0.5)
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(5, 1.5)
+
+    def test_unranking_covers_all_pairs(self):
+        complete = erdos_renyi_graph(7, 1.0, seed=0)
+        assert {frozenset(e) for e in complete.edges} == {
+            frozenset((u, v)) for u in range(7) for v in range(u + 1, 7)
+        }
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        m = 3
+        graph = barabasi_albert_graph(100, m, seed=0)
+        seed_edges = (m + 1) * m // 2
+        assert graph.number_of_edges() == seed_edges + m * (100 - m - 1)
+
+    def test_connected(self):
+        assert is_connected(barabasi_albert_graph(120, 2, seed=1))
+
+    def test_heavy_tail(self):
+        graph = barabasi_albert_graph(800, 2, seed=2)
+        degrees = degree_sequence(graph)
+        assert degrees.max() > 6 * np.median(degrees)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(10, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(3, 5)
+
+
+class TestWattsStrogatz:
+    def test_lattice_at_p_zero(self):
+        graph = watts_strogatz_graph(30, 2, 0.0, seed=0)
+        assert graph.number_of_edges() == 30 * 2
+        assert all(graph.degree[v] == 4 for v in graph)
+
+    def test_rewiring_preserves_edge_count(self):
+        graph = watts_strogatz_graph(60, 3, 0.3, seed=1)
+        assert graph.number_of_edges() == 60 * 3
+
+    def test_small_world_regime(self):
+        """Moderate rewiring keeps clustering well above the ER level."""
+        lattice = watts_strogatz_graph(200, 3, 0.05, seed=2)
+        random = erdos_renyi_graph(200, 6 / 199, seed=2)
+        assert average_clustering(lattice) > 3 * max(
+            average_clustering(random), 0.01
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, 5, 0.1)
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(30, 2, 1.5)
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(30, 0, 0.5)

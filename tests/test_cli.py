@@ -1,0 +1,123 @@
+"""CLI tests — builders are monkeypatched to the small session datasets so
+the commands run in unit-test time."""
+
+import pytest
+
+from repro import cli
+
+
+@pytest.fixture(autouse=True)
+def small_builders(monkeypatch, small_circles_dataset, small_community_dataset):
+    def circles_builder(seed=None, **kwargs):
+        return small_circles_dataset
+
+    def community_builder(seed=None, **kwargs):
+        return small_community_dataset
+
+    monkeypatch.setattr(
+        cli,
+        "_BUILDERS",
+        {
+            "google_plus": circles_builder,
+            "twitter": circles_builder,
+            "livejournal": community_builder,
+            "orkut": community_builder,
+            "magno": community_builder,
+        },
+    )
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+    def test_unknown_dataset_exits(self):
+        with pytest.raises(SystemExit, match="unknown dataset"):
+            cli.main(["overlap", "nope"])
+
+
+class TestCommands:
+    def test_characterize_single(self, capsys):
+        assert cli.main(["characterize", "google_plus"]) == 0
+        out = capsys.readouterr().out
+        assert "Dataset characterization" in out
+        assert "vertices" in out
+
+    def test_characterize_all_prints_contrast(self, capsys):
+        assert cli.main(["characterize"]) == 0
+        out = capsys.readouterr().out
+        assert "Crawl-method contrast" in out
+
+    def test_overlap(self, capsys):
+        assert cli.main(["overlap", "google_plus"]) == 0
+        out = capsys.readouterr().out
+        assert "overlap_fraction" in out
+        assert "Membership multiplicity" in out
+
+    def test_overlap_requires_ego_collection(self):
+        with pytest.raises(SystemExit, match="no ego collection"):
+            cli.main(["overlap", "livejournal"])
+
+    def test_degree_fit(self, capsys):
+        assert cli.main(["degree-fit", "google_plus"]) == 0
+        out = capsys.readouterr().out
+        assert "model selection" in out
+        assert "Likelihood-ratio" in out
+
+    def test_score(self, capsys):
+        assert cli.main(["score", "google_plus"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+        assert "circles" in out
+        assert "Separation summary" in out
+
+    def test_score_with_sampler(self, capsys):
+        assert cli.main(["score", "google_plus", "--sampler", "uniform"]) == 0
+
+    def test_compare(self, capsys):
+        assert cli.main(["compare"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out
+        assert "Structural signatures" in out
+
+    def test_robustness(self, capsys):
+        assert cli.main(["robustness", "google_plus"]) == 0
+        out = capsys.readouterr().out
+        assert "deviation" in out
+
+    def test_classify(self, capsys):
+        assert cli.main(["classify", "google_plus"]) == 0
+        out = capsys.readouterr().out
+        assert "Circle categorization" in out
+        assert "community_count" in out
+
+    def test_classify_threshold_method(self, capsys):
+        assert cli.main(["classify", "google_plus", "--method", "threshold"]) == 0
+
+    def test_classify_requires_circles(self):
+        with pytest.raises(SystemExit, match="no circles"):
+            cli.main(["classify", "livejournal"])
+
+    def test_ego_view(self, capsys):
+        assert cli.main(["ego-view", "google_plus"]) == 0
+        out = capsys.readouterr().out
+        assert "Ego-local vs global" in out
+        assert "Confinement gain" in out
+
+    def test_ego_view_requires_ego_collection(self):
+        with pytest.raises(SystemExit, match="no ego collection"):
+            cli.main(["ego-view", "livejournal"])
+
+    def test_detect(self, capsys):
+        assert cli.main(["detect", "livejournal"]) == 0
+        out = capsys.readouterr().out
+        assert "Louvain" in out
+        assert "Jaccard" in out
+
+    def test_export(self, capsys, tmp_path):
+        target = tmp_path / "figures"
+        assert cli.main(["export", "-o", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "fig5_conductance.csv" in out
+        assert (target / "fig6_conductance.csv").exists()

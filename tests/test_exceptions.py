@@ -1,0 +1,54 @@
+"""Exception-hierarchy contract tests."""
+
+import pytest
+
+from repro.exceptions import (
+    EdgeNotFound,
+    EmptyGroupError,
+    FitError,
+    FormatError,
+    GraphError,
+    NodeNotFound,
+    NotGraphical,
+    ReproError,
+    SamplingError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            GraphError,
+            NodeNotFound,
+            EdgeNotFound,
+            NotGraphical,
+            EmptyGroupError,
+            FormatError,
+            FitError,
+            SamplingError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_lookup_errors_are_key_errors(self):
+        assert issubclass(NodeNotFound, KeyError)
+        assert issubclass(EdgeNotFound, KeyError)
+
+    def test_value_errors(self):
+        for exc in (NotGraphical, EmptyGroupError, FormatError, FitError):
+            assert issubclass(exc, ValueError)
+
+    def test_node_not_found_message(self):
+        error = NodeNotFound("alice")
+        assert "alice" in str(error)
+        assert error.node == "alice"
+
+    def test_edge_not_found_message(self):
+        error = EdgeNotFound(1, 2)
+        assert "(1, 2)" in str(error)
+        assert (error.u, error.v) == (1, 2)
+
+    def test_catchable_as_base(self):
+        from repro.graph.ugraph import Graph
+
+        with pytest.raises(ReproError):
+            Graph().remove_node(42)

@@ -1,0 +1,141 @@
+"""End-to-end integration tests: the paper's qualitative findings must hold
+on the small session corpora, and the public API round-trips through the
+on-disk formats."""
+
+import pytest
+
+from repro import (
+    EmpiricalCDF,
+    analyze_overlap,
+    circles_vs_random,
+    compare_datasets,
+    directed_vs_undirected,
+    score_groups,
+    to_undirected,
+)
+from repro.graph.io import (
+    read_edgelist,
+    read_ego_directory,
+    write_edgelist,
+    write_ego_directory,
+)
+
+
+class TestPaperFindingsSmallScale:
+    """Question 1 (section V-A): circles are pronounced structures."""
+
+    @pytest.fixture(scope="class")
+    def experiment(self, small_circles_dataset):
+        return circles_vs_random(small_circles_dataset, seed=0)
+
+    def test_circles_score_higher_average_degree(self, experiment):
+        summary = experiment.separation_summary()["average_degree"]
+        assert summary["circle_median"] > summary["random_median"]
+
+    def test_circles_have_lower_conductance_than_random(self, experiment):
+        summary = experiment.separation_summary()["conductance"]
+        assert summary["circle_median"] < summary["random_median"]
+
+    def test_majority_of_circles_below_random_ratio_cut(self, experiment):
+        summary = experiment.separation_summary()["ratio_cut"]
+        assert summary["circles_below_random_median"] > 0.5
+
+    def test_circles_modularity_above_random(self, experiment):
+        summary = experiment.separation_summary()["modularity"]
+        assert summary["circle_median"] > summary["random_median"]
+
+
+class TestCirclesVsCommunities:
+    """Question 2 (section V-B): circles differ from communities mainly by
+    external connectivity."""
+
+    @pytest.fixture(scope="class")
+    def comparison(self, small_circles_dataset, small_community_dataset):
+        return compare_datasets([small_circles_dataset, small_community_dataset])
+
+    def test_internal_connectivity_similar(self, comparison):
+        cdfs = comparison.cdfs("average_degree")
+        circles = cdfs["small-circles"].median
+        communities = cdfs["small-communities"].median
+        assert 0.2 < circles / communities < 5.0
+
+    def test_circles_less_separated(self, comparison):
+        cdfs = comparison.cdfs("conductance")
+        assert cdfs["small-circles"].median > cdfs["small-communities"].median
+
+    def test_circles_higher_ratio_cut(self, comparison):
+        cdfs = comparison.cdfs("ratio_cut")
+        assert cdfs["small-circles"].mean > cdfs["small-communities"].mean
+
+
+class TestPipelineConsistency:
+    def test_overlap_report_matches_joined_graph(self, small_circles_dataset):
+        report = analyze_overlap(small_circles_dataset.ego_collection)
+        assert report.num_vertices == small_circles_dataset.graph.number_of_nodes()
+        assert report.num_edges == small_circles_dataset.graph.number_of_edges()
+
+    def test_robustness_check_runs_on_circles(self, small_circles_dataset):
+        result = directed_vs_undirected(small_circles_dataset)
+        assert 0.0 <= result.overall_deviation() <= 1.0
+
+    def test_scores_stable_across_recomputation(self, small_circles_dataset):
+        first = score_groups(
+            small_circles_dataset.graph, small_circles_dataset.groups
+        )
+        second = score_groups(
+            small_circles_dataset.graph, small_circles_dataset.groups
+        )
+        for name in first.function_names():
+            assert (first.scores(name) == second.scores(name)).all()
+
+    def test_undirected_conversion_halves_reciprocal_pairs(
+        self, small_circles_dataset
+    ):
+        directed = small_circles_dataset.graph
+        undirected = to_undirected(directed)
+        assert undirected.number_of_edges() < directed.number_of_edges()
+        assert undirected.number_of_nodes() == directed.number_of_nodes()
+
+    def test_cdf_of_scores_is_well_formed(self, small_circles_dataset):
+        table = score_groups(
+            small_circles_dataset.graph, small_circles_dataset.groups
+        )
+        cdf = EmpiricalCDF(table.scores("conductance"))
+        assert 0.0 <= cdf.quantile(0.5) <= 1.0
+
+
+class TestOnDiskRoundTrips:
+    def test_graph_edgelist_round_trip(self, tmp_path, small_circles_dataset):
+        path = tmp_path / "graph.txt"
+        write_edgelist(small_circles_dataset.graph, path)
+        loaded = read_edgelist(path, directed=True)
+        assert loaded.number_of_edges() == (
+            small_circles_dataset.graph.number_of_edges()
+        )
+
+    def test_ego_directory_round_trip(self, tmp_path, small_ego_collection):
+        write_ego_directory(small_ego_collection, tmp_path)
+        loaded = read_ego_directory(tmp_path, name=small_ego_collection.name)
+        assert len(loaded) == len(small_ego_collection)
+        original = {net.ego: net for net in small_ego_collection}
+        for network in loaded:
+            assert sorted(network.alter_edges) == sorted(
+                original[network.ego].alter_edges
+            )
+            assert {c.members for c in network.circles} == {
+                c.members for c in original[network.ego].circles
+            }
+
+    def test_scores_survive_round_trip(self, tmp_path, small_circles_dataset):
+        """Scoring the reloaded graph gives identical results."""
+        path = tmp_path / "graph.txt"
+        write_edgelist(small_circles_dataset.graph, path)
+        loaded = read_edgelist(path, directed=True)
+        original_scores = score_groups(
+            small_circles_dataset.graph, small_circles_dataset.groups
+        )
+        reloaded_scores = score_groups(loaded, small_circles_dataset.groups)
+        for name in original_scores.function_names():
+            assert (
+                original_scores.scores(name) == reloaded_scores.scores(name)
+            ).all()
