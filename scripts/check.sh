@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# One-command correctness gate: custom lint pass, seed-determinism check
+# on the fast pipelines, then the tier-1 test suite.  Exits non-zero on
+# the first failure so it can gate PRs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== repro lint (REP001-REP006) =="
+python -m repro.devtools.lint src
+
+echo "== determinism check (fast pipelines) =="
+python -m repro.devtools.determinism --fast
+
+echo "== tier-1 tests =="
+python -m pytest -x -q

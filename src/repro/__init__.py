@@ -96,6 +96,22 @@ from repro.synth import (
 
 __version__ = "1.0.0"
 
+# Opt-in runtime invariant checking: REPRO_CHECK_INVARIANTS=1 wraps every
+# mutating substrate method with a post-condition validation pass.  The
+# import is deferred so the devtools layer costs nothing when disabled.
+import os as _os
+
+if _os.environ.get("REPRO_CHECK_INVARIANTS", "").strip().lower() not in (
+    "",
+    "0",
+    "false",
+    "no",
+    "off",
+):
+    from repro.devtools.invariants import install_invariant_checks as _install
+
+    _install()
+
 __all__ = [
     "__version__",
     # graph substrate

@@ -13,6 +13,8 @@ corpora (see DESIGN.md for the experiment index):
 ``classify``       Fang-et-al. community/celebrity circle categorization
 ``ego-view``       §VI future work: local (ego) vs global circle scores
 ``detect``         detected-vs-declared: do algorithms recover the groups?
+``lint``           repo-specific AST lint pass (repro.devtools.lint)
+``check``          seed-determinism check of the stochastic pipelines
 =================  ========================================================
 """
 
@@ -242,6 +244,27 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint import main as lint_main
+
+    forwarded = list(args.paths)
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    return lint_main(forwarded)
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.devtools.determinism import main as determinism_main
+
+    forwarded = list(args.pipelines)
+    forwarded += ["--seed", str(args.seed if args.seed is not None else 0)]
+    if args.fast:
+        forwarded.append("--fast")
+    if args.list:
+        forwarded.append("--list")
+    return determinism_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -323,6 +346,31 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default="figures", help="output directory"
     )
     export_parser.set_defaults(handler=_cmd_export)
+
+    lint_parser = commands.add_parser(
+        "lint", help="repo-specific AST lint pass (rules REP001-REP006)"
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories"
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    lint_parser.set_defaults(handler=_cmd_lint)
+
+    check_parser = commands.add_parser(
+        "check", help="seed-determinism check of the stochastic pipelines"
+    )
+    check_parser.add_argument(
+        "pipelines", nargs="*", help="pipeline names (default: all)"
+    )
+    check_parser.add_argument(
+        "--fast", action="store_true", help="only the fast gate pipelines"
+    )
+    check_parser.add_argument(
+        "--list", action="store_true", help="list registered pipelines"
+    )
+    check_parser.set_defaults(handler=_cmd_check)
 
     return parser
 

@@ -20,6 +20,7 @@ import random
 from collections import defaultdict
 from collections.abc import Hashable
 
+from repro.graph.convert import stable_sorted
 from repro.graph.digraph import DiGraph
 from repro.graph.ugraph import Graph
 
@@ -38,7 +39,10 @@ def _weighted_adjacency(
     """
     adjacency: dict[Node, dict[Node, float]] = {node: {} for node in graph}
     total = 0.0
-    for u, v in graph.edges:
+    # Insert in stable edge order: the inner-dict iteration order decides
+    # modularity-gain tie-breaks in the local-moving pass, so hash-ordered
+    # insertion would leak PYTHONHASHSEED into the detected partition.
+    for u, v in stable_sorted(graph.edges):
         adjacency[u][v] = adjacency[u].get(v, 0.0) + 1.0
         adjacency[v][u] = adjacency[v].get(u, 0.0) + 1.0
         total += 1.0

@@ -1,0 +1,27 @@
+"""Correctness tooling for the repro codebase.
+
+Three layers keep the reproduction's headline numbers trustworthy as the
+codebase grows:
+
+* :mod:`repro.devtools.lint` — a custom AST lint pass with repo-specific
+  rules (seeded randomness, graph-substrate encapsulation, no
+  mutate-while-iterate, no float equality in scoring, ``__all__``
+  discipline, no broad excepts).  Runnable as
+  ``python -m repro.devtools.lint src/`` or ``repro lint``.
+* :mod:`repro.devtools.invariants` — runtime structural validation of
+  :class:`~repro.graph.Graph` / :class:`~repro.graph.DiGraph` /
+  :class:`~repro.graph.CSRGraph`, with an opt-in
+  ``REPRO_CHECK_INVARIANTS=1`` mode that post-checks every mutating
+  substrate operation.
+* :mod:`repro.devtools.determinism` — runs registered stochastic
+  pipelines twice under the same seed and diffs canonical serializations,
+  catching order-dependent iteration and unseeded randomness at runtime.
+
+The library proper never imports :mod:`repro.devtools` (except for the
+lazy, opt-in invariant installation); the tooling depends on the library,
+not the other way around.
+"""
+
+from __future__ import annotations
+
+__all__ = ["lint", "invariants", "determinism"]

@@ -1,0 +1,282 @@
+"""Runtime structural validation of the graph substrate.
+
+The reproduction's numbers are only as trustworthy as the substrate under
+them: a single asymmetric adjacency entry or a drifted edge count skews
+conductance and Modularity for every group scored afterwards.
+:func:`validate` checks the full set of structural invariants of
+:class:`~repro.graph.Graph`, :class:`~repro.graph.DiGraph` and
+:class:`~repro.graph.CSRGraph`:
+
+* undirected adjacency is symmetric, directed ``_succ``/``_pred`` mirror
+  each other, and both index the same node set;
+* no self-loops (the social graph is simple);
+* the incremental edge counter agrees with a recount;
+* CSR ``indptr`` starts at 0, is monotone, and matches ``indices``;
+  every CSR row is sorted, in-range, self-loop-free and duplicate-free;
+  label/index mappings are mutually inverse.
+
+Setting ``REPRO_CHECK_INVARIANTS=1`` before importing :mod:`repro` wraps
+every mutating substrate method with a post-condition check (see
+:func:`install_invariant_checks`).  Bulk operations validate once at the
+end, not per element, and graphs larger than
+``REPRO_CHECK_INVARIANTS_LIMIT`` nodes+edges (default 20000) are skipped
+to keep the mode usable on full experiment runs.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import Any
+
+from repro.exceptions import InvariantViolation
+from repro.graph import convert as _convert_module
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+
+__all__ = [
+    "validate",
+    "validate_graph",
+    "validate_digraph",
+    "validate_csr",
+    "validate_conversion",
+    "install_invariant_checks",
+    "uninstall_invariant_checks",
+    "checks_installed",
+    "checks_enabled_from_env",
+]
+
+_ENV_FLAG = "REPRO_CHECK_INVARIANTS"
+_ENV_LIMIT = "REPRO_CHECK_INVARIANTS_LIMIT"
+_DEFAULT_LIMIT = 20_000
+
+
+def _fail(message: str) -> None:
+    raise InvariantViolation(message)
+
+
+def validate_graph(graph: Graph) -> None:
+    """Check every structural invariant of an undirected :class:`Graph`."""
+    adj = graph._adj  # noqa: SLF001 - validator inspects internals
+    half_edges = 0
+    for node, neighbors in adj.items():
+        if node in neighbors:
+            _fail(f"self-loop on node {node!r}")
+        half_edges += len(neighbors)
+        for other in neighbors:
+            if other not in adj:
+                _fail(
+                    f"neighbour {other!r} of {node!r} is not a node "
+                    "of the graph"
+                )
+            if node not in adj[other]:
+                _fail(
+                    f"asymmetric adjacency: {other!r} in adj[{node!r}] "
+                    f"but {node!r} not in adj[{other!r}]"
+                )
+    if half_edges % 2 != 0:
+        _fail(f"odd half-edge total {half_edges} in an undirected graph")
+    recount = half_edges // 2
+    if graph.number_of_edges() != recount:
+        _fail(
+            f"edge-count drift: counter says {graph.number_of_edges()}, "
+            f"adjacency holds {recount}"
+        )
+
+
+def validate_digraph(graph: DiGraph) -> None:
+    """Check every structural invariant of a :class:`DiGraph`."""
+    succ = graph._succ  # noqa: SLF001 - validator inspects internals
+    pred = graph._pred  # noqa: SLF001
+    if succ.keys() != pred.keys():
+        missing = set(succ.keys()) ^ set(pred.keys())
+        _fail(f"node sets of _succ and _pred disagree on {sorted(map(repr, missing))}")
+    out_edges = 0
+    for node, successors in succ.items():
+        if node in successors:
+            _fail(f"self-loop on node {node!r}")
+        out_edges += len(successors)
+        for other in successors:
+            if other not in pred:
+                _fail(
+                    f"successor {other!r} of {node!r} is not a node "
+                    "of the graph"
+                )
+            if node not in pred[other]:
+                _fail(
+                    f"mirror violation: edge {node!r}->{other!r} in _succ "
+                    "has no _pred entry"
+                )
+    in_edges = sum(len(predecessors) for predecessors in pred.values())
+    if in_edges != out_edges:
+        _fail(
+            f"half-edge accounting: {out_edges} successor entries vs "
+            f"{in_edges} predecessor entries"
+        )
+    if graph.number_of_edges() != out_edges:
+        _fail(
+            f"edge-count drift: counter says {graph.number_of_edges()}, "
+            f"adjacency holds {out_edges}"
+        )
+
+
+def validate_csr(csr: CSRGraph) -> None:
+    """Check the structural invariants of a :class:`CSRGraph` snapshot."""
+    indptr, indices = csr.indptr, csr.indices
+    n = csr.num_vertices
+    if len(indptr) != n + 1:
+        _fail(f"indptr has {len(indptr)} entries for {n} vertices")
+    if n and indptr[0] != 0:
+        _fail(f"indptr[0] == {indptr[0]}, expected 0")
+    for i in range(len(indptr) - 1):
+        if indptr[i + 1] < indptr[i]:
+            _fail(f"indptr not monotone at position {i}")
+    if len(indptr) and indptr[-1] != len(indices):
+        _fail(
+            f"indptr[-1] == {indptr[-1]} but indices has {len(indices)} entries"
+        )
+    for vertex in range(n):
+        row = indices[indptr[vertex] : indptr[vertex + 1]]
+        previous = -1
+        for neighbor in row:
+            if not 0 <= neighbor < n:
+                _fail(f"row {vertex} references out-of-range vertex {neighbor}")
+            if neighbor == vertex:
+                _fail(f"self-loop in CSR row {vertex}")
+            if neighbor <= previous:
+                _fail(f"row {vertex} is not strictly sorted")
+            previous = neighbor
+    if len(csr.nodes) != len(csr.index_of):
+        _fail(
+            f"{len(csr.nodes)} labels but {len(csr.index_of)} index entries"
+        )
+    for i, label in enumerate(csr.nodes):
+        if csr.index_of.get(label) != i:
+            _fail(f"label {label!r} maps to {csr.index_of.get(label)}, not {i}")
+
+
+def validate_conversion(source: Any, derived: Any) -> None:
+    """Check node-set agreement between a graph and a converted form.
+
+    Applies after :func:`repro.graph.convert.to_undirected` /
+    :func:`~repro.graph.convert.to_directed` and CSR freezing: every
+    conversion in this library preserves the vertex set exactly.
+    """
+    source_nodes = set(source.nodes)
+    derived_nodes = set(derived.nodes)
+    if source_nodes != derived_nodes:
+        missing = source_nodes - derived_nodes
+        extra = derived_nodes - source_nodes
+        _fail(
+            f"conversion changed the node set: {len(missing)} dropped, "
+            f"{len(extra)} invented"
+        )
+
+
+def validate(obj: Graph | DiGraph | CSRGraph) -> None:
+    """Validate any supported substrate object; raise on corruption."""
+    if isinstance(obj, Graph):
+        validate_graph(obj)
+    elif isinstance(obj, DiGraph):
+        validate_digraph(obj)
+    elif isinstance(obj, CSRGraph):
+        validate_csr(obj)
+    else:
+        raise TypeError(f"cannot validate object of type {type(obj).__name__}")
+
+
+# -- opt-in post-condition mode ---------------------------------------------
+
+#: Mutating methods wrapped by :func:`install_invariant_checks`.
+_MUTATORS = (
+    "add_node",
+    "add_nodes_from",
+    "add_edge",
+    "add_edges_from",
+    "remove_node",
+    "remove_edge",
+)
+
+# Saved originals: {(cls, method_name): function}.  Non-empty iff installed.
+_originals: dict[tuple[type, str], Any] = {}
+
+# Re-entrancy depth: bulk methods call unit methods internally; only the
+# outermost wrapped call validates, so add_edges_from costs one check.
+_depth = 0
+
+
+def _size(graph: Graph | DiGraph) -> int:
+    return graph.number_of_nodes() + graph.number_of_edges()
+
+
+def _wrap_mutator(cls: type, name: str, limit: int) -> None:
+    original = getattr(cls, name)
+    _originals[(cls, name)] = original
+
+    @functools.wraps(original)
+    def checked(self, *args, **kwargs):
+        global _depth
+        _depth += 1
+        try:
+            result = original(self, *args, **kwargs)
+        finally:
+            _depth -= 1
+        if _depth == 0 and _size(self) <= limit:
+            validate(self)
+        return result
+
+    setattr(cls, name, checked)
+
+
+def install_invariant_checks(limit: int | None = None) -> None:
+    """Wrap substrate mutators and conversions with post-condition checks.
+
+    Idempotent.  ``limit`` bounds the graph size (nodes + edges) above
+    which validation is skipped; default is ``REPRO_CHECK_INVARIANTS_LIMIT``
+    or 20000.  Activated automatically at import time when
+    ``REPRO_CHECK_INVARIANTS=1`` is set (see ``repro/__init__.py``).
+    """
+    if _originals:
+        return
+    if limit is None:
+        limit = int(os.environ.get(_ENV_LIMIT, _DEFAULT_LIMIT))
+    for cls in (Graph, DiGraph):
+        for name in _MUTATORS:
+            _wrap_mutator(cls, name, limit)
+    # The conversion functions call this hook themselves, so the check
+    # covers every call site regardless of how the function was imported.
+    hook_name = "_conversion_check"
+    _originals[(_convert_module, hook_name)] = getattr(  # type: ignore[index]
+        _convert_module, hook_name
+    )
+
+    def checked_conversion(source, result) -> None:
+        if _size(source) <= limit:
+            validate_conversion(source, result)
+            validate(result)
+
+    setattr(_convert_module, hook_name, checked_conversion)
+
+
+def uninstall_invariant_checks() -> None:
+    """Restore the original unwrapped substrate methods."""
+    for (owner, name), original in _originals.items():
+        setattr(owner, name, original)
+    _originals.clear()
+
+
+def checks_installed() -> bool:
+    """Whether the post-condition wrappers are currently active."""
+    return bool(_originals)
+
+
+def checks_enabled_from_env() -> bool:
+    """Whether ``REPRO_CHECK_INVARIANTS`` requests the opt-in mode."""
+    return os.environ.get(_ENV_FLAG, "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "no",
+        "off",
+    )

@@ -17,6 +17,7 @@ __all__ = [
     "FormatError",
     "FitError",
     "SamplingError",
+    "InvariantViolation",
 ]
 
 
@@ -69,3 +70,13 @@ class FitError(ReproError, ValueError):
 
 class SamplingError(ReproError, RuntimeError):
     """A sampler could not produce a sample under the given constraints."""
+
+
+class InvariantViolation(GraphError, AssertionError):
+    """A graph's internal structure violates a structural invariant.
+
+    Raised by :mod:`repro.devtools.invariants`; seeing this means the
+    substrate state was corrupted (e.g. by mutating private adjacency
+    from outside :mod:`repro.graph`), not that the caller passed bad
+    arguments.
+    """

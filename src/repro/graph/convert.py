@@ -22,7 +22,31 @@ __all__ = [
     "relabel_nodes",
     "integer_index",
     "from_edges",
+    "stable_sorted",
 ]
+
+
+def _conversion_check(source: Graph | DiGraph, result: Graph | DiGraph) -> None:
+    """Post-conversion hook; replaced by :mod:`repro.devtools.invariants`
+    when ``REPRO_CHECK_INVARIANTS`` is active.  No-op by default."""
+
+
+def stable_sorted(nodes: Iterable[Node]) -> list[Node]:
+    """Sort nodes into a deterministic, hash-independent order.
+
+    Iterating a ``set`` of string nodes depends on ``PYTHONHASHSEED``, so
+    any stochastic pipeline that draws from raw set order produces
+    different output across processes *even with the same seed*.  Every
+    sampler and null model orders candidate sets through this helper
+    before consuming randomness.  Falls back to ``repr`` ordering for
+    mixed-type node sets that do not support ``<``.
+    """
+    items = list(nodes)
+    try:
+        items.sort()
+    except TypeError:
+        items.sort(key=repr)
+    return items
 
 
 def to_undirected(graph: DiGraph | Graph, *, reciprocal_only: bool = False) -> Graph:
@@ -47,6 +71,7 @@ def to_undirected(graph: DiGraph | Graph, *, reciprocal_only: bool = False) -> G
             if reciprocal_only and not graph.has_edge(v, u):
                 continue
             result.add_edge(u, v)
+    _conversion_check(graph, result)
     return result
 
 
@@ -57,6 +82,7 @@ def to_directed(graph: Graph) -> DiGraph:
     for u, v in graph.edges:
         result.add_edge(u, v)
         result.add_edge(v, u)
+    _conversion_check(graph, result)
     return result
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 from collections.abc import Hashable
 
+from repro.graph.convert import stable_sorted
 from repro.graph.digraph import DiGraph
 from repro.graph.ugraph import Graph
 
@@ -35,7 +36,10 @@ def double_edge_swap(
     if graph.is_directed:
         raise ValueError("double_edge_swap requires an undirected graph")
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
-    edges = list(graph.edges)
+    # graph.edges iterates hash-ordered neighbour sets; the swap chain
+    # addresses edges by index, so the list must be ordered before the RNG
+    # is consumed or the walk depends on PYTHONHASHSEED.
+    edges = stable_sorted(graph.edges)
     if len(edges) < 2:
         return 0
     swaps = 0
@@ -80,7 +84,7 @@ def directed_edge_swap(
     if not graph.is_directed:
         raise ValueError("directed_edge_swap requires a directed graph")
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
-    edges = list(graph.edges)
+    edges = stable_sorted(graph.edges)
     if len(edges) < 2:
         return 0
     swaps = 0

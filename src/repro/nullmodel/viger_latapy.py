@@ -25,6 +25,7 @@ from collections.abc import Sequence
 
 from repro.algorithms.traversal import connected_components, is_connected
 from repro.exceptions import NotGraphical, SamplingError
+from repro.graph.convert import stable_sorted
 from repro.graph.ugraph import Graph
 from repro.nullmodel.configuration import configuration_model
 from repro.nullmodel.degree_sequence import is_graphical
@@ -43,10 +44,12 @@ def _find_cycle_edge(
     """
     candidates = []
     seen_pairs: set[frozenset] = set()
-    for node in component:
+    # stable_sorted: candidate order feeds rng.shuffle, so hash-ordered
+    # iteration would make the generated graph PYTHONHASHSEED-dependent.
+    for node in stable_sorted(component):
         if graph.degree[node] < 2:
             continue
-        for other in graph.neighbors(node):
+        for other in stable_sorted(graph.neighbors(node)):
             if other in component and graph.degree[other] >= 2:
                 pair = frozenset((node, other))
                 if pair not in seen_pairs:
@@ -113,10 +116,10 @@ def connect_components(
         # Pick any edge from some other component.
         other_component = components[0 if donor_index != 0 else 1]
         other_edge = None
-        for node in other_component:
+        for node in stable_sorted(other_component):
             neighbors = graph.neighbors(node)
             if neighbors:
-                other_edge = (node, next(iter(neighbors)))
+                other_edge = (node, stable_sorted(neighbors)[0])
                 break
         if other_edge is None:
             # The other component is a single isolated vertex with degree 0;

@@ -17,6 +17,7 @@ from collections import deque
 from collections.abc import Hashable, Sequence
 
 from repro.exceptions import SamplingError
+from repro.graph.convert import stable_sorted
 from repro.graph.digraph import DiGraph
 from repro.graph.ugraph import Graph
 
@@ -86,7 +87,10 @@ def bfs_ball_set(
             if len(collected) >= size:
                 break
         node = queue.popleft()
-        fresh = list(neighbors(node) - collected)
+        # stable_sorted before shuffling: rng.shuffle permutes whatever
+        # order it is given, so a hash-ordered input would make the
+        # result PYTHONHASHSEED-dependent despite the seed.
+        fresh = stable_sorted(neighbors(node) - collected)
         rng.shuffle(fresh)
         for other in fresh:
             if len(collected) >= size:
@@ -122,7 +126,7 @@ def forest_fire_set(
             if len(collected) >= size:
                 break
         node = frontier.popleft()
-        fresh = list(neighbors(node) - collected)
+        fresh = stable_sorted(neighbors(node) - collected)
         rng.shuffle(fresh)
         for other in fresh:
             if len(collected) >= size:

@@ -14,6 +14,7 @@ import random
 from collections.abc import Hashable, Sequence
 
 from repro.exceptions import SamplingError
+from repro.graph.convert import stable_sorted
 from repro.graph.digraph import DiGraph
 from repro.graph.ugraph import Graph
 
@@ -74,7 +75,9 @@ def random_walk_set(
             current = rng.choice(nodes)
             collected.add(current)
             continue
-        current = rng.choice(list(fresh))
+        # stable_sorted: raw set order is PYTHONHASHSEED-dependent and
+        # would leak into the sample across interpreter runs.
+        current = rng.choice(stable_sorted(fresh))
         collected.add(current)
     return collected
 

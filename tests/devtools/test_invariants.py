@@ -1,0 +1,244 @@
+"""Invariant validator tests: deliberately corrupt graphs and assert the
+corruption is detected, and exercise the REPRO_CHECK_INVARIANTS wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools import invariants
+from repro.devtools.invariants import (
+    checks_installed,
+    install_invariant_checks,
+    uninstall_invariant_checks,
+    validate,
+    validate_conversion,
+)
+from repro.exceptions import InvariantViolation, ReproError
+from repro.graph.convert import to_directed, to_undirected
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+
+
+@pytest.fixture(autouse=True)
+def _pristine_wrapper_state():
+    """Run each test with the wrappers uninstalled, restoring the prior
+    state afterwards — the suite itself may run under
+    ``REPRO_CHECK_INVARIANTS=1``, which installs them at import time."""
+    was_installed = checks_installed()
+    uninstall_invariant_checks()
+    try:
+        yield
+    finally:
+        uninstall_invariant_checks()
+        if was_installed:
+            install_invariant_checks()
+
+
+@pytest.fixture
+def graph() -> Graph:
+    return Graph([(1, 2), (2, 3), (3, 1), (3, 4)])
+
+
+@pytest.fixture
+def digraph() -> DiGraph:
+    return DiGraph([("a", "b"), ("b", "a"), ("b", "c"), ("c", "d")])
+
+
+def test_healthy_graphs_validate(graph, digraph):
+    validate(graph)
+    validate(digraph)
+    validate(CSRGraph(graph))
+    validate(CSRGraph(digraph, orientation="out"))
+    validate(CSRGraph(digraph, orientation="in"))
+    validate(CSRGraph(digraph))
+
+
+def test_validate_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        validate({"not": "a graph"})
+
+
+def test_invariant_violation_is_a_repro_error():
+    assert issubclass(InvariantViolation, ReproError)
+    assert issubclass(InvariantViolation, AssertionError)
+
+
+# -- undirected corruption ----------------------------------------------------
+
+
+def test_detects_asymmetric_adjacency(graph):
+    graph._adj[1].discard(2)
+    with pytest.raises(InvariantViolation, match="asymmetric"):
+        validate(graph)
+
+
+def test_detects_self_loop(graph):
+    graph._adj[2].add(2)
+    with pytest.raises(InvariantViolation, match="self-loop"):
+        validate(graph)
+
+
+def test_detects_edge_count_drift(graph):
+    graph._num_edges += 1
+    with pytest.raises(InvariantViolation, match="edge-count drift"):
+        validate(graph)
+
+
+def test_detects_phantom_neighbor(graph):
+    graph._adj[1].add(99)  # 99 is not a node
+    with pytest.raises(InvariantViolation, match="not a node"):
+        validate(graph)
+
+
+# -- directed corruption ------------------------------------------------------
+
+
+def test_detects_succ_pred_mirror_violation(digraph):
+    digraph._pred["b"].discard("a")
+    with pytest.raises(InvariantViolation, match="mirror|accounting"):
+        validate(digraph)
+
+
+def test_detects_node_set_disagreement(digraph):
+    digraph._pred.pop("d")
+    with pytest.raises(InvariantViolation, match="node sets"):
+        validate(digraph)
+
+
+def test_detects_directed_self_loop(digraph):
+    digraph._succ["a"].add("a")
+    digraph._pred["a"].add("a")
+    with pytest.raises(InvariantViolation, match="self-loop"):
+        validate(digraph)
+
+
+def test_detects_directed_edge_count_drift(digraph):
+    digraph._num_edges -= 1
+    with pytest.raises(InvariantViolation, match="edge-count drift"):
+        validate(digraph)
+
+
+# -- CSR corruption -----------------------------------------------------------
+
+
+def test_detects_nonmonotone_indptr(graph):
+    csr = CSRGraph(graph)
+    csr.indptr[1] = csr.indptr[2] + 1
+    with pytest.raises(InvariantViolation, match="monotone"):
+        validate(csr)
+
+
+def test_detects_out_of_range_index(graph):
+    csr = CSRGraph(graph)
+    csr.indices[0] = 99
+    with pytest.raises(InvariantViolation, match="out-of-range|sorted"):
+        validate(csr)
+
+
+def test_detects_unsorted_row(graph):
+    csr = CSRGraph(graph)
+    # Vertex 2 is node 3 (degree 3) — swap its first two neighbours.
+    start = int(csr.indptr[2])
+    first, second = int(csr.indices[start]), int(csr.indices[start + 1])
+    csr.indices[start], csr.indices[start + 1] = second, first
+    with pytest.raises(InvariantViolation, match="sorted"):
+        validate(csr)
+
+
+def test_detects_label_index_mismatch(graph):
+    csr = CSRGraph(graph)
+    csr.index_of[csr.nodes[0]] = 1
+    with pytest.raises(InvariantViolation, match="maps to"):
+        validate(csr)
+
+
+# -- conversion agreement -----------------------------------------------------
+
+
+def test_conversion_preserves_node_sets(digraph):
+    validate_conversion(digraph, to_undirected(digraph))
+    undirected = to_undirected(digraph)
+    validate_conversion(undirected, to_directed(undirected))
+    validate_conversion(digraph, CSRGraph(digraph))
+
+
+def test_conversion_mismatch_detected(digraph):
+    collapsed = to_undirected(digraph)
+    collapsed.remove_node("d")
+    with pytest.raises(InvariantViolation, match="node set"):
+        validate_conversion(digraph, collapsed)
+
+
+# -- opt-in wrapper mode ------------------------------------------------------
+
+
+@pytest.fixture
+def installed():
+    install_invariant_checks(limit=10_000)
+    try:
+        yield
+    finally:
+        uninstall_invariant_checks()
+
+
+def test_install_uninstall_roundtrip():
+    original = Graph.add_edge
+    install_invariant_checks()
+    assert checks_installed()
+    assert Graph.add_edge is not original
+    install_invariant_checks()  # idempotent
+    uninstall_invariant_checks()
+    assert not checks_installed()
+    assert Graph.add_edge is original
+
+
+def test_wrapped_methods_preserve_behaviour(installed):
+    graph = Graph()
+    graph.add_edges_from([(i, i + 1) for i in range(30)])
+    graph.remove_node(10)
+    graph.remove_edge(20, 21)
+    assert graph.number_of_edges() == 27
+    digraph = DiGraph([("a", "b"), ("b", "c")])
+    digraph.remove_edge("a", "b")
+    assert digraph.number_of_edges() == 1
+    validate(graph)
+    validate(digraph)
+
+
+def test_wrapper_catches_corruption_on_next_mutation(installed):
+    graph = Graph([(1, 2), (2, 3)])
+    graph._adj[1].add(3)  # one-sided: corrupts symmetry
+    with pytest.raises(InvariantViolation, match="asymmetric"):
+        graph.add_edge(7, 8)
+
+
+def test_wrapper_skips_graphs_above_limit():
+    install_invariant_checks(limit=5)
+    try:
+        graph = Graph([(i, i + 1) for i in range(20)])  # size > limit
+        graph._adj[0].add(5)  # corruption goes unchecked by design
+        graph.add_edge(100, 101)
+    finally:
+        uninstall_invariant_checks()
+
+
+def test_wrapper_checks_conversions(installed):
+    digraph = DiGraph([("a", "b"), ("b", "a"), ("b", "c")])
+    undirected = to_undirected(digraph)
+    assert set(undirected.nodes) == set(digraph.nodes)
+
+
+def test_env_flag_parsing(monkeypatch):
+    for value, expected in [
+        ("1", True),
+        ("true", True),
+        ("0", False),
+        ("false", False),
+        ("", False),
+        ("off", False),
+    ]:
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", value)
+        assert invariants.checks_enabled_from_env() is expected
+    monkeypatch.delenv("REPRO_CHECK_INVARIANTS")
+    assert invariants.checks_enabled_from_env() is False

@@ -121,3 +121,39 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "fig5_conductance.csv" in out
         assert (target / "fig6_conductance.csv").exists()
+
+    def test_lint_clean_file(self, capsys, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text('"""Doc."""\n__all__ = []\n')
+        assert cli.main(["lint", str(clean)]) == 0
+
+    def test_lint_flags_violations(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n\nx = random.random()\n")
+        assert cli.main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out
+
+    def test_lint_list_rules(self, capsys):
+        assert cli.main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "REP001" in out and "REP006" in out
+
+    def test_check_named_pipeline(self, capsys):
+        assert cli.main(["check", "synth.erdos_renyi"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_check_unknown_pipeline(self, capsys):
+        assert cli.main(["check", "bogus.pipeline"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown pipeline" in err
+
+    def test_lint_missing_path(self, capsys, tmp_path):
+        assert cli.main(["lint", str(tmp_path / "nope.py")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_check_list(self, capsys):
+        assert cli.main(["check", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "sampling.random_walk" in out
