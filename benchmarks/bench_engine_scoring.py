@@ -1,0 +1,215 @@
+#!/usr/bin/env python
+"""Engine-vs-legacy batch scoring benchmark (the tentpole's receipt).
+
+Scores every circle of a synthetic Google+ corpus under the paper's four
+functions twice:
+
+* **legacy** — one :func:`repro.scoring.base.compute_group_stats` dict
+  sweep per group (the pre-engine ``score_groups`` inner loop);
+* **engine** — one vectorized :func:`repro.engine.batch_group_stats`
+  pass over a frozen :class:`repro.engine.AnalysisContext`.
+
+Both paths must produce *bit-identical* ``GroupStats`` and scores.  The
+timed quantity is the **batch scoring pass** (group statistics plus all
+four paper functions), best of ``--repeat`` runs; the one-time substrate
+freeze is reported separately as ``freeze_seconds`` because a real
+experiment (Fig. 5/6, robustness) freezes once and then scores many
+populations — circles, matched random sets, null models — against the
+same context.  The full run requires >= 200 groups and asserts the
+engine pass is at least 3x faster.  Emits a JSON report::
+
+    python benchmarks/bench_engine_scoring.py            # full, prints JSON
+    python benchmarks/bench_engine_scoring.py --smoke    # small corpus,
+                                                         # identity checks
+                                                         # only (check.sh)
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.engine import AnalysisContext, batch_group_stats
+from repro.scoring.base import compute_group_stats
+from repro.scoring.registry import make_paper_functions
+from repro.synth.paper_datasets import GOOGLE_PLUS_CONFIG, build_google_plus
+
+#: Group-count floor of the full benchmark (acceptance criterion).
+MIN_GROUPS = 200
+
+#: Required batch-scoring speedup of the engine pass (acceptance criterion).
+MIN_SPEEDUP = 3.0
+
+#: Scoring-pass repetitions; the best run of each path is compared.
+DEFAULT_REPEAT = 5
+
+
+def _build_dataset(smoke: bool):
+    if smoke:
+        config = dataclasses.replace(GOOGLE_PLUS_CONFIG, num_egos=8)
+    else:
+        # 40 egos yield ~150 circles; 100 clear the 200-group floor
+        # with room to spare (~350 circles on ~13k vertices).
+        config = dataclasses.replace(GOOGLE_PLUS_CONFIG, num_egos=100)
+    return build_google_plus(config=config)
+
+
+def _member_lists(dataset):
+    return [
+        list(group.members)
+        for group in dataset.groups.filter_by_size(minimum=2)
+    ]
+
+
+def _score(stats_list, functions):
+    return {
+        function.name: np.array(
+            [function(stats) for stats in stats_list], dtype=np.float64
+        )
+        for function in functions
+    }
+
+
+def _timed(run_once):
+    start = time.perf_counter()
+    result = run_once()
+    return time.perf_counter() - start, result
+
+
+def _stats_identical(a, b) -> bool:
+    return (
+        a.members == b.members
+        and a.n == b.n
+        and a.m == b.m
+        and a.n_C == b.n_C
+        and a.m_C == b.m_C
+        and a.c_C == b.c_C
+        and a.directed == b.directed
+        and np.array_equal(a.member_degrees, b.member_degrees)
+        and np.array_equal(
+            a.member_internal_degrees, b.member_internal_degrees
+        )
+        and np.array_equal(a.member_in_degrees, b.member_in_degrees)
+        and np.array_equal(a.member_out_degrees, b.member_out_degrees)
+    )
+
+
+def run(smoke: bool = False, repeat: int = DEFAULT_REPEAT) -> dict:
+    """Run both scoring paths and return the JSON-ready report."""
+    dataset = _build_dataset(smoke)
+    graph = dataset.graph
+    member_lists = _member_lists(dataset)
+    functions = make_paper_functions()
+
+    start = time.perf_counter()
+    context = AnalysisContext(graph)
+    # Warm the lazy caches the batch kernel reads, so the freeze cost is
+    # fully accounted here and the scoring pass measures only scoring.
+    context.degree_array
+    (context.csr_out or context.csr).adjacency_bits()
+    freeze_seconds = time.perf_counter() - start
+
+    def legacy_pass():
+        stats = [
+            compute_group_stats(
+                graph, members, include_internal_adjacency=False
+            )
+            for members in member_lists
+        ]
+        return stats, _score(stats, functions)
+
+    def engine_pass():
+        stats = batch_group_stats(context, member_lists)
+        return stats, _score(stats, functions)
+
+    # Interleave the repetitions so transient machine load penalizes both
+    # paths alike; the best run of each is compared.
+    legacy_seconds = engine_seconds = float("inf")
+    for _ in range(repeat):
+        seconds, (legacy_stats, legacy_scores) = _timed(legacy_pass)
+        legacy_seconds = min(legacy_seconds, seconds)
+        seconds, (engine_stats, engine_scores) = _timed(engine_pass)
+        engine_seconds = min(engine_seconds, seconds)
+
+    stats_identical = all(
+        _stats_identical(a, b) for a, b in zip(engine_stats, legacy_stats)
+    )
+    scores_identical = all(
+        np.array_equal(engine_scores[name], legacy_scores[name])
+        for name in engine_scores
+    )
+    speedup = (
+        legacy_seconds / engine_seconds if engine_seconds > 0 else float("inf")
+    )
+    return {
+        "mode": "smoke" if smoke else "full",
+        "dataset": dataset.name,
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "groups": len(member_lists),
+        "functions": [function.name for function in functions],
+        "repeat": repeat,
+        "freeze_seconds": round(freeze_seconds, 4),
+        "legacy_seconds": round(legacy_seconds, 4),
+        "engine_seconds": round(engine_seconds, 4),
+        "speedup": round(speedup, 2),
+        "stats_identical": stats_identical,
+        "scores_identical": scores_identical,
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark engine batch scoring against the legacy "
+        "per-group path"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small corpus, identity checks only (no speedup assertion)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=DEFAULT_REPEAT,
+        help="scoring-pass repetitions per path (best run wins)",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None, help="write the JSON report here"
+    )
+    args = parser.parse_args(argv)
+
+    report = run(smoke=args.smoke, repeat=args.repeat)
+    serialized = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(serialized + "\n")
+    print(serialized)
+
+    if not (report["stats_identical"] and report["scores_identical"]):
+        print("FAIL: engine output differs from the legacy oracle", file=sys.stderr)
+        return 1
+    if not args.smoke:
+        if report["groups"] < MIN_GROUPS:
+            print(
+                f"FAIL: only {report['groups']} groups, need >= {MIN_GROUPS}",
+                file=sys.stderr,
+            )
+            return 1
+        if report["speedup"] < MIN_SPEEDUP:
+            print(
+                f"FAIL: speedup {report['speedup']}x below {MIN_SPEEDUP}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # One-command correctness gate: custom lint pass, seed-determinism check
-# on the fast pipelines, then the tier-1 test suite.  Exits non-zero on
-# the first failure so it can gate PRs.
+# on the fast pipelines, engine-vs-legacy identity smoke, then the tier-1
+# test suite.  Exits non-zero on the first failure so it can gate PRs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -11,6 +11,9 @@ python -m repro.devtools.lint src
 
 echo "== determinism check (fast pipelines) =="
 python -m repro.devtools.determinism --fast
+
+echo "== engine scoring smoke (bit-identity vs legacy) =="
+python benchmarks/bench_engine_scoring.py --smoke
 
 echo "== tier-1 tests =="
 python -m pytest -x -q

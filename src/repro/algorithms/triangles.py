@@ -31,9 +31,13 @@ __all__ = [
 ]
 
 
-def _as_csr(graph: Graph | DiGraph | CSRGraph) -> CSRGraph:
+def _as_csr(graph: Graph | DiGraph | CSRGraph) -> CSRGraph | None:
+    """Freeze to CSR; ``None`` signals a vertex-less graph (nothing to
+    count, and :class:`CSRGraph` refuses to freeze it)."""
     if isinstance(graph, CSRGraph):
         return graph
+    if graph.number_of_nodes() == 0:
+        return None
     return CSRGraph(graph)  # union orientation for DiGraph
 
 
@@ -55,6 +59,8 @@ def triangles_per_vertex(
     among its neighbours.
     """
     csr = _as_csr(graph)
+    if csr is None:
+        return np.zeros(0 if vertices is None else len(vertices), dtype=np.int64)
     if vertices is None:
         vertex_ids: np.ndarray = np.arange(csr.num_vertices, dtype=np.int64)
     else:
@@ -80,6 +86,8 @@ def local_clustering(
 ) -> float:
     """Local clustering coefficient of one integer vertex id."""
     csr = _as_csr(graph)
+    if csr is None:
+        raise IndexError(f"vertex {vertex} out of range for an empty graph")
     degree = csr.degree(vertex)
     if degree < 2:
         return 0.0
@@ -102,6 +110,8 @@ def clustering_values(
     dropped otherwise.
     """
     csr = _as_csr(graph)
+    if csr is None:
+        return np.zeros(0, dtype=np.float64)
     n = csr.num_vertices
     rng = np.random.default_rng(seed)
     if sample is None or sample >= n:
@@ -139,6 +149,8 @@ def average_clustering(
 def transitivity(graph: Graph | DiGraph | CSRGraph) -> float:
     """Global transitivity: 3 * triangles / open-or-closed triads."""
     csr = _as_csr(graph)
+    if csr is None:
+        return 0.0
     triangles = triangles_per_vertex(csr)
     degrees = np.diff(csr.indptr)
     triads = (degrees * (degrees - 1) // 2).sum()

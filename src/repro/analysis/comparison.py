@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.cdf import EmpiricalCDF
 from repro.data.datasets import Dataset
+from repro.engine import AnalysisContext
 from repro.scoring.base import ScoringFunction
 from repro.scoring.registry import ScoreTable, make_paper_functions, score_groups
 
@@ -84,18 +85,26 @@ def compare_datasets(
     functions: list[ScoringFunction] | None = None,
     min_group_size: int = 2,
     top_k: int | None = None,
+    contexts: dict[str, AnalysisContext] | None = None,
 ) -> CrossDatasetResult:
     """Score every data set's groups under common functions (Fig. 6).
 
     ``top_k`` restricts each data set to its largest groups, as the paper
-    does with the top-5000 LiveJournal/Orkut communities.
+    does with the top-5000 LiveJournal/Orkut communities.  Each data set's
+    graph is frozen into an :class:`~repro.engine.AnalysisContext` exactly
+    once; pass ``contexts`` (keyed by data-set name) to reuse freezes made
+    elsewhere in the run.
     """
     functions = functions or make_paper_functions()
+    contexts = contexts or {}
     result = CrossDatasetResult()
     for dataset in datasets:
         groups = dataset.groups.filter_by_size(minimum=min_group_size)
         if top_k is not None:
             groups = groups.top_k(top_k)
-        result.tables[dataset.name] = score_groups(dataset.graph, groups, functions)
+        context = contexts.get(dataset.name)
+        if context is None:
+            context = AnalysisContext(dataset.graph)
+        result.tables[dataset.name] = score_groups(context, groups, functions)
         result.structures[dataset.name] = dataset.structure
     return result

@@ -21,10 +21,11 @@ import numpy as np
 
 from repro.analysis.cdf import EmpiricalCDF
 from repro.data.ego import EgoNetworkCollection
+from repro.engine import AnalysisContext
 from repro.graph.digraph import DiGraph
 from repro.graph.ugraph import Graph
-from repro.scoring.base import ScoringFunction, compute_group_stats
-from repro.scoring.registry import make_paper_functions
+from repro.scoring.base import ScoringFunction
+from repro.scoring.registry import make_paper_functions, score_group
 
 __all__ = ["EgoViewResult", "ego_centered_scores"]
 
@@ -88,43 +89,43 @@ def ego_centered_scores(
     collection: EgoNetworkCollection,
     *,
     functions: list[ScoringFunction] | None = None,
-    joined: Graph | DiGraph | None = None,
+    joined: Graph | DiGraph | AnalysisContext | None = None,
     min_group_size: int = 2,
 ) -> EgoViewResult:
     """Score every circle in its ego network and in the joined corpus.
 
-    ``joined`` may be passed to reuse an existing join; local scoring
-    always materializes each ego network separately (the ego itself is
-    part of the local graph, as it would be in a private ego-centred
-    crawl).
+    ``joined`` may be passed to reuse an existing join — either the raw
+    joined graph or an already-frozen
+    :class:`~repro.engine.AnalysisContext` of it.  The joined corpus is
+    frozen exactly once; each ego network is materialized and frozen into
+    its own local context (the ego itself is part of the local graph, as
+    it would be in a private ego-centred crawl).
     """
     functions = functions or make_paper_functions()
-    joined_graph = joined if joined is not None else collection.join()
+    joined_context = AnalysisContext.ensure(
+        joined if joined is not None else collection.join()
+    )
 
     circle_names: list[str] = []
     owners: list[object] = []
     local_rows: list[dict[str, float]] = []
     global_rows: list[dict[str, float]] = []
     for network in collection:
-        local_graph = network.graph()
+        local_context = AnalysisContext(network.graph())
         for circle in network.circles:
-            members = [node for node in circle.members if node in local_graph]
+            members = [node for node in circle.members if node in local_context]
             if len(members) < min_group_size:
                 continue
             global_members = [
-                node for node in circle.members if node in joined_graph
+                node for node in circle.members if node in joined_context
             ]
             if len(global_members) < min_group_size:
                 continue
-            local_stats = compute_group_stats(local_graph, members)
-            global_stats = compute_group_stats(joined_graph, global_members)
             circle_names.append(f"{network.ego}/{circle.name}")
             owners.append(network.ego)
-            local_rows.append(
-                {fn.name: float(fn(local_stats)) for fn in functions}
-            )
+            local_rows.append(score_group(local_context, members, functions))
             global_rows.append(
-                {fn.name: float(fn(global_stats)) for fn in functions}
+                score_group(joined_context, global_members, functions)
             )
 
     result = EgoViewResult(circle_names=circle_names, owners=owners)

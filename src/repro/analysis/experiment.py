@@ -14,9 +14,9 @@ from dataclasses import dataclass, field
 from repro.analysis.cdf import EmpiricalCDF
 from repro.data.datasets import Dataset
 from repro.data.groups import GroupSet, VertexGroup
+from repro.engine import AnalysisContext, sample_matched_sets
 from repro.graph.digraph import DiGraph
 from repro.graph.ugraph import Graph
-from repro.sampling.random_sets import sample_matched_sets
 from repro.scoring.base import ScoringFunction
 from repro.scoring.registry import ScoreTable, make_paper_functions, score_groups
 
@@ -74,14 +74,21 @@ def circles_vs_random(
     sampler: str = "random_walk",
     seed: int | None = 0,
     min_group_size: int = 2,
+    context: AnalysisContext | None = None,
 ) -> CirclesVsRandomResult:
     """Run the Fig. 5 experiment: score circles against matched random sets.
 
     ``sampler`` selects the baseline generator (``random_walk`` is the
-    paper's choice; see :mod:`repro.sampling.random_sets` for the ablation
+    paper's choice; see :mod:`repro.engine.samplers` for the CSR-native
+    implementations and :mod:`repro.sampling.random_sets` for the ablation
     alternatives).  Groups smaller than ``min_group_size`` (after
     restriction to the graph) are skipped — a single vertex scores
     degenerately under every function.
+
+    The graph is frozen into an :class:`~repro.engine.AnalysisContext`
+    exactly once; scoring of both populations and the matched sampling all
+    share that one substrate.  Pass ``context`` to reuse an existing
+    freeze of the same graph.
     """
     if isinstance(source, Dataset):
         graph, groups = source.graph, source.groups
@@ -90,17 +97,18 @@ def circles_vs_random(
         graph, groups = source
         dataset_name = graph.name or "graph"
     functions = functions or make_paper_functions()
+    context = AnalysisContext.ensure(context if context is not None else graph)
 
     usable: list[VertexGroup] = []
     for group in groups:
-        members = [node for node in group.members if node in graph]
+        members = [node for node in group.members if node in context]
         if len(members) >= min_group_size:
             usable.append(group)
     usable_set = GroupSet(groups=usable, name=dataset_name)
 
-    circle_scores = score_groups(graph, usable_set, functions)
+    circle_scores = score_groups(context, usable_set, functions)
     sizes = circle_scores.group_sizes
-    random_sets = sample_matched_sets(graph, sizes, sampler, seed=seed)
+    random_sets = sample_matched_sets(context, sizes, sampler, seed=seed)
     random_groups = GroupSet(
         groups=[
             VertexGroup(name=f"random-{i}", members=frozenset(members))
@@ -109,7 +117,7 @@ def circles_vs_random(
         name=f"{dataset_name}-random",
     )
     random_scores = score_groups(
-        graph, random_groups, functions, restrict_to_graph=False
+        context, random_groups, functions, restrict_to_graph=False
     )
     return CirclesVsRandomResult(
         dataset=dataset_name,

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.datasets import Dataset
+from repro.engine import AnalysisContext
 from repro.graph.convert import to_undirected
 from repro.scoring.base import ScoringFunction
 from repro.scoring.registry import ScoreTable, make_paper_functions, score_groups
@@ -115,20 +116,27 @@ def directed_vs_undirected(
     *,
     functions: list[ScoringFunction] | None = None,
     min_group_size: int = 2,
+    context: AnalysisContext | None = None,
 ) -> RobustnessResult:
     """Score ``dataset``'s groups on both edge representations.
 
     Requires a directed data set (the check is only meaningful there).
     The undirected representation collapses each reciprocal pair to a
-    single edge, exactly as described in section IV-B.
+    single edge, exactly as described in section IV-B.  Each
+    representation is frozen into one
+    :class:`~repro.engine.AnalysisContext`; ``context`` may supply an
+    existing freeze of the *directed* graph.
     """
     if not dataset.directed:
         raise ValueError("the robustness check requires a directed data set")
     functions = functions or make_paper_functions()
     groups = dataset.groups.filter_by_size(minimum=min_group_size)
-    directed_scores = score_groups(dataset.graph, groups, functions)
-    undirected_graph = to_undirected(dataset.graph)
-    undirected_scores = score_groups(undirected_graph, groups, functions)
+    directed_context = AnalysisContext.ensure(
+        context if context is not None else dataset.graph
+    )
+    directed_scores = score_groups(directed_context, groups, functions)
+    undirected_context = AnalysisContext(to_undirected(dataset.graph))
+    undirected_scores = score_groups(undirected_context, groups, functions)
     return RobustnessResult(
         dataset=dataset.name,
         directed_scores=directed_scores,

@@ -31,6 +31,7 @@ from repro.analysis.overlap import analyze_overlap
 from repro.analysis.report import render_cdf_panel, render_kv, render_table
 from repro.analysis.robustness import directed_vs_undirected
 from repro.data.datasets import Dataset
+from repro.engine import AnalysisContext
 from repro.synth.paper_datasets import (
     build_google_plus,
     build_livejournal,
@@ -112,7 +113,10 @@ def _cmd_degree_fit(args: argparse.Namespace) -> int:
 
 def _cmd_score(args: argparse.Namespace) -> int:
     dataset = _build(args.dataset, args.seed)
-    result = circles_vs_random(dataset, sampler=args.sampler, seed=args.seed or 0)
+    context = AnalysisContext(dataset.graph)
+    result = circles_vs_random(
+        dataset, sampler=args.sampler, seed=args.seed or 0, context=context
+    )
     for name in result.function_names():
         circles, randoms = result.cdf_pair(name)
         print(
@@ -135,7 +139,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         _build(name, args.seed)
         for name in ("google_plus", "twitter", "livejournal", "orkut")
     ]
-    result = compare_datasets(datasets)
+    contexts = {
+        dataset.name: AnalysisContext(dataset.graph) for dataset in datasets
+    }
+    result = compare_datasets(datasets, contexts=contexts)
     for name in result.function_names():
         print(render_cdf_panel(result.cdfs(name), title=f"Fig. 6 — {name}"))
         print()
@@ -149,7 +156,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_robustness(args: argparse.Namespace) -> int:
     dataset = _build(args.dataset, args.seed)
-    result = directed_vs_undirected(dataset)
+    result = directed_vs_undirected(
+        dataset, context=AnalysisContext(dataset.graph)
+    )
     print(
         render_kv(
             result.summary(),

@@ -247,6 +247,30 @@ def _pipeline_bfs_ball(seed: int) -> object:
     return sample_matched_sets(_base_graph(), [6, 9], "bfs_ball", seed=seed)
 
 
+@register_pipeline("engine.random_walk")
+def _pipeline_engine_random_walk(seed: int) -> object:
+    from repro.engine import AnalysisContext, sample_matched_sets
+
+    context = AnalysisContext(_base_graph())
+    return sample_matched_sets(context, [5, 8, 13], "random_walk", seed=seed)
+
+
+@register_pipeline("engine.bfs_ball")
+def _pipeline_engine_bfs_ball(seed: int) -> object:
+    from repro.engine import AnalysisContext, sample_matched_sets
+
+    context = AnalysisContext(_base_graph())
+    return sample_matched_sets(context, [6, 9], "bfs_ball", seed=seed)
+
+
+@register_pipeline("engine.uniform")
+def _pipeline_engine_uniform(seed: int) -> object:
+    from repro.engine import AnalysisContext, sample_matched_sets
+
+    context = AnalysisContext(_base_graph())
+    return sample_matched_sets(context, [6, 9, 20], "uniform", seed=seed)
+
+
 @register_pipeline("nullmodel.double_edge_swap")
 def _pipeline_double_edge_swap(seed: int) -> object:
     from repro.nullmodel.rewiring import double_edge_swap

@@ -13,7 +13,11 @@ conductance and Modularity for every group scored afterwards.
 * the incremental edge counter agrees with a recount;
 * CSR ``indptr`` starts at 0, is monotone, and matches ``indices``;
   every CSR row is sorted, in-range, self-loop-free and duplicate-free;
-  label/index mappings are mutually inverse.
+  label/index mappings are mutually inverse;
+* an :class:`~repro.engine.AnalysisContext` holds mutually consistent
+  CSR orientations, degree arrays that match their ``indptr`` deltas,
+  edge counts that match the adjacency totals, and a median equal to a
+  recomputation from the degree array.
 
 Setting ``REPRO_CHECK_INVARIANTS=1`` before importing :mod:`repro` wraps
 every mutating substrate method with a post-condition check (see
@@ -29,6 +33,8 @@ import functools
 import os
 from typing import Any
 
+import numpy as np
+
 from repro.exceptions import InvariantViolation
 from repro.graph import convert as _convert_module
 from repro.graph.csr import CSRGraph
@@ -40,6 +46,7 @@ __all__ = [
     "validate_graph",
     "validate_digraph",
     "validate_csr",
+    "validate_context",
     "validate_conversion",
     "install_invariant_checks",
     "uninstall_invariant_checks",
@@ -156,6 +163,80 @@ def validate_csr(csr: CSRGraph) -> None:
             _fail(f"label {label!r} maps to {csr.index_of.get(label)}, not {i}")
 
 
+def validate_context(context: Any) -> None:
+    """Check the consistency invariants of an
+    :class:`~repro.engine.AnalysisContext`.
+
+    Beyond per-CSR validity this pins the *cross-structure* contracts the
+    engine kernels rely on: all orientations index the same vertex set in
+    the same order, cached degree arrays equal their ``indptr`` deltas,
+    the snapshotted edge count matches the adjacency totals, and the
+    cached median is a recomputation from the degree array.
+    """
+    csr = context.csr
+    validate_csr(csr)
+    if csr.orientation != "union":
+        _fail(f"context.csr has orientation {csr.orientation!r}, not 'union'")
+    if context.num_vertices != csr.num_vertices:
+        _fail(
+            f"context says {context.num_vertices} vertices, "
+            f"CSR holds {csr.num_vertices}"
+        )
+    if context.is_directed:
+        if context.csr_out is None or context.csr_in is None:
+            _fail("directed context lacks an out/in CSR orientation")
+        for oriented, expected in (
+            (context.csr_out, "out"),
+            (context.csr_in, "in"),
+        ):
+            validate_csr(oriented)
+            if oriented.orientation != expected:
+                _fail(
+                    f"context.csr_{expected} has orientation "
+                    f"{oriented.orientation!r}"
+                )
+            if oriented.nodes != csr.nodes:
+                _fail(
+                    f"vertex ordering of the {expected!r} orientation "
+                    "disagrees with the union CSR"
+                )
+        out_total = context.csr_out.num_half_edges
+        in_total = context.csr_in.num_half_edges
+        if out_total != in_total:
+            _fail(
+                f"out adjacency holds {out_total} edges but in adjacency "
+                f"holds {in_total}"
+            )
+        if context.num_edges != out_total:
+            _fail(
+                f"edge-count drift: context snapshotted {context.num_edges} "
+                f"edges, out-CSR holds {out_total}"
+            )
+        expected_degrees = (
+            context.csr_out.degree_array() + context.csr_in.degree_array()
+        )
+    else:
+        if context.csr_out is not None or context.csr_in is not None:
+            _fail("undirected context carries directed CSR orientations")
+        if csr.num_half_edges != 2 * context.num_edges:
+            _fail(
+                f"edge-count drift: context snapshotted {context.num_edges} "
+                f"edges, union CSR holds {csr.num_half_edges} half-edges"
+            )
+        expected_degrees = csr.degree_array()
+    degrees = context.degree_array
+    if not np.array_equal(degrees, expected_degrees):
+        _fail("context degree array disagrees with its CSR indptr deltas")
+    if not np.array_equal(csr.degree_array(), np.diff(csr.indptr)):
+        _fail("cached CSR degree array disagrees with indptr deltas")
+    median = float(np.median(degrees))
+    if context.median_degree != median:
+        _fail(
+            f"cached median degree {context.median_degree} != "
+            f"recomputed {median}"
+        )
+
+
 def validate_conversion(source: Any, derived: Any) -> None:
     """Check node-set agreement between a graph and a converted form.
 
@@ -174,14 +255,24 @@ def validate_conversion(source: Any, derived: Any) -> None:
         )
 
 
-def validate(obj: Graph | DiGraph | CSRGraph) -> None:
-    """Validate any supported substrate object; raise on corruption."""
+def validate(obj: Any) -> None:
+    """Validate any supported substrate object; raise on corruption.
+
+    Accepts :class:`Graph`, :class:`DiGraph`, :class:`CSRGraph` and
+    :class:`~repro.engine.AnalysisContext`.
+    """
+    # Imported here: repro.engine depends on repro.graph, and this module
+    # must stay importable from graph-layer code without a cycle.
+    from repro.engine.context import AnalysisContext
+
     if isinstance(obj, Graph):
         validate_graph(obj)
     elif isinstance(obj, DiGraph):
         validate_digraph(obj)
     elif isinstance(obj, CSRGraph):
         validate_csr(obj)
+    elif isinstance(obj, AnalysisContext):
+        validate_context(obj)
     else:
         raise TypeError(f"cannot validate object of type {type(obj).__name__}")
 

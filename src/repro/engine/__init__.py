@@ -1,0 +1,36 @@
+"""Analysis engine: one frozen substrate for scoring, sampling, experiments.
+
+The engine layer sits between the mutable dict-adjacency substrate
+(:mod:`repro.graph`) and the batch consumers (:mod:`repro.scoring`,
+:mod:`repro.analysis`, the CLI).  Its contract is **freeze once**: an
+:class:`AnalysisContext` snapshots a graph into CSR form plus cached
+degree arrays, edge count and median degree, and every downstream pass —
+:func:`batch_group_stats`, the CSR-native samplers, the Fig. 5/6/§IV-B
+experiment drivers — reads that one snapshot instead of re-deriving its
+own view per group.
+
+The legacy per-group dict path
+(:func:`repro.scoring.base.compute_group_stats`) remains the correctness
+oracle; the engine is the production path.
+"""
+
+from repro.engine.batch import batch_group_stats, group_stats
+from repro.engine.context import AnalysisContext
+from repro.engine.samplers import (
+    ENGINE_SAMPLERS,
+    bfs_ball_set,
+    random_walk_set,
+    sample_matched_sets,
+    uniform_vertex_set,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "batch_group_stats",
+    "group_stats",
+    "random_walk_set",
+    "bfs_ball_set",
+    "uniform_vertex_set",
+    "ENGINE_SAMPLERS",
+    "sample_matched_sets",
+]

@@ -1,0 +1,203 @@
+"""The freeze-once analysis substrate: :class:`AnalysisContext`.
+
+Every batch experiment of the paper (Fig. 5/6, §IV-B) evaluates scoring
+functions over hundreds of groups of one graph, and every experiment used
+to re-derive the same degree arrays, edge counts, medians and CSR freezes
+independently.  An :class:`AnalysisContext` freezes a
+:class:`~repro.graph.Graph` or :class:`~repro.graph.DiGraph` exactly once
+into integer-indexed CSR form plus the graph-wide caches every downstream
+consumer shares:
+
+* the union-orientation :class:`~repro.graph.CSRGraph` (and, for directed
+  graphs, the ``out``/``in`` orientations feeding directed group stats);
+* the total-degree array and graph-wide median degree (FOMD's reference);
+* the vertex/edge counts ``n``/``m`` snapshotted at freeze time.
+
+The contract is **freeze once, read forever**: a context never observes
+later mutations of the source graph.  Construct it after the graph is
+final, then hand the *context* (not the graph) to
+:func:`repro.engine.batch_group_stats`, the CSR-native samplers and the
+experiment drivers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import GraphError, NodeNotFound
+from repro.graph.csr import CSRGraph, freeze_directed
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+
+Node = Hashable
+
+__all__ = ["AnalysisContext"]
+
+
+class AnalysisContext:
+    """One frozen, integer-indexed view of a graph shared by scoring,
+    sampling and experiments.
+
+    Attributes
+    ----------
+    graph:
+        The source graph (kept for label-level protocols such as the
+        forest-fire sampler; the engine kernels never touch its dicts).
+    csr:
+        Union-orientation CSR snapshot (undirected skeleton).
+    csr_out, csr_in:
+        Directed out/in orientations; ``None`` for undirected graphs.
+    """
+
+    __slots__ = (
+        "graph",
+        "csr",
+        "csr_out",
+        "csr_in",
+        "num_vertices",
+        "num_edges",
+        "is_directed",
+        "_degree_array",
+        "_median_degree",
+        "_label_rank",
+    )
+
+    def __init__(self, graph: "Graph | DiGraph | AnalysisContext") -> None:
+        if isinstance(graph, AnalysisContext):
+            # Already frozen: adopt the snapshot (freeze-once contract).
+            for slot in self.__slots__:
+                setattr(self, slot, getattr(graph, slot))
+            return
+        if graph.number_of_nodes() == 0:
+            raise GraphError(
+                "cannot freeze an empty graph into an AnalysisContext"
+            )
+        self.graph = graph
+        self.is_directed = bool(graph.is_directed)
+        if self.is_directed:
+            # One adjacency pass yields all three orientations.
+            self.csr, self.csr_out, self.csr_in = freeze_directed(graph)
+        else:
+            self.csr = CSRGraph(graph)
+            self.csr_out = None
+            self.csr_in = None
+        self.num_vertices = self.csr.num_vertices
+        self.num_edges = graph.number_of_edges()
+        self._degree_array: np.ndarray | None = None
+        self._median_degree: float | None = None
+        self._label_rank: np.ndarray | None = None
+
+    @classmethod
+    def ensure(
+        cls, source: "Graph | DiGraph | AnalysisContext"
+    ) -> "AnalysisContext":
+        """Return ``source`` if already a context, else freeze it once."""
+        if isinstance(source, AnalysisContext):
+            return source
+        return cls(source)
+
+    # -- label <-> integer boundary ------------------------------------------
+
+    @property
+    def nodes(self) -> list[Node]:
+        """Node labels; ``nodes[i]`` is the label of vertex ``i``."""
+        return self.csr.nodes
+
+    @property
+    def index_of(self) -> dict[Node, int]:
+        """Inverse mapping from label to integer vertex id."""
+        return self.csr.index_of
+
+    def __contains__(self, label: object) -> bool:
+        return label in self.csr.index_of
+
+    def vertex_ids(self, labels: Iterable[Node]) -> np.ndarray:
+        """Map labels to integer vertex ids; unknown labels raise
+        :class:`~repro.exceptions.NodeNotFound`."""
+        index_of = self.csr.index_of
+        labels = list(labels)
+        try:
+            ids = [index_of[label] for label in labels]
+        except KeyError:
+            for label in labels:
+                if label not in index_of:
+                    raise NodeNotFound(label) from None
+            raise  # pragma: no cover - unreachable
+        return np.asarray(ids, dtype=np.int64)
+
+    def labels(self, vertex_ids: Sequence[int] | np.ndarray) -> list[Node]:
+        """Map integer vertex ids back to node labels."""
+        return self.csr.labels(vertex_ids)
+
+    # -- cached graph-wide quantities ----------------------------------------
+
+    @property
+    def degree_array(self) -> np.ndarray:
+        """Total degree of every vertex (``d_in + d_out`` when directed).
+
+        Directed graphs count a reciprocal pair once per direction, the
+        paper's ``d(v) = d_in(v) + d_out(v)`` convention — which is why
+        this is *not* the union-CSR degree.
+        """
+        if self._degree_array is None:
+            if self.is_directed:
+                assert self.csr_out is not None and self.csr_in is not None
+                self._degree_array = (
+                    self.csr_out.degree_array() + self.csr_in.degree_array()
+                )
+            else:
+                self._degree_array = self.csr.degree_array()
+        return self._degree_array
+
+    @property
+    def out_degree_array(self) -> np.ndarray:
+        """Out-degree of every vertex (equals total degree if undirected)."""
+        if self.csr_out is not None:
+            return self.csr_out.degree_array()
+        return self.csr.degree_array()
+
+    @property
+    def in_degree_array(self) -> np.ndarray:
+        """In-degree of every vertex (equals total degree if undirected)."""
+        if self.csr_in is not None:
+            return self.csr_in.degree_array()
+        return self.csr.degree_array()
+
+    @property
+    def median_degree(self) -> float:
+        """Graph-wide median total degree (FOMD's reference), cached."""
+        if self._median_degree is None:
+            self._median_degree = float(np.median(self.degree_array))
+        return self._median_degree
+
+    @property
+    def label_rank(self) -> np.ndarray:
+        """Rank of every vertex's label in deterministic label order.
+
+        ``label_rank[i]`` is the position label ``nodes[i]`` takes in
+        :func:`repro.graph.convert.stable_sorted` order.  The CSR-native
+        samplers order candidate ids by this rank so they replay the
+        legacy label-level samplers' random sequences exactly.
+        """
+        if self._label_rank is None:
+            nodes = self.csr.nodes
+            order = list(range(len(nodes)))
+            try:
+                order.sort(key=lambda i: nodes[i])
+            except TypeError:
+                order.sort(key=lambda i: repr(nodes[i]))
+            rank = np.empty(len(nodes), dtype=np.int64)
+            rank[np.asarray(order, dtype=np.int64)] = np.arange(
+                len(nodes), dtype=np.int64
+            )
+            self._label_rank = rank
+        return self._label_rank
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.is_directed else "undirected"
+        return (
+            f"<AnalysisContext {kind} n={self.num_vertices} "
+            f"m={self.num_edges}>"
+        )

@@ -1,0 +1,202 @@
+"""CSR-native vertex-set samplers over a frozen :class:`AnalysisContext`.
+
+These reimplement the paper's random-walk baseline (Fig. 5) and the
+uniform/BFS-ball ablation samplers on integer vertex ids: the walk state
+is a boolean mask plus CSR row slices, and node labels appear only at the
+boundary (the returned sets).
+
+**Replay guarantee.**  Each sampler consumes randomness exactly like its
+label-level counterpart in :mod:`repro.sampling` — ``random.Random``
+draws depend only on candidate-list *lengths*, so ordering candidate ids
+by :attr:`~repro.engine.context.AnalysisContext.label_rank` (the
+:func:`~repro.graph.convert.stable_sorted` order of their labels) makes
+every draw pick the same vertex.  Same seed, same sample, whichever
+substrate runs it; ``tests/engine/test_samplers.py`` pins this.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from collections.abc import Hashable, Sequence
+
+import numpy as np
+
+from repro.engine.context import AnalysisContext
+from repro.exceptions import SamplingError
+
+Node = Hashable
+
+__all__ = [
+    "random_walk_set",
+    "bfs_ball_set",
+    "uniform_vertex_set",
+    "ENGINE_SAMPLERS",
+    "sample_matched_sets",
+]
+
+
+def _resolve_rng(seed: int | random.Random | None) -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def _check_size(context: AnalysisContext, size: int) -> int:
+    if size <= 0:
+        raise ValueError("sample size must be positive")
+    n = context.num_vertices
+    if n < size:
+        raise SamplingError(f"graph has {n} vertices, cannot sample {size}")
+    return n
+
+
+def _labels(context: AnalysisContext, collected: np.ndarray) -> set[Node]:
+    nodes = context.csr.nodes
+    return {nodes[int(i)] for i in np.flatnonzero(collected)}
+
+
+def random_walk_set(
+    context: AnalysisContext,
+    size: int,
+    *,
+    seed: int | random.Random | None = None,
+    max_steps_factor: int = 200,
+) -> set[Node]:
+    """Sample ``size`` distinct vertices by random walk with restarts.
+
+    CSR-native equivalent of
+    :func:`repro.sampling.random_walk.random_walk_set` (same seed, same
+    sample).  Walks ignore edge direction; restarts draw a uniform vertex
+    whenever no uncollected neighbour remains.
+    """
+    context = AnalysisContext.ensure(context)
+    n = _check_size(context, size)
+    rng = _resolve_rng(seed)
+    indptr, indices = context.csr.indptr, context.csr.indices
+    rank = context.label_rank
+    population = range(n)
+    collected = np.zeros(n, dtype=bool)
+    current = rng.choice(population)
+    collected[current] = True
+    count = 1
+    steps = 0
+    budget = max_steps_factor * size
+    while count < size:
+        steps += 1
+        if steps > budget:
+            raise SamplingError(
+                f"random walk exhausted {budget} steps collecting "
+                f"{count}/{size} vertices"
+            )
+        row = indices[indptr[current] : indptr[current + 1]]
+        fresh = row[~collected[row]]
+        if fresh.size == 0:
+            current = rng.choice(population)
+            if not collected[current]:
+                collected[current] = True
+                count += 1
+            continue
+        # label_rank ordering replays the legacy stable_sorted choice.
+        fresh = fresh[np.argsort(rank[fresh])]
+        current = int(rng.choice(fresh))
+        collected[current] = True
+        count += 1
+    return _labels(context, collected)
+
+
+def bfs_ball_set(
+    context: AnalysisContext,
+    size: int,
+    *,
+    seed: int | random.Random | None = None,
+) -> set[Node]:
+    """Sample a BFS ball of ``size`` vertices around a random root.
+
+    CSR-native equivalent of
+    :func:`repro.sampling.random_sets.bfs_ball_set`; restarts from a fresh
+    random root whenever a component is exhausted.
+    """
+    context = AnalysisContext.ensure(context)
+    n = _check_size(context, size)
+    rng = _resolve_rng(seed)
+    indptr, indices = context.csr.indptr, context.csr.indices
+    rank = context.label_rank
+    collected = np.zeros(n, dtype=bool)
+    count = 0
+    queue: deque[int] = deque()
+    while count < size:
+        if not queue:
+            remaining = np.flatnonzero(~collected)
+            root = int(rng.choice(remaining))
+            collected[root] = True
+            count += 1
+            queue.append(root)
+            if count >= size:
+                break
+        vertex = queue.popleft()
+        row = indices[indptr[vertex] : indptr[vertex + 1]]
+        fresh_ids = row[~collected[row]]
+        fresh = fresh_ids[np.argsort(rank[fresh_ids])].tolist()
+        rng.shuffle(fresh)
+        for other in fresh:
+            if count >= size:
+                break
+            collected[other] = True
+            count += 1
+            queue.append(other)
+    return _labels(context, collected)
+
+
+def uniform_vertex_set(
+    context: AnalysisContext,
+    size: int,
+    *,
+    seed: int | random.Random | None = None,
+) -> set[Node]:
+    """Sample ``size`` vertices uniformly without replacement.
+
+    CSR-native equivalent of
+    :func:`repro.sampling.random_sets.uniform_vertex_set`.
+    """
+    context = AnalysisContext.ensure(context)
+    n = _check_size(context, size)
+    rng = _resolve_rng(seed)
+    nodes = context.csr.nodes
+    return {nodes[i] for i in rng.sample(range(n), size)}
+
+
+#: CSR-native sampler registry (name -> callable over a context).
+ENGINE_SAMPLERS = {
+    "uniform": uniform_vertex_set,
+    "bfs_ball": bfs_ball_set,
+    "random_walk": random_walk_set,
+}
+
+
+def sample_matched_sets(
+    context: AnalysisContext,
+    sizes: Sequence[int],
+    sampler: str,
+    *,
+    seed: int | None = None,
+) -> list[set[Node]]:
+    """One vertex set per entry of ``sizes`` using a named sampler.
+
+    Drop-in replacement for
+    :func:`repro.sampling.random_sets.sample_matched_sets` that shares the
+    frozen context across all draws.  ``forest_fire`` (not yet CSR-native)
+    falls through to the legacy label-level implementation with identical
+    rng threading, so outputs stay seed-for-seed identical.
+    """
+    context = AnalysisContext.ensure(context)
+    rng = random.Random(seed)
+    if sampler in ENGINE_SAMPLERS:
+        function = ENGINE_SAMPLERS[sampler]
+        return [function(context, size, seed=rng) for size in sizes]
+    if sampler == "forest_fire":
+        from repro.sampling.random_sets import forest_fire_set
+
+        return [
+            forest_fire_set(context.graph, size, seed=rng) for size in sizes
+        ]
+    known = ", ".join(sorted([*ENGINE_SAMPLERS, "forest_fire"]))
+    raise KeyError(f"unknown sampler {sampler!r}; known: {known}")

@@ -20,6 +20,7 @@ from typing import Literal
 
 import numpy as np
 
+from repro.exceptions import GraphError
 from repro.graph.convert import integer_index
 from repro.graph.digraph import DiGraph
 from repro.graph.ugraph import Graph
@@ -27,7 +28,74 @@ from repro.graph.ugraph import Graph
 Node = Hashable
 Orientation = Literal["union", "out", "in"]
 
-__all__ = ["CSRGraph"]
+__all__ = ["CSRGraph", "freeze_directed"]
+
+#: Memory cap (bytes) for the cached dense bitset adjacency.  At one bit
+#: per vertex pair this admits graphs up to ~23k vertices — comfortably
+#: beyond the paper's ego-network corpora — while refusing to allocate
+#: gigabytes on web-scale inputs.
+_DENSE_BITS_LIMIT = 64 * 1024 * 1024
+
+#: Sentinel distinguishing "never computed" from "computed: over the cap".
+_UNSET = object()
+
+
+def _edge_arrays(
+    nodes: list[Node],
+    index_of: dict[Node, int],
+    adjacency: dict[Node, frozenset[Node] | set[Node]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten a label-level adjacency into ``(counts, dsts)`` id arrays.
+
+    ``counts[i]`` is the row length of vertex ``i``; ``dsts`` concatenates
+    the (unsorted) neighbour ids row by row.  The label -> id dictionary
+    lookups here are the only per-half-edge Python work of a freeze.
+    """
+    counts = np.fromiter(
+        (len(adjacency[node]) for node in nodes),
+        dtype=np.int64,
+        count=len(nodes),
+    )
+    dsts = np.fromiter(
+        (index_of[other] for node in nodes for other in adjacency[node]),
+        dtype=np.int64,
+        count=int(counts.sum()),
+    )
+    return counts, dsts
+
+
+def _rows_from_counts(
+    counts: np.ndarray, dsts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort each row of a flattened adjacency; return ``(indptr, indices)``."""
+    srcs = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    # srcs is non-decreasing, so one global lexsort sorts within rows.
+    order = np.lexsort((dsts, srcs))
+    indptr = np.concatenate(([0], np.cumsum(counts)))
+    return indptr, dsts[order]
+
+
+def _union_rows(
+    n: int, srcs: np.ndarray, dsts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSR of the undirected skeleton of directed ``srcs -> dsts`` edges.
+
+    Both directions of every arc are keyed as ``src * n + dst``; a sort
+    plus neighbour-difference mask collapses reciprocal pairs and leaves
+    rows sorted (faster than ``np.unique``'s hash path at this scale).
+    """
+    keys = np.concatenate([srcs, dsts]) * np.int64(n) + np.concatenate(
+        [dsts, srcs]
+    )
+    keys.sort()
+    if keys.size:
+        keep = np.empty(keys.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+        keys = keys[keep]
+    counts = np.bincount(keys // n, minlength=n)
+    indptr = np.concatenate(([0], np.cumsum(counts)))
+    return indptr, keys % n
 
 
 class CSRGraph:
@@ -44,50 +112,100 @@ class CSRGraph:
         Inverse mapping from label to integer vertex id.
     """
 
-    __slots__ = ("indptr", "indices", "nodes", "index_of", "orientation")
+    __slots__ = (
+        "indptr",
+        "indices",
+        "nodes",
+        "index_of",
+        "orientation",
+        "_degree_array",
+        "_edge_keys",
+        "_adjacency_bits",
+    )
 
     def __init__(
         self,
-        graph: Graph | DiGraph,
+        graph: "Graph | DiGraph | CSRGraph",
         *,
         orientation: Orientation = "union",
     ) -> None:
+        self._degree_array: np.ndarray | None = None
+        self._edge_keys: np.ndarray | None = None
+        self._adjacency_bits: np.ndarray | None | object = _UNSET
+        if isinstance(graph, CSRGraph):
+            # Already frozen: adopt the snapshot instead of failing on the
+            # missing dict-adjacency interface.  The arrays are immutable
+            # by convention, so sharing them is safe.
+            if orientation != graph.orientation:
+                raise ValueError(
+                    f"cannot re-freeze a CSRGraph with orientation "
+                    f"{graph.orientation!r} as {orientation!r}; freeze from "
+                    "the original graph instead"
+                )
+            self.orientation = graph.orientation
+            self.indptr = graph.indptr
+            self.indices = graph.indices
+            self.nodes = graph.nodes
+            self.index_of = graph.index_of
+            return
+        if graph.number_of_nodes() == 0:
+            raise GraphError(
+                "cannot freeze an empty graph into CSR form; add vertices "
+                "before constructing a CSRGraph"
+            )
         if not graph.is_directed and orientation != "union":
             raise ValueError("orientation only applies to directed graphs")
         self.orientation: Orientation = orientation
         self.index_of, self.nodes = integer_index(graph)
         n = len(self.nodes)
-        degrees = np.zeros(n + 1, dtype=np.int64)
-        neighbor_sets: list[frozenset[Node] | set[Node]] = []
         if not graph.is_directed:
-            adjacency = dict(graph.adjacency())
-            for node in self.nodes:
-                neighbor_sets.append(adjacency[node])
-        elif orientation == "out":
-            succ = dict(graph.successors_adjacency())
-            for node in self.nodes:
-                neighbor_sets.append(succ[node])
-        elif orientation == "in":
-            pred = dict(graph.predecessors_adjacency())
-            for node in self.nodes:
-                neighbor_sets.append(pred[node])
-        else:  # union of out- and in-neighbours, each counted once
-            succ = dict(graph.successors_adjacency())
-            pred = dict(graph.predecessors_adjacency())
-            for node in self.nodes:
-                neighbor_sets.append(succ[node] | pred[node])
-        for i, neighbors in enumerate(neighbor_sets):
-            degrees[i + 1] = len(neighbors)
-        self.indptr = np.cumsum(degrees)
-        self.indices = np.empty(int(self.indptr[-1]), dtype=np.int64)
-        index_of = self.index_of
-        for i, neighbors in enumerate(neighbor_sets):
-            start, stop = self.indptr[i], self.indptr[i + 1]
-            row = np.fromiter(
-                (index_of[v] for v in neighbors), dtype=np.int64, count=stop - start
+            counts, dsts = _edge_arrays(
+                self.nodes, self.index_of, dict(graph.adjacency())
             )
-            row.sort()
-            self.indices[start:stop] = row
+            self.indptr, self.indices = _rows_from_counts(counts, dsts)
+        elif orientation == "out":
+            counts, dsts = _edge_arrays(
+                self.nodes, self.index_of, dict(graph.successors_adjacency())
+            )
+            self.indptr, self.indices = _rows_from_counts(counts, dsts)
+        elif orientation == "in":
+            counts, dsts = _edge_arrays(
+                self.nodes, self.index_of, dict(graph.predecessors_adjacency())
+            )
+            self.indptr, self.indices = _rows_from_counts(counts, dsts)
+        else:  # union of out- and in-neighbours, each counted once
+            counts, dsts = _edge_arrays(
+                self.nodes, self.index_of, dict(graph.successors_adjacency())
+            )
+            srcs = np.repeat(np.arange(n, dtype=np.int64), counts)
+            self.indptr, self.indices = _union_rows(n, srcs, dsts)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        nodes: list[Node],
+        index_of: dict[Node, int],
+        *,
+        orientation: Orientation = "union",
+    ) -> "CSRGraph":
+        """Assemble a snapshot directly from prebuilt CSR arrays.
+
+        Trusted-input constructor for callers that derive several
+        orientations from one edge-array pass (the analysis engine).  The
+        arrays are adopted, not copied; rows must already be sorted.
+        """
+        self = object.__new__(cls)
+        self._degree_array = None
+        self._edge_keys = None
+        self._adjacency_bits = _UNSET
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.nodes = nodes
+        self.index_of = index_of
+        self.orientation = orientation
+        return self
 
     # -- basic accessors -----------------------------------------------------
 
@@ -110,8 +228,71 @@ class CSRGraph:
         return int(self.indptr[vertex + 1] - self.indptr[vertex])
 
     def degrees(self) -> np.ndarray:
-        """Degree array over all vertices."""
+        """Degree array over all vertices (freshly computed)."""
         return np.diff(self.indptr)
+
+    def degree_array(self) -> np.ndarray:
+        """Cached degree array over all vertices.
+
+        The array is computed once and shared; treat it as read-only.
+        This is the degree source the analysis engine
+        (:class:`repro.engine.AnalysisContext`) builds on.
+        """
+        if self._degree_array is None:
+            self._degree_array = np.diff(self.indptr)
+        return self._degree_array
+
+    def edge_keys(self) -> np.ndarray:
+        """Cached globally sorted ``src * n + dst`` key per half-edge.
+
+        Because rows appear in vertex order and are sorted internally, the
+        key array is sorted as a whole, so ``(u, v)`` adjacency tests
+        become one :func:`numpy.searchsorted` probe — the engine's batch
+        pair kernel relies on this.  Treat the array as read-only.
+        """
+        if self._edge_keys is None:
+            n = self.num_vertices
+            self._edge_keys = (
+                np.repeat(np.arange(n, dtype=np.int64), self.degree_array())
+                * np.int64(n)
+                + self.indices
+            )
+        return self._edge_keys
+
+    def adjacency_bits(self) -> np.ndarray | None:
+        """Cached dense bitset adjacency, or ``None`` above the memory cap.
+
+        Row ``u`` packs one bit per potential neighbour: ``v`` is adjacent
+        iff ``bits[u, v >> 3] >> (v & 7) & 1``.  Costs ``n^2/8`` bytes, so
+        graphs beyond :data:`_DENSE_BITS_LIMIT` return ``None`` and
+        callers fall back to :meth:`edge_keys` probes.  Treat the matrix
+        as read-only.
+        """
+        if self._adjacency_bits is _UNSET:
+            n = self.num_vertices
+            width = (n + 7) >> 3
+            if n * width > _DENSE_BITS_LIMIT:
+                self._adjacency_bits = None
+            else:
+                bits = np.zeros(n * width, dtype=np.uint8)
+                if self.indices.size:
+                    srcs = np.repeat(
+                        np.arange(n, dtype=np.int64), self.degree_array()
+                    )
+                    flat = srcs * np.int64(width) + (self.indices >> 3)
+                    values = (
+                        np.uint8(1) << (self.indices & 7).astype(np.uint8)
+                    )
+                    # flat is non-decreasing (rows in order, sorted rows),
+                    # so same-byte runs are contiguous: OR each run once.
+                    starts = np.flatnonzero(
+                        np.concatenate(([True], flat[1:] != flat[:-1]))
+                    )
+                    bits[flat[starts]] = np.bitwise_or.reduceat(values, starts)
+                self._adjacency_bits = bits.reshape(n, width)
+        result = self._adjacency_bits
+        assert result is None or isinstance(result, np.ndarray)
+        return result
 
     def vertex_ids(self, labels: Sequence[Node]) -> np.ndarray:
         """Map node labels to integer vertex ids."""
@@ -131,3 +312,40 @@ class CSRGraph:
             f"{self.num_half_edges} half-edges, "
             f"orientation={self.orientation!r}>"
         )
+
+
+def freeze_directed(graph: DiGraph) -> tuple[CSRGraph, CSRGraph, CSRGraph]:
+    """Freeze a directed graph into ``(union, out, in)`` CSR snapshots.
+
+    All three orientations derive from a single successor-adjacency pass:
+    the ``in`` rows are the transposed edge arrays re-sorted, the union
+    rows the key-deduplicated symmetrisation — no second or third walk
+    over the Python dicts.  Produces arrays bit-identical to three
+    separate ``CSRGraph(graph, orientation=...)`` freezes.
+    """
+    if graph.number_of_nodes() == 0:
+        raise GraphError(
+            "cannot freeze an empty graph into CSR form; add vertices "
+            "before constructing a CSRGraph"
+        )
+    index_of, nodes = integer_index(graph)
+    n = len(nodes)
+    counts, dsts = _edge_arrays(nodes, index_of, dict(graph.successors_adjacency()))
+    srcs = np.repeat(np.arange(n, dtype=np.int64), counts)
+    out_indptr, out_indices = _rows_from_counts(counts, dsts)
+    # Transpose: group by destination, neighbours sorted by source.
+    order = np.lexsort((srcs, dsts))
+    in_counts = np.bincount(dsts, minlength=n)
+    in_indptr = np.concatenate(([0], np.cumsum(in_counts)))
+    union_indptr, union_indices = _union_rows(n, srcs, dsts)
+    return (
+        CSRGraph.from_arrays(
+            union_indptr, union_indices, nodes, index_of, orientation="union"
+        ),
+        CSRGraph.from_arrays(
+            out_indptr, out_indices, nodes, index_of, orientation="out"
+        ),
+        CSRGraph.from_arrays(
+            in_indptr, srcs[order], nodes, index_of, orientation="in"
+        ),
+    )

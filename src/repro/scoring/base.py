@@ -18,12 +18,21 @@ adjacency and caches per-member degree breakdowns so that *all* scoring
 functions can be evaluated without revisiting the graph.  Batch evaluation
 over many groups therefore costs one adjacency sweep per group, not one per
 (group, function) pair.
+
+:func:`compute_group_stats` is the legacy per-group dict sweep and the
+reproduction's correctness oracle; the production batch path is
+:func:`repro.engine.batch_group_stats`, which computes bit-identical
+statistics for all groups from one frozen
+:class:`~repro.engine.AnalysisContext`.  A :class:`GroupStats` is a pure
+value object — it carries no reference to the graph it was measured on,
+so holding thousands of them does not pin the substrate in memory and
+never reads mutated state.
 """
 
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -45,7 +54,6 @@ class GroupStats:
     arrays are aligned with :attr:`members`.
     """
 
-    graph: Graph | DiGraph = field(repr=False)
     members: tuple[Node, ...] = field(repr=False)
     n: int
     m: int
@@ -63,6 +71,11 @@ class GroupStats:
     member_out_degrees: np.ndarray = field(repr=False)
     #: median total degree of the whole graph, if precomputed (for FOMD)
     graph_median_degree: float | None = None
+    #: per-member sorted arrays of internal-neighbour member *positions*
+    #: (undirected skeleton of the induced subgraph; needed only by TPR)
+    member_internal_neighbors: tuple[np.ndarray, ...] | None = field(
+        default=None, repr=False
+    )
 
     @property
     def member_boundary_degrees(self) -> np.ndarray:
@@ -87,21 +100,7 @@ class GroupStats:
 
     def with_median_degree(self, median: float) -> "GroupStats":
         """Return a copy carrying the graph-wide median degree (FOMD)."""
-        return GroupStats(
-            graph=self.graph,
-            members=self.members,
-            n=self.n,
-            m=self.m,
-            n_C=self.n_C,
-            m_C=self.m_C,
-            c_C=self.c_C,
-            directed=self.directed,
-            member_degrees=self.member_degrees,
-            member_internal_degrees=self.member_internal_degrees,
-            member_in_degrees=self.member_in_degrees,
-            member_out_degrees=self.member_out_degrees,
-            graph_median_degree=median,
-        )
+        return replace(self, graph_median_degree=median)
 
 
 @runtime_checkable
@@ -114,11 +113,20 @@ class ScoringFunction(Protocol):
         ...
 
 
+def _positions(
+    inside: Iterable[Node], position_of: dict[Node, int]
+) -> np.ndarray:
+    return np.asarray(
+        sorted(position_of[node] for node in inside), dtype=np.int64
+    )
+
+
 def compute_group_stats(
     graph: Graph | DiGraph,
     members: Iterable[Node],
     *,
     graph_median_degree: float | None = None,
+    include_internal_adjacency: bool = True,
 ) -> GroupStats:
     """Compute :class:`GroupStats` for ``members`` within ``graph``.
 
@@ -126,6 +134,12 @@ def compute_group_stats(
     member set raises :class:`EmptyGroupError`.  Directed conventions match
     the paper: ``m_C`` counts each directed internal edge once, ``c_C``
     counts boundary edges of either direction, ``d(v) = d_in + d_out``.
+
+    This is the legacy per-group dict sweep, kept as the engine's
+    correctness oracle; batch workloads should go through
+    :func:`repro.engine.batch_group_stats` instead.
+    ``include_internal_adjacency=False`` skips materializing the induced
+    internal adjacency (only TPR consumes it).
     """
     member_tuple = tuple(dict.fromkeys(members))  # stable order, deduplicated
     if not member_tuple:
@@ -140,6 +154,12 @@ def compute_group_stats(
     out_degrees = np.zeros(count, dtype=np.int64)
     internal_endpoint_sum = 0
     boundary = 0
+    position_of = (
+        {node: i for i, node in enumerate(member_tuple)}
+        if include_internal_adjacency
+        else {}
+    )
+    internal_rows: list[np.ndarray] = []
 
     if graph.is_directed:
         succ = graph._succ  # noqa: SLF001 - single-pass fast path
@@ -152,11 +172,17 @@ def compute_group_stats(
             out_degrees[i] = len(out_set)
             in_degrees[i] = len(in_set)
             degrees[i] = len(out_set) + len(in_set)
-            internal_out = len(out_set & member_set)
-            internal_in = len(in_set & member_set)
+            inside_out = out_set & member_set
+            inside_in = in_set & member_set
+            internal_out = len(inside_out)
+            internal_in = len(inside_in)
             internal[i] = internal_out + internal_in
             internal_endpoint_sum += internal_out  # each inside edge once
             boundary += (len(out_set) - internal_out) + (len(in_set) - internal_in)
+            if include_internal_adjacency:
+                internal_rows.append(
+                    _positions(inside_out | inside_in, position_of)
+                )
         m_C = internal_endpoint_sum
     else:
         adj = graph._adj  # noqa: SLF001
@@ -165,14 +191,16 @@ def compute_group_stats(
                 raise NodeNotFound(node)
             neighbor_set = adj[node]
             degrees[i] = len(neighbor_set)
-            inside = len(neighbor_set & member_set)
+            inside_set = neighbor_set & member_set
+            inside = len(inside_set)
             internal[i] = inside
             internal_endpoint_sum += inside
             boundary += len(neighbor_set) - inside
+            if include_internal_adjacency:
+                internal_rows.append(_positions(inside_set, position_of))
         m_C = internal_endpoint_sum // 2
 
     return GroupStats(
-        graph=graph,
         members=member_tuple,
         n=graph.number_of_nodes(),
         m=graph.number_of_edges(),
@@ -185,4 +213,7 @@ def compute_group_stats(
         member_in_degrees=in_degrees,
         member_out_degrees=out_degrees,
         graph_median_degree=graph_median_degree,
+        member_internal_neighbors=(
+            tuple(internal_rows) if include_internal_adjacency else None
+        ),
     )

@@ -9,8 +9,6 @@ as extensions.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.scoring.base import GroupStats
 
 __all__ = [
@@ -65,8 +63,11 @@ class FractionOverMedianDegree:
     """FOMD: fraction of members whose *internal* degree exceeds the median
     total degree of the whole graph.
 
-    Requires ``stats.graph_median_degree``; the batch driver in
-    :mod:`repro.scoring.registry` fills it in once per graph.
+    Requires ``stats.graph_median_degree``: the graph-wide median is not a
+    group statistic, and :class:`GroupStats` deliberately carries no graph
+    reference.  The batch drivers (:func:`repro.scoring.registry.score_groups`
+    and the engine) fill it in once per graph from
+    :attr:`repro.engine.AnalysisContext.median_degree`.
     """
 
     name = "fomd"
@@ -74,12 +75,12 @@ class FractionOverMedianDegree:
     def __call__(self, stats: GroupStats) -> float:
         median = stats.graph_median_degree
         if median is None:
-            degrees = np.fromiter(
-                (stats.graph.degree[node] for node in stats.graph),
-                dtype=np.int64,
-                count=stats.n,
+            raise ValueError(
+                "FOMD needs stats.graph_median_degree; pass "
+                "graph_median_degree= when computing the stats (e.g. "
+                "AnalysisContext.median_degree) or score through "
+                "score_groups()"
             )
-            median = float(np.median(degrees)) if degrees.size else 0.0
         over = int((stats.member_internal_degrees > median).sum())
         return over / stats.n_C
 
@@ -94,26 +95,20 @@ class TriangleParticipationRatio:
     name = "tpr"
 
     def __call__(self, stats: GroupStats) -> float:
-        member_set = frozenset(stats.members)
-        graph = stats.graph
-        # Undirected-skeleton neighbour sets restricted to the group.
-        if graph.is_directed:
-            succ = graph._succ  # noqa: SLF001
-            pred = graph._pred  # noqa: SLF001
-            inside = {
-                node: (succ[node] | pred[node]) & member_set
-                for node in stats.members
-            }
-        else:
-            adj = graph._adj  # noqa: SLF001
-            inside = {node: adj[node] & member_set for node in stats.members}
+        rows = stats.member_internal_neighbors
+        if rows is None:
+            raise ValueError(
+                "TPR needs stats.member_internal_neighbors; compute the "
+                "stats with include_internal_adjacency=True (the default "
+                "of compute_group_stats, opt-in for the engine batch path)"
+            )
+        # Position-indexed neighbour sets over the induced skeleton.
+        inside = [set(row.tolist()) for row in rows]
         in_triangle = 0
-        for node, neighbors in inside.items():
-            found = False
+        for i, neighbors in enumerate(inside):
+            others = neighbors - {i}
             for u in neighbors:
-                if inside[u] & neighbors - {node}:
-                    found = True
+                if inside[u] & others:
+                    in_triangle += 1
                     break
-            if found:
-                in_triangle += 1
         return in_triangle / stats.n_C

@@ -2,8 +2,10 @@
 
 The paper evaluates four scoring functions (one per family of the
 Yang–Leskovec taxonomy); :data:`PAPER_FUNCTIONS` builds exactly those.
-:func:`score_groups` evaluates any set of functions over many groups with
-one adjacency sweep per group.
+:func:`score_groups` evaluates any set of functions over many groups from
+one frozen :class:`~repro.engine.AnalysisContext` — the graph is frozen
+exactly once per run (or not at all if the caller passes a context), and
+all group statistics come from the engine's vectorized batch pass.
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.groups import GroupSet, VertexGroup
+from repro.engine import AnalysisContext, batch_group_stats
 from repro.graph.digraph import DiGraph
 from repro.graph.ugraph import Graph
 from repro.scoring.base import GroupStats, ScoringFunction, compute_group_stats
@@ -144,31 +147,44 @@ class ScoreTable:
         return result
 
 
-def _graph_median_degree(graph: Graph | DiGraph) -> float:
-    degrees = np.fromiter(
-        (graph.degree[node] for node in graph),
-        dtype=np.int64,
-        count=graph.number_of_nodes(),
-    )
-    return float(np.median(degrees)) if degrees.size else 0.0
+def _needs(functions: Sequence[ScoringFunction], kind: type) -> bool:
+    return any(isinstance(function, kind) for function in functions)
 
 
 def score_group(
-    graph: Graph | DiGraph,
+    graph: Graph | DiGraph | AnalysisContext,
     members: Iterable[Node],
     functions: Sequence[ScoringFunction],
     *,
     graph_median_degree: float | None = None,
 ) -> dict[str, float]:
-    """Score one vertex set under ``functions`` (one adjacency sweep)."""
-    stats = compute_group_stats(
-        graph, members, graph_median_degree=graph_median_degree
-    )
+    """Score one vertex set under ``functions`` (one adjacency sweep).
+
+    Accepts a raw graph (legacy dict sweep) or a frozen
+    :class:`~repro.engine.AnalysisContext` (CSR batch kernel).
+    """
+    if isinstance(graph, AnalysisContext):
+        if graph_median_degree is None and _needs(
+            functions, FractionOverMedianDegree
+        ):
+            graph_median_degree = graph.median_degree
+        stats = batch_group_stats(
+            graph,
+            [members],
+            graph_median_degree=graph_median_degree,
+            include_internal_adjacency=_needs(
+                functions, TriangleParticipationRatio
+            ),
+        )[0]
+    else:
+        stats = compute_group_stats(
+            graph, members, graph_median_degree=graph_median_degree
+        )
     return {function.name: float(function(stats)) for function in functions}
 
 
 def score_groups(
-    graph: Graph | DiGraph,
+    graph: Graph | DiGraph | AnalysisContext,
     groups: GroupSet | Sequence[VertexGroup],
     functions: Sequence[ScoringFunction] | None = None,
     *,
@@ -180,28 +196,47 @@ def score_groups(
     ``restrict_to_graph`` (default) group members absent from the graph are
     dropped first — matching how the experiments treat sampled corpora —
     and groups emptied by the restriction are skipped.
+
+    ``graph`` may be a raw :class:`Graph`/:class:`DiGraph` (frozen into an
+    :class:`~repro.engine.AnalysisContext` once, here) or an existing
+    context (no freeze at all); either way every group's statistics come
+    from one engine batch pass over the shared CSR substrate.
     """
     if functions is None:
         functions = make_paper_functions()
-    group_list = list(groups)
-    needs_median = any(
-        isinstance(function, FractionOverMedianDegree) for function in functions
+    context = AnalysisContext.ensure(graph)
+    median = (
+        context.median_degree
+        if _needs(functions, FractionOverMedianDegree)
+        else None
     )
-    median = _graph_median_degree(graph) if needs_median else None
 
     names: list[str] = []
     sizes: list[int] = []
-    rows: list[dict[str, float]] = []
-    for group in group_list:
-        members: Iterable[Node] = group.members
+    member_lists: list[list[Node]] = []
+    for group in list(groups):
+        members = list(group.members)
         if restrict_to_graph:
-            members = [node for node in group.members if node in graph]
+            members = [node for node in members if node in context]
             if not members:
                 continue
-        stats = compute_group_stats(graph, members, graph_median_degree=median)
         names.append(group.name)
+        member_lists.append(members)
+
+    stats_list = batch_group_stats(
+        context,
+        member_lists,
+        graph_median_degree=median,
+        include_internal_adjacency=_needs(
+            functions, TriangleParticipationRatio
+        ),
+    )
+    rows: list[dict[str, float]] = []
+    for stats in stats_list:
         sizes.append(stats.n_C)
-        rows.append({function.name: float(function(stats)) for function in functions})
+        rows.append(
+            {function.name: float(function(stats)) for function in functions}
+        )
 
     columns = {
         function.name: np.array(

@@ -242,3 +242,50 @@ def test_env_flag_parsing(monkeypatch):
         assert invariants.checks_enabled_from_env() is expected
     monkeypatch.delenv("REPRO_CHECK_INVARIANTS")
     assert invariants.checks_enabled_from_env() is False
+
+
+class TestContextValidation:
+    def _context(self, directed=False):
+        from repro.engine import AnalysisContext
+
+        if directed:
+            return AnalysisContext(
+                DiGraph([("a", "b"), ("b", "a"), ("b", "c")])
+            )
+        return AnalysisContext(Graph([(1, 2), (2, 3), (3, 1), (3, 4)]))
+
+    def test_healthy_contexts_validate(self):
+        validate(self._context(directed=False))
+        validate(self._context(directed=True))
+
+    def test_detects_degree_array_drift(self):
+        import numpy as np
+
+        context = self._context()
+        context._degree_array = np.zeros(context.num_vertices, dtype=np.int64)
+        with pytest.raises(InvariantViolation, match="degree array"):
+            validate(context)
+
+    def test_detects_median_drift(self):
+        context = self._context()
+        context._median_degree = -1.0
+        with pytest.raises(InvariantViolation, match="median"):
+            validate(context)
+
+    def test_detects_edge_count_drift(self):
+        context = self._context()
+        context.num_edges += 1
+        with pytest.raises(InvariantViolation, match="edge-count"):
+            validate(context)
+
+    def test_detects_indptr_corruption_through_context(self):
+        context = self._context()
+        context.csr.indptr[1] = context.csr.indptr[2] + 1
+        with pytest.raises(InvariantViolation):
+            validate(context)
+
+    def test_detects_directed_orientation_loss(self):
+        context = self._context(directed=True)
+        context.csr_in = None
+        with pytest.raises(InvariantViolation, match="orientation"):
+            validate(context)

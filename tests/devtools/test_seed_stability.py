@@ -27,6 +27,9 @@ for name in (
     "sampling.random_walk",
     "sampling.bfs_ball",
     "sampling.forest_fire",
+    "engine.random_walk",
+    "engine.bfs_ball",
+    "engine.uniform",
     "nullmodel.viger_latapy",
     "nullmodel.double_edge_swap",
     "detection.louvain",

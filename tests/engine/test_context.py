@@ -1,0 +1,124 @@
+"""AnalysisContext freeze-once contract and cached graph-wide quantities."""
+
+import numpy as np
+import pytest
+
+from repro.engine import AnalysisContext
+from repro.exceptions import GraphError, NodeNotFound
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+
+
+class TestFreezing:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            AnalysisContext(Graph())
+
+    def test_context_adopts_existing_context(self, triangle_graph):
+        context = AnalysisContext(triangle_graph)
+        again = AnalysisContext(context)
+        assert again.csr is context.csr
+        assert again.graph is context.graph
+
+    def test_ensure_is_identity_on_contexts(self, triangle_graph):
+        context = AnalysisContext(triangle_graph)
+        assert AnalysisContext.ensure(context) is context
+
+    def test_ensure_freezes_raw_graph(self, triangle_graph):
+        context = AnalysisContext.ensure(triangle_graph)
+        assert isinstance(context, AnalysisContext)
+        assert context.num_vertices == triangle_graph.number_of_nodes()
+
+    def test_freeze_once_ignores_later_mutation(self, triangle_graph):
+        context = AnalysisContext(triangle_graph)
+        n, m = context.num_vertices, context.num_edges
+        triangle_graph.add_edge(1, 99)
+        assert context.num_vertices == n
+        assert context.num_edges == m
+        assert 99 not in context
+
+    def test_directed_has_three_orientations(self, small_digraph):
+        context = AnalysisContext(small_digraph)
+        assert context.is_directed
+        assert context.csr.orientation == "union"
+        assert context.csr_out.orientation == "out"
+        assert context.csr_in.orientation == "in"
+
+    def test_undirected_has_union_only(self, triangle_graph):
+        context = AnalysisContext(triangle_graph)
+        assert not context.is_directed
+        assert context.csr_out is None
+        assert context.csr_in is None
+
+
+class TestLabelBoundary:
+    def test_contains(self, triangle_graph):
+        context = AnalysisContext(triangle_graph)
+        assert 1 in context
+        assert 99 not in context
+
+    def test_vertex_ids_round_trip(self, triangle_graph):
+        context = AnalysisContext(triangle_graph)
+        labels = list(triangle_graph.nodes)
+        ids = context.vertex_ids(labels)
+        assert context.labels(ids) == labels
+
+    def test_unknown_label_raises(self, triangle_graph):
+        context = AnalysisContext(triangle_graph)
+        with pytest.raises(NodeNotFound):
+            context.vertex_ids([1, "nope"])
+
+
+class TestCachedQuantities:
+    def test_undirected_degree_array(self, triangle_graph):
+        context = AnalysisContext(triangle_graph)
+        degrees = dict(zip(context.nodes, context.degree_array))
+        assert degrees == {
+            node: triangle_graph.degree[node] for node in triangle_graph
+        }
+
+    def test_directed_degree_convention(self, small_digraph):
+        # Paper's d(v) = d_in + d_out: a reciprocal pair contributes 2,
+        # so this is NOT the union-skeleton degree.
+        context = AnalysisContext(small_digraph)
+        degrees = dict(zip(context.nodes, context.degree_array))
+        assert degrees == {"a": 2, "b": 3, "c": 2, "d": 1}
+        union = dict(zip(context.nodes, context.csr.degree_array()))
+        assert union["a"] == 1  # a<->b collapses in the skeleton
+
+    def test_out_in_degree_arrays(self, small_digraph):
+        context = AnalysisContext(small_digraph)
+        out = dict(zip(context.nodes, context.out_degree_array))
+        inn = dict(zip(context.nodes, context.in_degree_array))
+        assert out == {"a": 1, "b": 2, "c": 1, "d": 0}
+        assert inn == {"a": 1, "b": 1, "c": 1, "d": 1}
+
+    def test_median_degree_cached(self, two_cliques_graph):
+        context = AnalysisContext(two_cliques_graph)
+        assert context.median_degree == float(
+            np.median(
+                [two_cliques_graph.degree[v] for v in two_cliques_graph]
+            )
+        )
+        assert context.median_degree is not None  # second read hits cache
+
+    def test_label_rank_is_stable_sorted_order(self):
+        graph = Graph()
+        for label in ("zeta", "alpha", "mid"):
+            graph.add_node(label)
+        graph.add_edge("zeta", "alpha")
+        graph.add_edge("alpha", "mid")
+        context = AnalysisContext(graph)
+        rank = dict(zip(context.nodes, context.label_rank))
+        assert rank == {"alpha": 0, "mid": 1, "zeta": 2}
+
+    def test_label_rank_mixed_types_falls_back_to_repr(self):
+        graph = Graph()
+        graph.add_node(1)
+        graph.add_node("a")
+        graph.add_edge(1, "a")
+        context = AnalysisContext(graph)
+        by_rank = sorted(context.nodes, key=lambda v: context.label_rank[
+            context.index_of[v]
+        ])
+        assert by_rank == sorted(context.nodes, key=repr)

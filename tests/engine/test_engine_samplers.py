@@ -1,0 +1,117 @@
+"""CSR-native samplers replay the legacy label-level samplers exactly.
+
+The Fig. 5 acceptance bar is seed-for-seed identical output: the engine
+samplers must consume randomness exactly like their legacy counterparts
+so that every published number survives the substrate swap unchanged.
+The insertion order of the test graphs is deliberately scrambled so
+vertex-id order and label order disagree — the case that distinguishes
+"same distribution" from "same draw".
+"""
+
+import random
+
+import pytest
+
+from repro.engine import (
+    ENGINE_SAMPLERS,
+    AnalysisContext,
+    bfs_ball_set,
+    random_walk_set,
+    sample_matched_sets,
+    uniform_vertex_set,
+)
+from repro.exceptions import SamplingError
+from repro.graph.digraph import DiGraph
+from repro.graph.ugraph import Graph
+from repro.sampling import random_sets as legacy
+from repro.sampling.random_walk import random_walk_set as legacy_random_walk
+
+
+def scrambled_graph(directed, n=40, m=150, seed=13):
+    rng = random.Random(seed)
+    graph = (DiGraph if directed else Graph)()
+    order = list(range(n))
+    rng.shuffle(order)  # id order != label order
+    for i in order:
+        graph.add_node(f"v{i:03d}")
+    labels = [f"v{i:03d}" for i in range(n)]
+    while graph.number_of_edges() < m:
+        u, v = rng.sample(labels, 2)
+        graph.add_edge(u, v)
+    return graph
+
+
+@pytest.mark.parametrize("directed", [False, True])
+@pytest.mark.parametrize("seed", [0, 7])
+class TestLegacyReplay:
+    def test_random_walk(self, directed, seed):
+        graph = scrambled_graph(directed)
+        context = AnalysisContext(graph)
+        for size in (1, 6, 25):
+            assert random_walk_set(
+                context, size, seed=seed
+            ) == legacy_random_walk(graph, size, seed=seed)
+
+    def test_bfs_ball(self, directed, seed):
+        graph = scrambled_graph(directed)
+        context = AnalysisContext(graph)
+        for size in (1, 6, 25):
+            assert bfs_ball_set(context, size, seed=seed) == legacy.bfs_ball_set(
+                graph, size, seed=seed
+            )
+
+    def test_uniform(self, directed, seed):
+        graph = scrambled_graph(directed)
+        context = AnalysisContext(graph)
+        for size in (1, 6, 40):
+            assert uniform_vertex_set(
+                context, size, seed=seed
+            ) == legacy.uniform_vertex_set(graph, size, seed=seed)
+
+    @pytest.mark.parametrize(
+        "sampler", ["random_walk", "bfs_ball", "uniform", "forest_fire"]
+    )
+    def test_matched_sets(self, directed, seed, sampler):
+        graph = scrambled_graph(directed)
+        context = AnalysisContext(graph)
+        assert sample_matched_sets(
+            context, [3, 9, 14], sampler, seed=seed
+        ) == legacy.sample_matched_sets(graph, [3, 9, 14], sampler, seed=seed)
+
+
+class TestSamplerContracts:
+    def test_members_are_labels(self, triangle_graph):
+        context = AnalysisContext(triangle_graph)
+        sample = uniform_vertex_set(context, 2, seed=0)
+        assert sample <= set(triangle_graph.nodes)
+
+    def test_exact_size(self, two_cliques_graph):
+        context = AnalysisContext(two_cliques_graph)
+        for size in (1, 4, 8):
+            assert len(random_walk_set(context, size, seed=1)) == size
+            assert len(bfs_ball_set(context, size, seed=1)) == size
+            assert len(uniform_vertex_set(context, size, seed=1)) == size
+
+    def test_oversized_request_raises(self, triangle_graph):
+        context = AnalysisContext(triangle_graph)
+        with pytest.raises(SamplingError):
+            random_walk_set(context, 99, seed=0)
+
+    def test_nonpositive_size_raises(self, triangle_graph):
+        context = AnalysisContext(triangle_graph)
+        with pytest.raises(ValueError):
+            uniform_vertex_set(context, 0, seed=0)
+
+    def test_unknown_sampler_raises(self, triangle_graph):
+        context = AnalysisContext(triangle_graph)
+        with pytest.raises(KeyError, match="unknown sampler"):
+            sample_matched_sets(context, [2], "metropolis", seed=0)
+
+    def test_registry_names(self):
+        assert set(ENGINE_SAMPLERS) == {"uniform", "bfs_ball", "random_walk"}
+
+    def test_restart_covers_disconnected_graph(self):
+        graph = Graph([(1, 2), (3, 4), (5, 6)])
+        context = AnalysisContext(graph)
+        assert len(random_walk_set(context, 5, seed=0)) == 5
+        assert len(bfs_ball_set(context, 5, seed=0)) == 5

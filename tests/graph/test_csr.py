@@ -63,3 +63,37 @@ class TestDirectedCSR:
 
     def test_num_vertices(self, small_digraph):
         assert CSRGraph(small_digraph).num_vertices == 4
+
+
+class TestFreezeSemantics:
+    def test_empty_graph_rejected(self):
+        from repro.exceptions import GraphError
+        from repro.graph.ugraph import Graph
+
+        with pytest.raises(GraphError, match="empty graph"):
+            CSRGraph(Graph())
+
+    def test_refreeze_adopts_snapshot(self, triangle_graph):
+        csr = CSRGraph(triangle_graph)
+        again = CSRGraph(csr)
+        assert again.indptr is csr.indptr
+        assert again.indices is csr.indices
+        assert again.nodes is csr.nodes
+        assert again.index_of is csr.index_of
+        assert again.orientation == csr.orientation
+
+    def test_refreeze_orientation_mismatch_rejected(self, small_digraph):
+        out = CSRGraph(small_digraph, orientation="out")
+        with pytest.raises(ValueError, match="re-freeze"):
+            CSRGraph(out, orientation="in")
+
+    def test_refreeze_same_orientation_accepted(self, small_digraph):
+        out = CSRGraph(small_digraph, orientation="out")
+        assert CSRGraph(out, orientation="out").indices is out.indices
+
+    def test_degree_array_cached_and_correct(self, triangle_graph):
+        csr = CSRGraph(triangle_graph)
+        first = csr.degree_array()
+        assert first is csr.degree_array()  # cached
+        assert np.array_equal(first, csr.degrees())
+        assert csr.degrees() is not csr.degrees()  # fresh each call

@@ -72,10 +72,13 @@ class TestFOMD:
         stats = stats_for(two_cliques_graph, [0, 1, 2, 3], graph_median_degree=2.0)
         assert FractionOverMedianDegree()(stats) == 1.0
 
-    def test_median_computed_on_demand(self, triangle_graph):
+    def test_missing_median_raises(self, triangle_graph):
+        # GroupStats no longer carries a graph reference, so FOMD cannot
+        # recover the graph-wide median on demand; it must be precomputed
+        # (AnalysisContext.median_degree does this once per run).
         stats = stats_for(triangle_graph, [1, 2, 3])
-        value = FractionOverMedianDegree()(stats)
-        assert 0.0 <= value <= 1.0
+        with pytest.raises(ValueError, match="graph_median_degree"):
+            FractionOverMedianDegree()(stats)
 
 
 class TestTPR:

@@ -12,6 +12,7 @@ from hypothesis import strategies as st
 
 from repro.analysis.cdf import EmpiricalCDF
 from repro.analysis.stats import ks_two_sample, mann_whitney_u
+from repro.engine import AnalysisContext
 from repro.graph.ugraph import Graph
 from repro.nullmodel.configuration import configuration_model
 from repro.nullmodel.degree_sequence import is_graphical
@@ -104,7 +105,10 @@ class TestScoringBounds:
                 unique=True,
             )
         )
-        stats = compute_group_stats(graph, members)
+        # FOMD needs the graph-wide median up front: GroupStats carries no
+        # graph reference, so the median cannot be derived on demand.
+        median = AnalysisContext(graph).median_degree
+        stats = compute_group_stats(graph, members, graph_median_degree=median)
         for function in make_all_functions():
             value = function(stats)
             assert not np.isnan(value), function.name
