@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# One-command correctness gate: custom lint pass, seed-determinism check
-# on the fast pipelines, engine-vs-legacy identity smoke, then the tier-1
-# test suite.  Exits non-zero on the first failure so it can gate PRs.
+# One-command correctness gate: custom lint pass (parallel, baseline-aware,
+# with a machine-readable SARIF artifact), seed-determinism check on the
+# fast pipelines, engine-vs-legacy identity smoke, then the tier-1 test
+# suite.  Exits non-zero on the first failure so it can gate PRs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== repro lint (REP001-REP006) =="
-python -m repro.devtools.lint src
+echo "== repro lint (REP001-REP204, 2 jobs) =="
+python -m repro.devtools.lint src --jobs 2
+
+echo "== repro lint SARIF artifact (lint.sarif) =="
+python -m repro.devtools.lint src --format sarif --output lint.sarif
 
 echo "== determinism check (fast pipelines) =="
 python -m repro.devtools.determinism --fast

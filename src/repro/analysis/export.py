@@ -28,6 +28,7 @@ from repro.analysis.cdf import EmpiricalCDF
 from repro.analysis.comparison import compare_datasets
 from repro.analysis.experiment import circles_vs_random
 from repro.data.datasets import Dataset
+from repro.engine import AnalysisContext
 
 __all__ = ["export_figures"]
 
@@ -98,8 +99,12 @@ def export_figures(
     )
     written.append(path)
 
+    # Figs. 5/6 share the circles graph: freeze it exactly once and
+    # thread the context through both experiment drivers.
+    context = AnalysisContext(circles_dataset.graph)
+
     # Fig. 5 — circles vs random sets, one CSV per scoring function.
-    result = circles_vs_random(circles_dataset, seed=seed)
+    result = circles_vs_random(circles_dataset, seed=seed, context=context)
     for name in result.function_names():
         circles_cdf, random_cdf = result.cdf_pair(name)
         grid, series = _cdf_series({"circles": circles_cdf, "random": random_cdf})
@@ -115,7 +120,10 @@ def export_figures(
         written.append(path)
 
     # Fig. 6 — cross-dataset comparison panels.
-    comparison = compare_datasets([circles_dataset, *community_datasets])
+    comparison = compare_datasets(
+        [circles_dataset, *community_datasets],
+        contexts={circles_dataset.name: context},
+    )
     for name in comparison.function_names():
         cdfs = comparison.cdfs(name)
         grid, series = _cdf_series(cdfs)

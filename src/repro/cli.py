@@ -259,6 +259,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     forwarded = list(args.paths)
     if args.list_rules:
         forwarded.append("--list-rules")
+    if args.explain:
+        forwarded += ["--explain", args.explain]
+    if args.format != "text":
+        forwarded += ["--format", args.format]
+    if args.output:
+        forwarded += ["--output", args.output]
+    if args.jobs != 1:
+        forwarded += ["--jobs", str(args.jobs)]
+    if args.baseline:
+        forwarded += ["--baseline", args.baseline]
+    if args.write_baseline:
+        forwarded.append("--write-baseline")
     return lint_main(forwarded)
 
 
@@ -357,13 +369,42 @@ def build_parser() -> argparse.ArgumentParser:
     export_parser.set_defaults(handler=_cmd_export)
 
     lint_parser = commands.add_parser(
-        "lint", help="repo-specific AST lint pass (rules REP001-REP006)"
+        "lint", help="repo-specific AST lint pass (rules REP001-REP204)"
     )
     lint_parser.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories"
     )
     lint_parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    lint_parser.add_argument(
+        "--explain",
+        metavar="REPxxx",
+        help="print one rule's rationale with a bad/good example",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    lint_parser.add_argument(
+        "--output", metavar="FILE", help="write the report to FILE"
+    )
+    lint_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lint files in N worker processes",
+    )
+    lint_parser.add_argument(
+        "--baseline", metavar="FILE", help="baseline file to apply"
+    )
+    lint_parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from current findings",
     )
     lint_parser.set_defaults(handler=_cmd_lint)
 

@@ -12,6 +12,7 @@ import random
 from collections import Counter
 from collections.abc import Hashable
 
+from repro.graph.convert import stable_sorted
 from repro.graph.digraph import DiGraph
 from repro.graph.ugraph import Graph
 
@@ -55,7 +56,7 @@ def label_propagation_communities(
             new_label = (
                 labels[node]
                 if labels[node] in candidates
-                else rng.choice(sorted(candidates))
+                else rng.choice(stable_sorted(candidates))
             )
             if new_label != labels[node]:
                 labels[node] = new_label

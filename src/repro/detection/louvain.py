@@ -57,7 +57,10 @@ def _one_level(
     resolution: float,
 ) -> dict[Node, int]:
     """One local-moving pass; returns a community id per vertex."""
-    nodes = list(adjacency)
+    # Canonical start order: ``adjacency`` iteration order is insertion
+    # history, so shuffling it directly would leak graph-construction
+    # order into the detected partition.
+    nodes = stable_sorted(adjacency)
     community: dict[Node, int] = {node: i for i, node in enumerate(nodes)}
     # degree (weighted, counting self-loops twice) per node and community.
     degree = {

@@ -3,10 +3,16 @@
 Three layers keep the reproduction's headline numbers trustworthy as the
 codebase grows:
 
-* :mod:`repro.devtools.lint` — a custom AST lint pass with repo-specific
-  rules (seeded randomness, graph-substrate encapsulation, no
-  mutate-while-iterate, no float equality in scoring, ``__all__``
-  discipline, no broad excepts).  Runnable as
+* **Static analysis** — :mod:`repro.devtools.lint` is the front end of a
+  flow-sensitive lint engine: the stateless per-statement rules
+  (REP001–REP006) live in ``lint.py``; :mod:`repro.devtools.dataflow`
+  provides per-function scope tables, a CFG with def-use chains and
+  origin tagging (RNG / graph / frozen / set-ordered values); and
+  :mod:`repro.devtools.rules_flow` builds the RNG-discipline (REP1xx)
+  and freeze-once-contract (REP2xx) rule families on top of it.
+  :mod:`repro.devtools.report` renders text/JSON/SARIF output and
+  :mod:`repro.devtools.baseline` implements the
+  ``.repro-lint-baseline.json`` ratchet.  Runnable as
   ``python -m repro.devtools.lint src/`` or ``repro lint``.
 * :mod:`repro.devtools.invariants` — runtime structural validation of
   :class:`~repro.graph.Graph` / :class:`~repro.graph.DiGraph` /
@@ -24,4 +30,12 @@ not the other way around.
 
 from __future__ import annotations
 
-__all__ = ["lint", "invariants", "determinism"]
+__all__ = [
+    "lint",
+    "dataflow",
+    "rules_flow",
+    "report",
+    "baseline",
+    "invariants",
+    "determinism",
+]

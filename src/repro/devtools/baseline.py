@@ -1,0 +1,129 @@
+"""The ``.repro-lint-baseline.json`` ratchet.
+
+A baseline lets a new rule land on an imperfect tree without a flag-day
+cleanup: known findings are recorded as ``path::rule`` entries with a
+count and a human justification, and only *regressions* (new findings, or
+more findings than baselined) fail the gate.  The ratchet only tightens —
+``--write-baseline`` rewrites the file from current findings, dropping
+entries that no longer occur and preserving justifications for those that
+remain.
+
+File shape (version 1)::
+
+    {
+      "version": 1,
+      "entries": {
+        "src/repro/foo.py::REP101": {
+          "count": 2,
+          "justification": "legacy sampler, scheduled for PR 4"
+        }
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.devtools._base import Violation
+
+__all__ = [
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE_NAME",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+_DEFAULT_JUSTIFICATION = "baselined pre-existing finding; justify or fix"
+
+
+def _entry_key(violation: Violation) -> str:
+    return f"{violation.path}::{violation.rule_id}"
+
+
+def load_baseline(path: Path) -> dict[str, dict[str, object]]:
+    """Load the ``entries`` mapping; an absent file is an empty baseline."""
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline format "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    entries = data.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"{path}: 'entries' must be an object")
+    return entries
+
+
+def apply_baseline(
+    violations: Sequence[Violation],
+    entries: dict[str, dict[str, object]],
+) -> tuple[list[Violation], list[str]]:
+    """Filter baselined findings out of ``violations``.
+
+    Returns ``(remaining, stale)``.  Per ``path::rule`` entry, up to
+    ``count`` findings are suppressed; if the tree now has *more* than
+    ``count``, every finding for that entry is reported (the regression
+    must be fixed or the baseline consciously re-justified, never silently
+    absorbed).  ``stale`` lists entries whose findings have disappeared
+    entirely — the ratchet can tighten.
+    """
+    counts: dict[str, int] = {}
+    for violation in violations:
+        key = _entry_key(violation)
+        counts[key] = counts.get(key, 0) + 1
+
+    remaining: list[Violation] = []
+    for violation in violations:
+        key = _entry_key(violation)
+        entry = entries.get(key)
+        if entry is None:
+            remaining.append(violation)
+            continue
+        allowed = int(entry.get("count", 0))
+        if counts[key] > allowed:
+            remaining.append(violation)  # regression: report all of them
+    stale = sorted(key for key in entries if counts.get(key, 0) == 0)
+    return remaining, stale
+
+
+def write_baseline(
+    violations: Sequence[Violation],
+    path: Path,
+    *,
+    previous: dict[str, dict[str, object]] | None = None,
+) -> dict[str, dict[str, object]]:
+    """Rewrite the baseline from current findings.
+
+    Justifications from ``previous`` are preserved for entries that still
+    occur; entries with zero current findings are dropped (ratchet).
+    """
+    previous = previous or {}
+    counts: dict[str, int] = {}
+    for violation in violations:
+        key = _entry_key(violation)
+        counts[key] = counts.get(key, 0) + 1
+    entries = {
+        key: {
+            "count": count,
+            "justification": str(
+                previous.get(key, {}).get(
+                    "justification", _DEFAULT_JUSTIFICATION
+                )
+            ),
+        }
+        for key, count in sorted(counts.items())
+    }
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return entries

@@ -3,43 +3,76 @@
 The generic linters the ecosystem ships cannot know that this codebase
 (a) must be seed-reproducible end to end, (b) owns a hand-rolled graph
 substrate whose private adjacency dicts may only be *mutated* inside
-:mod:`repro.graph`, and (c) compares floating-point scores where ``==``
-is a latent bug.  This module encodes those rules as small AST visitors.
+:mod:`repro.graph`, and (c) freezes graphs exactly once into
+:class:`~repro.engine.AnalysisContext` snapshots.  This module encodes
+those rules: the stateless per-statement family (REP001–REP006) lives
+here, the flow-sensitive families (REP1xx RNG discipline, REP2xx
+freeze-once contracts) in :mod:`repro.devtools.rules_flow` on top of the
+:mod:`repro.devtools.dataflow` core.
 
 Usage::
 
     python -m repro.devtools.lint src/            # lint a tree
     repro lint src/                               # same, via the CLI
+    repro lint --explain REP101                   # rule rationale
+    repro lint src --format sarif --output lint.sarif
+    repro lint src --jobs 4                       # parallel over files
 
 Every rule is a class with a stable id (``REP001`` …), a one-line
 ``summary``, and a docstring explaining the rationale.  Violations can be
 suppressed per line with ``# repro: noqa[REP001]`` (several ids comma
-separated) or blanket ``# repro: noqa``.  Project-wide configuration
-lives in ``pyproject.toml`` under ``[tool.repro.lint]``:
+separated) or blanket ``# repro: noqa``; unknown ids inside a noqa are
+themselves diagnosed as ``REP000``.  Project-wide configuration lives in
+``pyproject.toml`` under ``[tool.repro.lint]``:
 
 .. code-block:: toml
 
     [tool.repro.lint]
     select = ["REP001", "REP002"]   # default: every rule
     ignore = ["REP004"]
+    value-objects = ["GroupStats"]  # REP203's checked constructors
 
     [tool.repro.lint.per-path-ignores]
     "src/repro/graph/*" = ["REP002"]
 
-The linter exits non-zero when any unsuppressed violation remains, so it
-can gate PRs (see ``scripts/check.sh``).
+Known findings can be ratcheted in ``.repro-lint-baseline.json`` (see
+:mod:`repro.devtools.baseline`); only regressions then fail the gate.
+The linter exits non-zero when any unsuppressed, unbaselined violation
+remains, so it can gate PRs (see ``scripts/check.sh``).
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import dataclasses
 import fnmatch
+import multiprocessing
 import re
 import sys
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
+
+from repro.devtools._base import (
+    _CONTAINER_MUTATORS,
+    _GLOBAL_RANDOM_FUNCS,
+    _GRAPH_MUTATORS,
+    _MATERIALIZERS,
+    _PRIVATE_ADJ,
+    _SAFE_NUMPY_RANDOM,
+    FileContext,
+    Rule,
+    Violation,
+)
+from repro.devtools.baseline import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.report import FORMATS, render
+from repro.devtools.rules_flow import FLOW_RULES
 
 try:
     import tomllib
@@ -57,6 +90,7 @@ __all__ = [
     "FloatEqualityRule",
     "MissingAllRule",
     "BroadExceptRule",
+    "FLOW_RULES",
     "ALL_RULES",
     "lint_source",
     "lint_paths",
@@ -64,134 +98,9 @@ __all__ = [
 ]
 
 
-_NOQA = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]*)\])?")
-
-#: ``random``-module functions that draw from (or reset) global state.
-_GLOBAL_RANDOM_FUNCS = frozenset(
-    {
-        "betavariate",
-        "choice",
-        "choices",
-        "expovariate",
-        "gammavariate",
-        "gauss",
-        "getrandbits",
-        "lognormvariate",
-        "normalvariate",
-        "paretovariate",
-        "randbytes",
-        "randint",
-        "random",
-        "randrange",
-        "sample",
-        "seed",
-        "shuffle",
-        "triangular",
-        "uniform",
-        "vonmisesvariate",
-        "weibullvariate",
-    }
-)
-
-#: ``numpy.random`` attributes that do *not* touch the legacy global state.
-_SAFE_NUMPY_RANDOM = frozenset(
-    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64"}
-)
-
-#: Private adjacency attributes owned by :mod:`repro.graph`.
-_PRIVATE_ADJ = frozenset({"_adj", "_succ", "_pred"})
-
-#: Method names that mutate a set / dict in place.
-_CONTAINER_MUTATORS = frozenset(
-    {
-        "add",
-        "append",
-        "clear",
-        "difference_update",
-        "discard",
-        "extend",
-        "insert",
-        "intersection_update",
-        "pop",
-        "popitem",
-        "remove",
-        "setdefault",
-        "symmetric_difference_update",
-        "update",
-    }
-)
-
-#: Graph methods that mutate structure (used by REP003).
-_GRAPH_MUTATORS = frozenset(
-    {
-        "add_node",
-        "add_nodes_from",
-        "add_edge",
-        "add_edges_from",
-        "remove_node",
-        "remove_edge",
-    }
-)
-
-#: Callables that materialize an iterable into an independent container.
-_MATERIALIZERS = frozenset({"list", "set", "sorted", "tuple", "frozenset", "dict"})
-
-
-@dataclass(frozen=True)
-class Violation:
-    """One lint finding, addressable as ``path:line:col``."""
-
-    rule_id: str
-    message: str
-    path: str
-    line: int
-    col: int
-
-    def format(self) -> str:
-        """Render in the conventional ``path:line:col: ID message`` shape."""
-        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
-
-
-@dataclass(frozen=True)
-class FileContext:
-    """Per-file information shared by every rule."""
-
-    path: str
-    lines: tuple[str, ...]
-
-    @property
-    def path_parts(self) -> tuple[str, ...]:
-        return Path(self.path).parts
-
-    @property
-    def module_basename(self) -> str:
-        return Path(self.path).name
-
-
-class Rule:
-    """Base class for lint rules.
-
-    Subclasses set :attr:`id` / :attr:`summary` and implement
-    :meth:`check`, yielding :class:`Violation` objects.  The docstring of
-    each subclass is its rationale and is printed by ``--list-rules``.
-    """
-
-    id: str = "REP000"
-    summary: str = ""
-
-    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
-        raise NotImplementedError
-
-    def violation(
-        self, ctx: FileContext, node: ast.AST, message: str
-    ) -> Violation:
-        return Violation(
-            rule_id=self.id,
-            message=message,
-            path=ctx.path,
-            line=getattr(node, "lineno", 1),
-            col=getattr(node, "col_offset", 0),
-        )
+#: Tolerates whitespace before the bracket (``# repro:noqa [REP001]``);
+#: bracket contents are parsed and *validated*, never silently trusted.
+_NOQA = re.compile(r"#\s*repro:\s*noqa\s*(?:\[(?P<rules>[^\]]*)\])?")
 
 
 def _collect_random_aliases(tree: ast.Module) -> tuple[set[str], set[str], set[str]]:
@@ -230,6 +139,8 @@ class UnseededRandomRule(Rule):
 
     id = "REP001"
     summary = "unseeded / global randomness in library code"
+    example_bad = "random.shuffle(nodes)\n"
+    example_good = "rng = random.Random(seed)\nrng.shuffle(nodes)\n"
 
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
         random_aliases, numpy_aliases, from_random = _collect_random_aliases(tree)
@@ -353,6 +264,8 @@ class GraphPrivateMutationRule(Rule):
 
     id = "REP002"
     summary = "mutation of Graph._adj/_succ/_pred outside repro.graph"
+    example_bad = "g._adj[u][v] = w\n"
+    example_good = "g.add_edge(u, v, weight=w)\n"
 
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
         for node in ast.walk(tree):
@@ -422,6 +335,8 @@ class MutateWhileIterateRule(Rule):
 
     id = "REP003"
     summary = "graph mutated while being iterated"
+    example_bad = "for u, v in g.edges:\n    g.remove_edge(u, v)\n"
+    example_good = "for u, v in list(g.edges):\n    g.remove_edge(u, v)\n"
 
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
         for node in ast.walk(tree):
@@ -473,6 +388,8 @@ class FloatEqualityRule(Rule):
 
     id = "REP004"
     summary = "float == / != comparison in repro/scoring"
+    example_bad = "if conductance == 0.5: ...\n"
+    example_good = "if math.isclose(conductance, 0.5): ...\n"
 
     #: Only files with one of these path components are checked.
     path_filter: tuple[str, ...] = ("scoring",)
@@ -506,6 +423,8 @@ class MissingAllRule(Rule):
 
     id = "REP005"
     summary = "public module without __all__"
+    example_bad = '"""Module docstring."""\n\ndef helper(): ...\n'
+    example_good = '"""Module docstring."""\n\n__all__ = ["helper"]\n'
 
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
         name = ctx.module_basename
@@ -540,6 +459,8 @@ class BroadExceptRule(Rule):
 
     id = "REP006"
     summary = "bare or overly broad except clause"
+    example_bad = "try:\n    score(g)\nexcept Exception:\n    pass\n"
+    example_good = "try:\n    score(g)\nexcept GraphError:\n    raise\n"
 
     _BROAD = frozenset({"Exception", "BaseException"})
 
@@ -575,7 +496,10 @@ ALL_RULES: tuple[type[Rule], ...] = (
     FloatEqualityRule,
     MissingAllRule,
     BroadExceptRule,
+    *FLOW_RULES,
 )
+
+_KNOWN_RULE_IDS = frozenset(rule.id for rule in ALL_RULES)
 
 
 @dataclass(frozen=True)
@@ -585,17 +509,18 @@ class LintConfig:
     select: tuple[str, ...] = tuple(rule.id for rule in ALL_RULES)
     ignore: tuple[str, ...] = ()
     per_path_ignores: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    value_objects: tuple[str, ...] = ("GroupStats",)
     root: Path | None = None
 
     @classmethod
     def load(cls, start: Path | None = None) -> "LintConfig":
         """Load configuration from the nearest ``pyproject.toml``.
 
-        Walks up from ``start`` (default: cwd); missing file, missing
-        table, or a Python without :mod:`tomllib` all yield defaults.
+        Walks up from ``start`` (default: cwd).  A missing file or table
+        yields defaults; a present ``[tool.repro.lint]`` table on a
+        Python without :mod:`tomllib` yields defaults *with a stderr
+        warning* — silently ignoring explicit config is worse than noise.
         """
-        if tomllib is None:
-            return cls()
         here = (start or Path.cwd()).resolve()
         if here.is_file():
             here = here.parent
@@ -607,8 +532,9 @@ class LintConfig:
 
     @classmethod
     def from_pyproject(cls, pyproject: Path) -> "LintConfig":
-        if tomllib is None:  # pragma: no cover - Python < 3.11
-            return cls()
+        if tomllib is None:
+            _warn_tomllib_missing(pyproject)
+            return cls(root=pyproject.parent)
         with open(pyproject, "rb") as handle:
             data = tomllib.load(handle)
         table = data.get("tool", {}).get("repro", {}).get("lint", {})
@@ -619,10 +545,12 @@ class LintConfig:
             pattern: tuple(rules)
             for pattern, rules in table.get("per-path-ignores", {}).items()
         }
+        value_objects = tuple(table.get("value-objects", ("GroupStats",)))
         return cls(
             select=select,
             ignore=ignore,
             per_path_ignores=per_path,
+            value_objects=value_objects,
             root=pyproject.parent,
         )
 
@@ -650,6 +578,21 @@ class LintConfig:
         return ignored
 
 
+def _warn_tomllib_missing(pyproject: Path) -> None:
+    """Warn (once per process) when explicit lint config cannot be read."""
+    try:
+        text = pyproject.read_text(encoding="utf-8")
+    except OSError:  # pragma: no cover - racing filesystem
+        return
+    if "[tool.repro.lint" in text:
+        print(
+            f"warning: {pyproject} has a [tool.repro.lint] table but this "
+            "Python lacks tomllib (needs >= 3.11); falling back to default "
+            "lint configuration",
+            file=sys.stderr,
+        )
+
+
 def _suppressed(lines: Sequence[str], lineno: int, rule_id: str) -> bool:
     """Whether the physical line carries a matching ``# repro: noqa``."""
     if not 1 <= lineno <= len(lines):
@@ -662,6 +605,41 @@ def _suppressed(lines: Sequence[str], lineno: int, rule_id: str) -> bool:
         return True  # blanket ``# repro: noqa``
     rules = {item.strip() for item in listed.split(",") if item.strip()}
     return rule_id in rules
+
+
+def _check_noqa_ids(lines: Sequence[str], path: str) -> list[Violation]:
+    """REP000 diagnostics for unknown rule ids inside noqa comments.
+
+    A typo'd id (``noqa[REP101x]``) would otherwise read as a *working*
+    suppression to a human while suppressing nothing — or,
+    worse, a stale id keeps riding along forever.  These diagnostics are
+    never themselves suppressible.
+    """
+    violations: list[Violation] = []
+    for lineno, line in enumerate(lines, start=1):
+        match = _NOQA.search(line)
+        if match is None or match.group("rules") is None:
+            continue
+        listed = [
+            item.strip()
+            for item in match.group("rules").split(",")
+            if item.strip()
+        ]
+        for rule_id in listed:
+            if rule_id not in _KNOWN_RULE_IDS:
+                violations.append(
+                    Violation(
+                        rule_id="REP000",
+                        message=(
+                            f"unknown rule id '{rule_id}' in noqa comment; "
+                            "known ids: REP001..REP204 (see --list-rules)"
+                        ),
+                        path=path,
+                        line=lineno,
+                        col=match.start(),
+                    )
+                )
+    return violations
 
 
 def lint_source(
@@ -682,9 +660,13 @@ def lint_source(
             )
         ]
     lines = tuple(source.splitlines())
-    ctx = FileContext(path=path, lines=lines)
+    ctx = FileContext(
+        path=path,
+        lines=lines,
+        options={"value_objects": config.value_objects},
+    )
     path_ignored = config.path_ignored_rules(path)
-    violations: list[Violation] = []
+    violations: list[Violation] = _check_noqa_ids(lines, path)
     for rule in config.active_rules():
         if rule.id in path_ignored:
             continue
@@ -705,14 +687,36 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
             yield path
 
 
+def _lint_one_file(item: tuple[str, LintConfig]) -> list[Violation]:
+    """Worker for the multiprocessing pool (must be top-level picklable)."""
+    path, config = item
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source(source, path, config)
+
+
 def lint_paths(
-    paths: Iterable[str | Path], config: LintConfig | None = None
+    paths: Iterable[str | Path],
+    config: LintConfig | None = None,
+    *,
+    jobs: int = 1,
 ) -> list[Violation]:
-    """Lint every ``.py`` file under ``paths``."""
+    """Lint every ``.py`` file under ``paths``.
+
+    With ``jobs > 1`` files are linted in a process pool; results are
+    merged in the (sorted) file-iteration order, so the output is
+    byte-identical to a single-process run.
+    """
+    config = config if config is not None else LintConfig()
+    files = [str(path) for path in iter_python_files(paths)]
+    if jobs > 1 and len(files) > 1:
+        items = [(path, config) for path in files]
+        with multiprocessing.Pool(processes=min(jobs, len(files))) as pool:
+            per_file = pool.map(_lint_one_file, items)
+    else:
+        per_file = [_lint_one_file((path, config)) for path in files]
     violations: list[Violation] = []
-    for path in iter_python_files(paths):
-        source = path.read_text(encoding="utf-8")
-        violations.extend(lint_source(source, str(path), config))
+    for result in per_file:
+        violations.extend(result)
     return violations
 
 
@@ -723,11 +727,38 @@ def _print_rule_catalogue() -> None:
         print(f"        {doc}")
 
 
+def _explain_rule(rule_id: str) -> int:
+    for rule in ALL_RULES:
+        if rule.id != rule_id:
+            continue
+        print(f"{rule.id} — {rule.summary}")
+        print()
+        doc = (rule.__doc__ or "").strip()
+        for line in doc.splitlines():
+            print(line.strip() if line.strip() else "")
+        if rule.example_bad:
+            print()
+            print("Bad:")
+            for line in rule.example_bad.rstrip("\n").splitlines():
+                print(f"    {line}")
+        if rule.example_good:
+            print()
+            print("Good:")
+            for line in rule.example_good.rstrip("\n").splitlines():
+                print(f"    {line}")
+        return 0
+    print(
+        f"error: unknown rule id {rule_id!r} (see --list-rules)",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro.devtools.lint``."""
     parser = argparse.ArgumentParser(
         prog="repro.devtools.lint",
-        description="Repo-specific AST lint pass (rules REP001-REP006)",
+        description="Repo-specific AST lint pass (rules REP001-REP204)",
     )
     parser.add_argument("paths", nargs="*", default=["src"], help="files or dirs")
     parser.add_argument(
@@ -744,41 +775,105 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
+    parser.add_argument(
+        "--explain",
+        metavar="REPxxx",
+        help="print one rule's rationale with a bad/good example pair",
+    )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lint files in N worker processes (output stays deterministic)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from current findings and exit",
+    )
     args = parser.parse_args(argv)
     if args.list_rules:
         _print_rule_catalogue()
         return 0
+    if args.explain:
+        return _explain_rule(args.explain.strip())
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
     if args.no_config:
         config = LintConfig()
     else:
         first = Path(args.paths[0]) if args.paths else Path.cwd()
         config = LintConfig.load(first.resolve())
     if args.select:
-        config = LintConfig(
-            select=tuple(s.strip() for s in args.select.split(",") if s.strip()),
-            ignore=config.ignore,
-            per_path_ignores=config.per_path_ignores,
-            root=config.root,
+        config = dataclasses.replace(
+            config,
+            select=tuple(
+                s.strip() for s in args.select.split(",") if s.strip()
+            ),
         )
     if args.ignore:
-        config = LintConfig(
-            select=config.select,
-            ignore=tuple(s.strip() for s in args.ignore.split(",") if s.strip()),
-            per_path_ignores=config.per_path_ignores,
-            root=config.root,
+        config = dataclasses.replace(
+            config,
+            ignore=tuple(
+                s.strip() for s in args.ignore.split(",") if s.strip()
+            ),
         )
     missing = [entry for entry in args.paths if not Path(entry).exists()]
     if missing:
         for entry in missing:
             print(f"error: no such file or directory: {entry}", file=sys.stderr)
         return 2
-    violations = lint_paths(args.paths, config)
-    for violation in violations:
-        print(violation.format())
-    if violations:
-        print(f"{len(violations)} violation(s) found")
-        return 1
-    return 0
+
+    violations = lint_paths(args.paths, config, jobs=args.jobs)
+
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline
+        else (config.root or Path.cwd()) / DEFAULT_BASELINE_NAME
+    )
+    entries = load_baseline(baseline_path)
+    if args.write_baseline:
+        written = write_baseline(violations, baseline_path, previous=entries)
+        print(f"wrote {len(written)} baseline entr(y/ies) to {baseline_path}")
+        return 0
+    remaining, stale = apply_baseline(violations, entries)
+    for key in stale:
+        print(
+            f"warning: stale baseline entry {key!r} — no findings remain; "
+            "tighten the baseline with --write-baseline",
+            file=sys.stderr,
+        )
+
+    document = render(remaining, args.format, rules=config.active_rules())
+    if args.output:
+        Path(args.output).write_text(document, encoding="utf-8")
+        if remaining:
+            print(
+                f"{len(remaining)} violation(s) found (report: {args.output})"
+            )
+    else:
+        sys.stdout.write(document)
+        if remaining and args.format == "text":
+            print(f"{len(remaining)} violation(s) found")
+    return 1 if remaining else 0
 
 
 if __name__ == "__main__":

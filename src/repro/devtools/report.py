@@ -1,0 +1,113 @@
+"""Lint output formats: plain text, JSON, and SARIF 2.1.0.
+
+Every formatter is a pure function from a sorted violation list to a
+string, so ``--jobs N`` parallel runs produce byte-identical output to
+single-process runs: the merge step sorts, then formats once.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+
+from repro.devtools._base import Rule, Violation
+
+__all__ = ["FORMATS", "format_text", "format_json", "format_sarif", "render"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def format_text(violations: Sequence[Violation]) -> str:
+    """One ``path:line:col: ID message`` line per violation."""
+    return "".join(f"{violation.format()}\n" for violation in violations)
+
+
+def format_json(violations: Sequence[Violation]) -> str:
+    """A stable JSON document: ``{"violations": [...], "count": N}``."""
+    payload = {
+        "violations": [violation.as_dict() for violation in violations],
+        "count": len(violations),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def format_sarif(
+    violations: Sequence[Violation],
+    rules: Iterable[Rule] = (),
+) -> str:
+    """A minimal SARIF 2.1.0 log with one run and the rule catalogue.
+
+    Rule metadata is emitted for every rule passed in (not only those
+    with results) so downstream viewers can render the full catalogue.
+    """
+    rule_descriptors = [
+        {
+            "id": rule.id,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {
+                "text": (rule.__doc__ or rule.summary).strip()
+            },
+        }
+        for rule in sorted(rules, key=lambda rule: rule.id)
+    ]
+    results = [
+        {
+            "ruleId": violation.rule_id,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": violation.path},
+                        "region": {
+                            "startLine": violation.line,
+                            # SARIF columns are 1-based; AST cols 0-based.
+                            "startColumn": violation.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for violation in violations
+    ]
+    log = {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/devtools"
+                        ),
+                        "rules": rule_descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True) + "\n"
+
+
+FORMATS = ("text", "json", "sarif")
+
+
+def render(
+    violations: Sequence[Violation],
+    fmt: str,
+    rules: Iterable[Rule] = (),
+) -> str:
+    """Dispatch on ``fmt`` (one of :data:`FORMATS`)."""
+    if fmt == "text":
+        return format_text(violations)
+    if fmt == "json":
+        return format_json(violations)
+    if fmt == "sarif":
+        return format_sarif(violations, rules)
+    raise ValueError(f"unknown lint output format: {fmt!r}")

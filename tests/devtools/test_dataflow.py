@@ -1,0 +1,396 @@
+"""Unit tests for the dataflow core itself — scopes, CFG reachability,
+def-use chains and origin tagging — independent of any concrete rule."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.devtools.dataflow import (
+    RNG,
+    UNORDERED,
+    ControlFlowGraph,
+    DefUseChains,
+    analyze_module,
+    build_scope_tree,
+    dotted_path,
+    iter_scopes,
+    root_name,
+)
+
+
+def parse(source: str) -> ast.Module:
+    return ast.parse(textwrap.dedent(source))
+
+
+def find_scope(root, name: str):
+    for scope in iter_scopes(root):
+        if scope.kind == "function" and getattr(scope.node, "name", "") == name:
+            return scope
+    raise AssertionError(f"no function scope named {name}")
+
+
+def function_scope(tree: ast.Module, name: str):
+    return find_scope(build_scope_tree(tree), name)
+
+
+# -- scope resolution --------------------------------------------------------
+
+
+def test_local_shadowing_resolves_to_inner_binding():
+    tree = parse(
+        """
+        x = 1
+        def f():
+            x = 2
+            return x
+        """
+    )
+    scope = function_scope(tree, "f")
+    symbol = scope.resolve("x")
+    assert symbol is not None and symbol.scope is scope
+
+
+def test_unshadowed_name_resolves_to_module_scope():
+    tree = parse(
+        """
+        x = 1
+        def f():
+            return x
+        """
+    )
+    scope = function_scope(tree, "f")
+    symbol = scope.resolve("x")
+    assert symbol is not None and symbol.scope.kind == "module"
+
+
+def test_augmented_assignment_binds_locally():
+    tree = parse(
+        """
+        def f():
+            total = 0
+            total += 1
+            return total
+        """
+    )
+    scope = function_scope(tree, "f")
+    symbol = scope.resolve("total")
+    assert symbol is not None and symbol.scope is scope
+    assert len(symbol.bindings) == 2  # plain assign + augmented assign
+
+
+def test_comprehension_target_does_not_leak_into_function_scope():
+    tree = parse(
+        """
+        def f(items):
+            squares = [item * item for item in items]
+            return squares
+        """
+    )
+    scope = function_scope(tree, "f")
+    # ``item`` binds only inside the comprehension's own scope.
+    assert "item" not in scope.symbols
+    comp = next(s for s in scope.children if s.kind == "comprehension")
+    assert "item" in comp.symbols
+
+
+def test_global_declaration_redirects_binding_to_module_scope():
+    tree = parse(
+        """
+        counter = 0
+        def bump():
+            global counter
+            counter = counter + 1
+        """
+    )
+    scope = function_scope(tree, "bump")
+    assert "counter" not in scope.symbols
+    symbol = scope.resolve("counter")
+    assert symbol is not None and symbol.scope.kind == "module"
+    # Both the module-level assign and the redirected one are recorded.
+    assert len(symbol.bindings) == 2
+
+
+def test_nonlocal_declaration_redirects_to_enclosing_function():
+    tree = parse(
+        """
+        def outer():
+            state = 0
+            def inner():
+                nonlocal state
+                state = 1
+            return inner
+        """
+    )
+    root = build_scope_tree(tree)
+    outer = find_scope(root, "outer")
+    inner = find_scope(root, "inner")
+    assert "state" not in inner.symbols
+    symbol = inner.resolve("state")
+    assert symbol is not None and symbol.scope is outer
+
+
+def test_parameters_are_bound_as_params():
+    tree = parse(
+        """
+        def f(a, *, b=1, **rest):
+            return a + b
+        """
+    )
+    scope = function_scope(tree, "f")
+    for name in ("a", "b", "rest"):
+        symbol = scope.symbols[name]
+        assert symbol.is_param
+
+
+# -- CFG reachability --------------------------------------------------------
+
+
+def first_function(tree: ast.Module) -> ast.FunctionDef:
+    return next(n for n in tree.body if isinstance(n, ast.FunctionDef))
+
+
+def test_straight_line_reaches_forward_not_backward():
+    fn = first_function(
+        parse(
+            """
+            def f():
+                a = 1
+                b = 2
+                return a + b
+            """
+        )
+    )
+    cfg = ControlFlowGraph.from_function(fn)
+    s1, s2, s3 = fn.body
+    assert cfg.reaches(s1, s3)
+    assert not cfg.reaches(s3, s1)
+
+
+def test_sibling_branches_do_not_reach_each_other():
+    fn = first_function(
+        parse(
+            """
+            def f(flag):
+                if flag:
+                    a = 1
+                else:
+                    b = 2
+                return 0
+            """
+        )
+    )
+    cfg = ControlFlowGraph.from_function(fn)
+    if_stmt = fn.body[0]
+    then_stmt, else_stmt = if_stmt.body[0], if_stmt.orelse[0]
+    assert not cfg.reaches(then_stmt, else_stmt)
+    assert not cfg.reaches(else_stmt, then_stmt)
+    assert cfg.reaches(then_stmt, fn.body[1])
+    assert cfg.reaches(else_stmt, fn.body[1])
+
+
+def test_loop_back_edge_reaches_earlier_statement():
+    fn = first_function(
+        parse(
+            """
+            def f(items):
+                for item in items:
+                    first = item
+                    second = first
+                return 0
+            """
+        )
+    )
+    cfg = ControlFlowGraph.from_function(fn)
+    loop = fn.body[0]
+    first_stmt, second_stmt = loop.body
+    # Through the back-edge the later statement reaches the earlier one.
+    assert cfg.reaches(second_stmt, first_stmt)
+
+
+def test_killed_by_barrier_blocks_the_path():
+    fn = first_function(
+        parse(
+            """
+            def f():
+                a = 1
+                a = 2
+                use(a)
+            """
+        )
+    )
+    cfg = ControlFlowGraph.from_function(fn)
+    s1, s2, s3 = fn.body
+    assert cfg.reaches(s1, s3)
+    assert not cfg.reaches(s1, s3, killed_by={id(s2)})
+
+
+def test_return_terminates_the_path():
+    fn = first_function(
+        parse(
+            """
+            def f(flag):
+                if flag:
+                    return 1
+                tail = 2
+                return tail
+            """
+        )
+    )
+    cfg = ControlFlowGraph.from_function(fn)
+    early_return = fn.body[0].body[0]
+    tail = fn.body[1]
+    assert not cfg.reaches(early_return, tail)
+
+
+# -- def-use chains ----------------------------------------------------------
+
+
+def test_defuse_single_reaching_definition():
+    fn = first_function(
+        parse(
+            """
+            def f():
+                value = 1
+                return value
+            """
+        )
+    )
+    cfg = ControlFlowGraph.from_function(fn)
+    chains = DefUseChains(cfg)
+    ret = fn.body[1]
+    use = next(
+        n
+        for n in ast.walk(ret)
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+    )
+    assert chains.defs_reaching(use) == {fn.body[0]}
+
+
+def test_defuse_merges_definitions_across_branches():
+    fn = first_function(
+        parse(
+            """
+            def f(flag):
+                if flag:
+                    value = 1
+                else:
+                    value = 2
+                return value
+            """
+        )
+    )
+    cfg = ControlFlowGraph.from_function(fn)
+    chains = DefUseChains(cfg)
+    ret = fn.body[1]
+    use = next(
+        n
+        for n in ast.walk(ret)
+        if isinstance(n, ast.Name)
+        and isinstance(n.ctx, ast.Load)
+        and n.id == "value"
+    )
+    if_stmt = fn.body[0]
+    assert chains.defs_reaching(use) == {if_stmt.body[0], if_stmt.orelse[0]}
+
+
+def test_defuse_redefinition_kills_earlier_definition():
+    fn = first_function(
+        parse(
+            """
+            def f():
+                value = 1
+                value = 2
+                return value
+            """
+        )
+    )
+    cfg = ControlFlowGraph.from_function(fn)
+    chains = DefUseChains(cfg)
+    use = next(
+        n
+        for n in ast.walk(fn.body[2])
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+    )
+    assert chains.defs_reaching(use) == {fn.body[1]}
+    assert chains.uses_of(fn.body[0]) == []
+
+
+# -- origin tagging ----------------------------------------------------------
+
+
+def analysis_of(source: str, name: str = "f"):
+    tree = parse(source)
+    module = analyze_module(tree)
+    fn = next(f for f in module.functions() if f.name == name)
+    return module.analysis_for(fn), fn
+
+
+def test_rng_constructor_tags_variable():
+    fa, fn = analysis_of(
+        """
+        import random
+        def f(seed):
+            rng = random.Random(seed)
+            use(rng)
+        """
+    )
+    use_stmt = fn.body[1]
+    rng_name = next(
+        n
+        for n in ast.walk(use_stmt)
+        if isinstance(n, ast.Name) and n.id == "rng"
+    )
+    assert RNG in fa.tags(rng_name, use_stmt)
+
+
+def test_set_comprehension_taints_and_stable_sorted_clears():
+    fa, fn = analysis_of(
+        """
+        from repro.graph.convert import stable_sorted
+        def f(items):
+            pool = {item for item in items}
+            ordered = stable_sorted(pool)
+            use(pool, ordered)
+        """
+    )
+    use_stmt = fn.body[2]
+    names = {
+        n.id: n
+        for n in ast.walk(use_stmt)
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+    }
+    assert UNORDERED in fa.tags(names["pool"], use_stmt)
+    assert UNORDERED not in fa.tags(names["ordered"], use_stmt)
+
+
+def test_plain_sorted_preserves_the_unordered_taint():
+    fa, fn = analysis_of(
+        """
+        def f(items):
+            pool = set(items)
+            ordered = sorted(pool)
+            use(ordered)
+        """
+    )
+    use_stmt = fn.body[2]
+    name = next(
+        n
+        for n in ast.walk(use_stmt)
+        if isinstance(n, ast.Name) and n.id == "ordered"
+    )
+    assert UNORDERED in fa.tags(name, use_stmt)
+
+
+def test_analysis_is_cached_on_the_tree():
+    tree = parse("x = 1\n")
+    assert analyze_module(tree) is analyze_module(tree)
+
+
+def test_dotted_path_helpers():
+    expr = ast.parse("a.b.c", mode="eval").body
+    assert dotted_path(expr) == "a.b.c"
+    assert root_name(expr) == "a"
+    call = ast.parse("f().b", mode="eval").body
+    assert dotted_path(call) is None
+    assert root_name(call) is None

@@ -135,6 +135,43 @@ def test_main_list_rules(capsys):
         assert rule.id in output
 
 
+def test_missing_tomllib_warns_when_lint_table_exists(tmp_path, capsys, monkeypatch):
+    """Python < 3.11 has no tomllib: explicit [tool.repro.lint] config must
+    produce a loud stderr warning, never a silent fall-back to defaults."""
+    from repro.devtools import lint as lint_module
+
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text('[tool.repro.lint]\nselect = ["REP006"]\n')
+    monkeypatch.setattr(lint_module, "tomllib", None)
+    config = LintConfig.from_pyproject(pyproject)
+    err = capsys.readouterr().err
+    assert "tomllib" in err and "[tool.repro.lint]" in err
+    # Defaults still apply (all rules), but the root is preserved.
+    assert config.select == tuple(rule.id for rule in ALL_RULES)
+    assert config.root == tmp_path
+
+
+def test_missing_tomllib_stays_quiet_without_lint_table(
+    tmp_path, capsys, monkeypatch
+):
+    from repro.devtools import lint as lint_module
+
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text('[project]\nname = "x"\n')
+    monkeypatch.setattr(lint_module, "tomllib", None)
+    LintConfig.from_pyproject(pyproject)
+    assert capsys.readouterr().err == ""
+
+
+def test_value_objects_knob_round_trips(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        '[tool.repro.lint]\nvalue-objects = ["GroupStats", "ScoreRow"]\n'
+    )
+    config = LintConfig.from_pyproject(pyproject)
+    assert config.value_objects == ("GroupStats", "ScoreRow")
+
+
 def test_repo_tree_is_lint_clean():
     """The acceptance gate: src/ has zero unsuppressed violations under
     the repo's own pyproject configuration."""

@@ -304,3 +304,63 @@ def test_violation_format_is_addressable():
     formatted = findings[0].format()
     assert "src/repro/sample/module.py:1:" in formatted
     assert "REP005" in formatted
+
+
+# -- noqa parsing edge cases -------------------------------------------------
+
+
+def test_noqa_with_space_before_bracket_suppresses():
+    source = (
+        "import random\n"
+        "__all__ = []\n"
+        "\n"
+        "def f(xs):\n"
+        "    return random.choice(xs)  # repro:noqa [REP001]\n"
+    )
+    assert rule_ids(source) == []
+
+
+def test_noqa_with_interior_whitespace_in_list():
+    source = (
+        "import random\n"
+        "__all__ = []\n"
+        "\n"
+        "def f(xs):\n"
+        "    return random.choice(xs)  # repro: noqa[ REP001 , REP101 ]\n"
+    )
+    assert rule_ids(source) == []
+
+
+def test_noqa_unknown_rule_id_produces_rep000():
+    source = (
+        '"""Doc."""\n'
+        "__all__ = []\n"
+        "\n"
+        "x = 1  # repro: noqa[REP999]\n"
+    )
+    findings = lint(source)
+    assert [v.rule_id for v in findings] == ["REP000"]
+    assert "REP999" in findings[0].message
+
+
+def test_noqa_typo_still_suppresses_known_ids_on_same_line():
+    # One valid + one unknown id: the valid suppression works, the typo
+    # is still reported so it cannot silently rot.
+    source = (
+        "import random\n"
+        "__all__ = []\n"
+        "\n"
+        "def f(xs):\n"
+        "    return random.choice(xs)  # repro: noqa[REP001, REP9999]\n"
+    )
+    assert rule_ids(source) == ["REP000"]
+
+
+def test_rep000_for_unknown_noqa_id_is_not_itself_suppressible():
+    source = (
+        '"""Doc."""\n'
+        "__all__ = []\n"
+        "\n"
+        "x = 1  # repro: noqa[REP999]  # repro: noqa\n"
+    )
+    assert "REP000" in rule_ids(source)

@@ -1,0 +1,213 @@
+"""Tests for lint output formats (text/JSON/SARIF), the baseline
+ratchet, and the parallel/explain command-line surface."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.devtools._base import Violation
+from repro.devtools.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.lint import ALL_RULES, main
+from repro.devtools.report import format_json, format_sarif, format_text
+
+
+def violation(rule="REP001", path="src/m.py", line=3, col=4, msg="boom"):
+    return Violation(rule_id=rule, message=msg, path=path, line=line, col=col)
+
+
+BAD_SOURCE = textwrap.dedent(
+    """
+    import random
+    __all__ = ["f"]
+
+    def f(xs):
+        return random.choice(xs)
+    """
+).lstrip()
+
+
+def write_tree(tmp_path, sources):
+    files = []
+    for name, text in sources.items():
+        target = tmp_path / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text, encoding="utf-8")
+        files.append(target)
+    return files
+
+
+# -- formats -----------------------------------------------------------------
+
+
+def test_text_format_one_line_per_violation():
+    out = format_text([violation(), violation(line=9)])
+    lines = out.splitlines()
+    assert lines == [
+        "src/m.py:3:4: REP001 boom",
+        "src/m.py:9:4: REP001 boom",
+    ]
+
+
+def test_json_format_shape():
+    document = json.loads(format_json([violation()]))
+    assert document["count"] == 1
+    assert document["violations"][0] == {
+        "rule": "REP001",
+        "message": "boom",
+        "path": "src/m.py",
+        "line": 3,
+        "col": 4,
+    }
+
+
+def test_sarif_shape_validates_minimal_2_1_0_schema():
+    rules = [rule() for rule in ALL_RULES]
+    document = json.loads(format_sarif([violation()], rules))
+    assert document["version"] == "2.1.0"
+    assert document["$schema"].endswith("sarif-schema-2.1.0.json")
+    (run,) = document["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    ids = [descriptor["id"] for descriptor in driver["rules"]]
+    assert ids == sorted(ids)
+    assert "REP101" in ids and "REP204" in ids
+    for descriptor in driver["rules"]:
+        assert descriptor["shortDescription"]["text"]
+    (result,) = run["results"]
+    assert result["ruleId"] == "REP001"
+    assert result["level"] == "error"
+    assert result["message"]["text"] == "boom"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/m.py"
+    # SARIF regions are 1-based; AST columns are 0-based.
+    assert location["region"] == {"startLine": 3, "startColumn": 5}
+
+
+# -- baseline ratchet --------------------------------------------------------
+
+
+def test_baseline_suppresses_known_findings(tmp_path):
+    target = tmp_path / "baseline.json"
+    findings = [violation(), violation(line=9)]
+    write_baseline(findings, target)
+    entries = load_baseline(target)
+    assert entries["src/m.py::REP001"]["count"] == 2
+    remaining, stale = apply_baseline(findings, entries)
+    assert remaining == [] and stale == []
+
+
+def test_baseline_reports_all_findings_on_regression(tmp_path):
+    target = tmp_path / "baseline.json"
+    write_baseline([violation()], target)
+    entries = load_baseline(target)
+    grown = [violation(), violation(line=9)]
+    remaining, _ = apply_baseline(grown, entries)
+    assert remaining == grown  # exceeding the count reports everything
+
+
+def test_baseline_flags_stale_entries(tmp_path):
+    target = tmp_path / "baseline.json"
+    write_baseline([violation()], target)
+    entries = load_baseline(target)
+    remaining, stale = apply_baseline([], entries)
+    assert remaining == []
+    assert stale == ["src/m.py::REP001"]
+
+
+def test_write_baseline_preserves_justifications_and_ratchets(tmp_path):
+    target = tmp_path / "baseline.json"
+    write_baseline([violation(), violation(rule="REP005", line=1)], target)
+    entries = load_baseline(target)
+    entries["src/m.py::REP001"]["justification"] = "legacy; PR 4 removes it"
+    target.write_text(
+        json.dumps({"version": 1, "entries": entries}), encoding="utf-8"
+    )
+    # REP005 finding disappeared; REP001 remains.
+    rewritten = write_baseline(
+        [violation()], target, previous=load_baseline(target)
+    )
+    assert list(rewritten) == ["src/m.py::REP001"]
+    assert rewritten["src/m.py::REP001"]["justification"] == (
+        "legacy; PR 4 removes it"
+    )
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "absent.json") == {}
+
+
+# -- command-line surface ----------------------------------------------------
+
+
+def test_jobs_output_is_byte_identical_to_serial(tmp_path, capsys):
+    write_tree(
+        tmp_path,
+        {
+            "a.py": BAD_SOURCE,
+            "b.py": BAD_SOURCE,
+            "c.py": '"""Clean."""\n__all__ = []\n',
+        },
+    )
+    base = [str(tmp_path), "--no-config", "--baseline", str(tmp_path / "bl")]
+    code_serial = main(base)
+    serial = capsys.readouterr().out
+    code_parallel = main([*base, "--jobs", "3"])
+    parallel = capsys.readouterr().out
+    assert code_serial == code_parallel == 1
+    assert serial == parallel
+    assert serial.count("REP001") == 2
+
+
+def test_main_sarif_output_file(tmp_path, capsys):
+    write_tree(tmp_path, {"a.py": BAD_SOURCE})
+    sarif_path = tmp_path / "lint.sarif"
+    code = main(
+        [
+            str(tmp_path),
+            "--no-config",
+            "--baseline",
+            str(tmp_path / "bl"),
+            "--format",
+            "sarif",
+            "--output",
+            str(sarif_path),
+        ]
+    )
+    assert code == 1
+    document = json.loads(sarif_path.read_text(encoding="utf-8"))
+    assert document["version"] == "2.1.0"
+    assert document["runs"][0]["results"]
+    assert str(sarif_path) in capsys.readouterr().out
+
+
+def test_main_write_baseline_then_clean_exit(tmp_path, capsys):
+    write_tree(tmp_path, {"a.py": BAD_SOURCE})
+    baseline = tmp_path / "baseline.json"
+    args = [str(tmp_path), "--no-config", "--baseline", str(baseline)]
+    assert main([*args, "--write-baseline"]) == 0
+    capsys.readouterr()
+    assert main(args) == 0  # baselined findings no longer fail the gate
+    capsys.readouterr()
+
+
+def test_main_explain_prints_rule_with_examples(capsys):
+    assert main(["--explain", "REP201"]) == 0
+    out = capsys.readouterr().out
+    assert "REP201" in out
+    assert "Bad:" in out and "Good:" in out
+    assert "AnalysisContext" in out
+
+
+def test_main_explain_unknown_rule_fails(capsys):
+    assert main(["--explain", "REP999"]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_main_rejects_bad_jobs(capsys):
+    assert main(["--jobs", "0"]) == 2
+    assert "--jobs" in capsys.readouterr().err
