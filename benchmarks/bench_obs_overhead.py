@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""Observability overhead benchmark (the obs layer's receipt).
+
+The instrumentation threaded through the engine, samplers, null models
+and experiment drivers must be **free when disabled**: every instrument
+guards on one attribute load (``STATE.enabled``) and ``obs.span`` returns
+a shared no-op context manager.  This benchmark verifies both halves of
+that contract:
+
+* **correctness** — the batch scoring pass produces *byte-identical*
+  score arrays with tracing enabled and disabled (instrumentation must
+  never perturb results, only observe them);
+* **cost** — the measured per-call price of a disabled instrument
+  (no-op span enter/exit, guarded counter increment), scaled by a
+  *generous* per-workload call allowance, stays below ``MAX_OVERHEAD``
+  (3 %) of the real disabled scoring pass.
+
+The call-allowance framing is deliberate: with instrumentation compiled
+into the library there is no uninstrumented twin to diff against, so the
+honest bound is (calls per workload) x (cost per disabled call).  A
+workload of this shape executes a few dozen instrument touches; the
+allowance budgets ``ASSUMED_CALLS`` of them.  Emits a JSON report::
+
+    python benchmarks/bench_obs_overhead.py            # full, asserts < 3%
+    python benchmarks/bench_obs_overhead.py --smoke    # small corpus,
+                                                       # identity check only
+    python benchmarks/bench_obs_overhead.py --smoke --trace-out trace.jsonl
+                                                       # also write a sample
+                                                       # trace (CI artifact)
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro import obs
+from repro.engine import AnalysisContext
+from repro.obs import write_manifests
+from repro.scoring.registry import make_paper_functions, score_groups
+from repro.synth.paper_datasets import GOOGLE_PLUS_CONFIG, build_google_plus
+
+#: Maximum tolerated disabled-instrumentation overhead (acceptance
+#: criterion: < 3 % of the scoring pass).
+MAX_OVERHEAD = 0.03
+
+#: Disabled instrument calls budgeted per workload pass.  The real count
+#: for one ``score_groups`` pass is ~10 (one span per layer plus a few
+#: guarded counters); 100 is a ~10x safety margin.
+ASSUMED_CALLS = 100
+
+#: Iterations of the disabled-instrument microbenchmark.
+MICRO_ITERATIONS = 200_000
+
+#: Workload repetitions; the best run is compared.
+DEFAULT_REPEAT = 5
+
+
+def _build_dataset(smoke: bool):
+    if smoke:
+        config = dataclasses.replace(GOOGLE_PLUS_CONFIG, num_egos=8)
+    else:
+        config = GOOGLE_PLUS_CONFIG
+    return build_google_plus(config=config)
+
+
+def _timed(run_once):
+    start = time.perf_counter()
+    result = run_once()
+    return time.perf_counter() - start, result
+
+
+def _micro_noop_span_ns() -> float:
+    """Per-call cost of entering and exiting a disabled span, in ns."""
+    span = obs.span  # attribute lookups out of the loop, like hot code
+    start = time.perf_counter()
+    for _ in range(MICRO_ITERATIONS):
+        with span("bench.noop"):
+            pass
+    return (time.perf_counter() - start) / MICRO_ITERATIONS * 1e9
+
+
+def _micro_disabled_counter_ns() -> float:
+    """Per-call cost of a guarded counter increment while disabled."""
+    from repro.obs import instruments
+
+    inc = instruments.GROUPS_SCORED.inc
+    start = time.perf_counter()
+    for _ in range(MICRO_ITERATIONS):
+        inc(1)
+    return (time.perf_counter() - start) / MICRO_ITERATIONS * 1e9
+
+
+def run(
+    smoke: bool = False,
+    repeat: int = DEFAULT_REPEAT,
+    trace_out: str | None = None,
+) -> dict:
+    """Run the overhead benchmark and return the JSON-ready report."""
+    if obs.enabled():  # REPRO_TRACE leaked in; measure the real thing
+        obs.disable()
+    dataset = _build_dataset(smoke)
+    context = AnalysisContext(dataset.graph)
+    groups = dataset.groups.filter_by_size(minimum=2)
+    functions = make_paper_functions()
+
+    def workload():
+        return score_groups(context, groups, functions)
+
+    # Disabled pass: what every untraced experiment pays.
+    disabled_seconds = float("inf")
+    for _ in range(repeat):
+        seconds, disabled_table = _timed(workload)
+        disabled_seconds = min(disabled_seconds, seconds)
+
+    # Enabled pass: tracing on; results must be byte-identical.
+    tracer = obs.enable(name="bench_obs_overhead")
+    try:
+        enabled_seconds, enabled_table = _timed(workload)
+    finally:
+        obs.disable()
+    byte_identical = all(
+        enabled_table.columns[name].tobytes()
+        == disabled_table.columns[name].tobytes()
+        for name in disabled_table.columns
+    ) and list(enabled_table.group_names) == list(disabled_table.group_names)
+
+    if trace_out is not None:
+        path = Path(trace_out)
+        tracer.write_jsonl(path)
+        write_manifests(tracer.manifests, path.with_suffix(".manifest.json"))
+
+    # Disabled-instrument microbenchmark -> bounded overhead estimate.
+    noop_span_ns = _micro_noop_span_ns()
+    disabled_counter_ns = _micro_disabled_counter_ns()
+    per_call_ns = max(noop_span_ns, disabled_counter_ns)
+    overhead_fraction = (
+        ASSUMED_CALLS * per_call_ns * 1e-9 / disabled_seconds
+        if disabled_seconds > 0
+        else 0.0
+    )
+
+    return {
+        "mode": "smoke" if smoke else "full",
+        "dataset": dataset.name,
+        "n": dataset.graph.number_of_nodes(),
+        "m": dataset.graph.number_of_edges(),
+        "groups": len(disabled_table.group_names),
+        "repeat": repeat,
+        "disabled_seconds": round(disabled_seconds, 4),
+        "enabled_seconds": round(enabled_seconds, 4),
+        "noop_span_ns": round(noop_span_ns, 1),
+        "disabled_counter_ns": round(disabled_counter_ns, 1),
+        "assumed_calls": ASSUMED_CALLS,
+        "overhead_fraction": round(overhead_fraction, 6),
+        "max_overhead": MAX_OVERHEAD,
+        "byte_identical": byte_identical,
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure the disabled-instrumentation overhead of "
+        "the repro.obs layer"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small corpus, identity check only (no overhead assertion)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=DEFAULT_REPEAT,
+        help="workload repetitions (best run wins)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the enabled pass's trace JSONL here (CI artifact)",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None, help="write the JSON report here"
+    )
+    args = parser.parse_args(argv)
+
+    report = run(smoke=args.smoke, repeat=args.repeat, trace_out=args.trace_out)
+    serialized = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(serialized + "\n")
+    print(serialized)
+
+    if not report["byte_identical"]:
+        print(
+            "FAIL: scores differ between tracing on and off", file=sys.stderr
+        )
+        return 1
+    if not args.smoke and report["overhead_fraction"] >= MAX_OVERHEAD:
+        print(
+            f"FAIL: disabled-instrumentation overhead "
+            f"{report['overhead_fraction']:.4%} >= {MAX_OVERHEAD:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

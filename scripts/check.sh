@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # One-command correctness gate: custom lint pass (parallel, baseline-aware,
 # with a machine-readable SARIF artifact), seed-determinism check on the
-# fast pipelines, engine-vs-legacy identity smoke, then the tier-1 test
-# suite.  Exits non-zero on the first failure so it can gate PRs.
+# fast pipelines, engine-vs-legacy identity smoke, observability overhead
+# smoke (with a sample trace artifact), then the tier-1 test suite.
+# Exits non-zero on the first failure so it can gate PRs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== repro lint (REP001-REP204, 2 jobs) =="
+echo "== repro lint (REP001-REP301, 2 jobs) =="
 python -m repro.devtools.lint src --jobs 2
 
 echo "== repro lint SARIF artifact (lint.sarif) =="
@@ -18,6 +19,9 @@ python -m repro.devtools.determinism --fast
 
 echo "== engine scoring smoke (bit-identity vs legacy) =="
 python benchmarks/bench_engine_scoring.py --smoke
+
+echo "== observability overhead smoke (trace artifact: trace-sample.jsonl) =="
+python benchmarks/bench_obs_overhead.py --smoke --trace-out trace-sample.jsonl
 
 echo "== tier-1 tests =="
 python -m pytest -x -q

@@ -10,9 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.analysis.cdf import EmpiricalCDF
 from repro.data.datasets import Dataset
 from repro.engine import AnalysisContext
+from repro.obs import capture_manifest, instruments
 from repro.scoring.base import ScoringFunction
 from repro.scoring.registry import ScoreTable, make_paper_functions, score_groups
 
@@ -98,13 +100,28 @@ def compare_datasets(
     functions = functions or make_paper_functions()
     contexts = contexts or {}
     result = CrossDatasetResult()
-    for dataset in datasets:
-        groups = dataset.groups.filter_by_size(minimum=min_group_size)
-        if top_k is not None:
-            groups = groups.top_k(top_k)
-        context = contexts.get(dataset.name)
-        if context is None:
-            context = AnalysisContext(dataset.graph)
-        result.tables[dataset.name] = score_groups(context, groups, functions)
-        result.structures[dataset.name] = dataset.structure
+    frozen: dict[str, AnalysisContext] = {}
+    with obs.span("experiment.compare_datasets"):
+        for dataset in datasets:
+            groups = dataset.groups.filter_by_size(minimum=min_group_size)
+            if top_k is not None:
+                groups = groups.top_k(top_k)
+            context = contexts.get(dataset.name)
+            if context is None:
+                context = AnalysisContext(dataset.graph)
+            frozen[dataset.name] = context
+            result.tables[dataset.name] = score_groups(
+                context, groups, functions
+            )
+            result.structures[dataset.name] = dataset.structure
+        if obs.enabled():
+            instruments.EXPERIMENT_RUNS.inc(label="compare_datasets")
+            obs.record_manifest(
+                capture_manifest(
+                    "compare_datasets",
+                    contexts=frozen,
+                    functions=[function.name for function in functions],
+                    extra={"top_k": top_k, "min_group_size": min_group_size},
+                )
+            )
     return result

@@ -11,10 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.analysis.cdf import EmpiricalCDF
 from repro.data.datasets import Dataset
 from repro.data.groups import GroupSet, VertexGroup
 from repro.engine import AnalysisContext, sample_matched_sets
+from repro.obs import capture_manifest, instruments
 from repro.graph.digraph import DiGraph
 from repro.graph.ugraph import Graph
 from repro.scoring.base import ScoringFunction
@@ -99,26 +101,38 @@ def circles_vs_random(
     functions = functions or make_paper_functions()
     context = AnalysisContext.ensure(context if context is not None else graph)
 
-    usable: list[VertexGroup] = []
-    for group in groups:
-        members = [node for node in group.members if node in context]
-        if len(members) >= min_group_size:
-            usable.append(group)
-    usable_set = GroupSet(groups=usable, name=dataset_name)
+    with obs.span("experiment.circles_vs_random"):
+        usable: list[VertexGroup] = []
+        for group in groups:
+            members = [node for node in group.members if node in context]
+            if len(members) >= min_group_size:
+                usable.append(group)
+        usable_set = GroupSet(groups=usable, name=dataset_name)
 
-    circle_scores = score_groups(context, usable_set, functions)
-    sizes = circle_scores.group_sizes
-    random_sets = sample_matched_sets(context, sizes, sampler, seed=seed)
-    random_groups = GroupSet(
-        groups=[
-            VertexGroup(name=f"random-{i}", members=frozenset(members))
-            for i, members in enumerate(random_sets)
-        ],
-        name=f"{dataset_name}-random",
-    )
-    random_scores = score_groups(
-        context, random_groups, functions, restrict_to_graph=False
-    )
+        circle_scores = score_groups(context, usable_set, functions)
+        sizes = circle_scores.group_sizes
+        random_sets = sample_matched_sets(context, sizes, sampler, seed=seed)
+        random_groups = GroupSet(
+            groups=[
+                VertexGroup(name=f"random-{i}", members=frozenset(members))
+                for i, members in enumerate(random_sets)
+            ],
+            name=f"{dataset_name}-random",
+        )
+        random_scores = score_groups(
+            context, random_groups, functions, restrict_to_graph=False
+        )
+        if obs.enabled():
+            instruments.EXPERIMENT_RUNS.inc(label="circles_vs_random")
+            obs.record_manifest(
+                capture_manifest(
+                    "circles_vs_random",
+                    contexts={dataset_name: context},
+                    seeds={"sampler": seed},
+                    functions=[function.name for function in functions],
+                    extra={"sampler": sampler},
+                )
+            )
     return CirclesVsRandomResult(
         dataset=dataset_name,
         sampler=sampler,

@@ -22,6 +22,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms.degrees import degree_histogram, in_degree_sequence
 from repro.algorithms.triangles import clustering_values
 from repro.analysis.cdf import EmpiricalCDF
@@ -29,6 +30,7 @@ from repro.analysis.comparison import compare_datasets
 from repro.analysis.experiment import circles_vs_random
 from repro.data.datasets import Dataset
 from repro.engine import AnalysisContext
+from repro.obs import capture_manifest, instruments
 
 __all__ = ["export_figures"]
 
@@ -65,75 +67,93 @@ def export_figures(
     output.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
 
-    # Fig. 2 — membership multiplicity histogram.
-    if circles_dataset.ego_collection is not None:
-        histogram = circles_dataset.ego_collection.membership_histogram()
-        path = output / "fig2_membership.csv"
+    with obs.span("export.figures"):
+        # Fig. 2 — membership multiplicity histogram.
+        if circles_dataset.ego_collection is not None:
+            histogram = circles_dataset.ego_collection.membership_histogram()
+            path = output / "fig2_membership.csv"
+            _write_csv(
+                path,
+                ["memberships", "vertices"],
+                [[k, v] for k, v in sorted(histogram.items())],
+            )
+            written.append(path)
+
+        # Fig. 3 — in-degree histogram (log-log scatter data).
+        sequence = in_degree_sequence(circles_dataset.graph)
+        histogram = degree_histogram(sequence[sequence >= 1])
+        path = output / "fig3_degree_hist.csv"
         _write_csv(
             path,
-            ["memberships", "vertices"],
+            ["degree", "count"],
             [[k, v] for k, v in sorted(histogram.items())],
         )
         written.append(path)
 
-    # Fig. 3 — in-degree histogram (log-log scatter data).
-    sequence = in_degree_sequence(circles_dataset.graph)
-    histogram = degree_histogram(sequence[sequence >= 1])
-    path = output / "fig3_degree_hist.csv"
-    _write_csv(
-        path, ["degree", "count"], [[k, v] for k, v in sorted(histogram.items())]
-    )
-    written.append(path)
-
-    # Fig. 4 — clustering coefficient CDF.
-    clustering = clustering_values(
-        circles_dataset.graph, sample=clustering_sample, seed=seed
-    )
-    cdf = EmpiricalCDF(clustering)
-    grid, series = _cdf_series({"clustering": cdf})
-    path = output / "fig4_clustering_cdf.csv"
-    _write_csv(
-        path,
-        ["value", "cdf"],
-        [[float(x), float(y)] for x, y in zip(grid, series["clustering"])],
-    )
-    written.append(path)
-
-    # Figs. 5/6 share the circles graph: freeze it exactly once and
-    # thread the context through both experiment drivers.
-    context = AnalysisContext(circles_dataset.graph)
-
-    # Fig. 5 — circles vs random sets, one CSV per scoring function.
-    result = circles_vs_random(circles_dataset, seed=seed, context=context)
-    for name in result.function_names():
-        circles_cdf, random_cdf = result.cdf_pair(name)
-        grid, series = _cdf_series({"circles": circles_cdf, "random": random_cdf})
-        path = output / f"fig5_{name}.csv"
+        # Fig. 4 — clustering coefficient CDF.
+        clustering = clustering_values(
+            circles_dataset.graph, sample=clustering_sample, seed=seed
+        )
+        cdf = EmpiricalCDF(clustering)
+        grid, series = _cdf_series({"clustering": cdf})
+        path = output / "fig4_clustering_cdf.csv"
         _write_csv(
             path,
-            ["value", "circles_cdf", "random_cdf"],
-            [
-                [float(x), float(a), float(b)]
-                for x, a, b in zip(grid, series["circles"], series["random"])
-            ],
+            ["value", "cdf"],
+            [[float(x), float(y)] for x, y in zip(grid, series["clustering"])],
         )
         written.append(path)
 
-    # Fig. 6 — cross-dataset comparison panels.
-    comparison = compare_datasets(
-        [circles_dataset, *community_datasets],
-        contexts={circles_dataset.name: context},
-    )
-    for name in comparison.function_names():
-        cdfs = comparison.cdfs(name)
-        grid, series = _cdf_series(cdfs)
-        path = output / f"fig6_{name}.csv"
-        header = ["value"] + [f"{dataset}_cdf" for dataset in cdfs]
-        rows = [
-            [float(x)] + [float(series[dataset][i]) for dataset in cdfs]
-            for i, x in enumerate(grid)
-        ]
-        _write_csv(path, header, rows)
-        written.append(path)
+        # Figs. 5/6 share the circles graph: freeze it exactly once and
+        # thread the context through both experiment drivers.
+        context = AnalysisContext(circles_dataset.graph)
+
+        # Fig. 5 — circles vs random sets, one CSV per scoring function.
+        result = circles_vs_random(circles_dataset, seed=seed, context=context)
+        for name in result.function_names():
+            circles_cdf, random_cdf = result.cdf_pair(name)
+            grid, series = _cdf_series(
+                {"circles": circles_cdf, "random": random_cdf}
+            )
+            path = output / f"fig5_{name}.csv"
+            _write_csv(
+                path,
+                ["value", "circles_cdf", "random_cdf"],
+                [
+                    [float(x), float(a), float(b)]
+                    for x, a, b in zip(
+                        grid, series["circles"], series["random"]
+                    )
+                ],
+            )
+            written.append(path)
+
+        # Fig. 6 — cross-dataset comparison panels.
+        comparison = compare_datasets(
+            [circles_dataset, *community_datasets],
+            contexts={circles_dataset.name: context},
+        )
+        for name in comparison.function_names():
+            cdfs = comparison.cdfs(name)
+            grid, series = _cdf_series(cdfs)
+            path = output / f"fig6_{name}.csv"
+            header = ["value"] + [f"{dataset}_cdf" for dataset in cdfs]
+            rows = [
+                [float(x)] + [float(series[dataset][i]) for dataset in cdfs]
+                for i, x in enumerate(grid)
+            ]
+            _write_csv(path, header, rows)
+            written.append(path)
+
+        if obs.enabled():
+            instruments.EXPERIMENT_RUNS.inc(label="export_figures")
+            obs.record_manifest(
+                capture_manifest(
+                    "export_figures",
+                    contexts={circles_dataset.name: context},
+                    seeds={"export": seed},
+                    extra={"csv_files": [p.name for p in written]},
+                )
+            )
 
     return written

@@ -12,9 +12,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.data.datasets import Dataset
 from repro.engine import AnalysisContext
 from repro.graph.convert import to_undirected
+from repro.obs import capture_manifest, instruments
 from repro.scoring.base import ScoringFunction
 from repro.scoring.registry import ScoreTable, make_paper_functions, score_groups
 
@@ -131,12 +133,27 @@ def directed_vs_undirected(
         raise ValueError("the robustness check requires a directed data set")
     functions = functions or make_paper_functions()
     groups = dataset.groups.filter_by_size(minimum=min_group_size)
-    directed_context = AnalysisContext.ensure(
-        context if context is not None else dataset.graph
-    )
-    directed_scores = score_groups(directed_context, groups, functions)
-    undirected_context = AnalysisContext(to_undirected(dataset.graph))
-    undirected_scores = score_groups(undirected_context, groups, functions)
+    with obs.span("experiment.directed_vs_undirected"):
+        directed_context = AnalysisContext.ensure(
+            context if context is not None else dataset.graph
+        )
+        directed_scores = score_groups(directed_context, groups, functions)
+        undirected_context = AnalysisContext(to_undirected(dataset.graph))
+        undirected_scores = score_groups(
+            undirected_context, groups, functions
+        )
+        if obs.enabled():
+            instruments.EXPERIMENT_RUNS.inc(label="directed_vs_undirected")
+            obs.record_manifest(
+                capture_manifest(
+                    "directed_vs_undirected",
+                    contexts={
+                        f"{dataset.name}-directed": directed_context,
+                        f"{dataset.name}-undirected": undirected_context,
+                    },
+                    functions=[function.name for function in functions],
+                )
+            )
     return RobustnessResult(
         dataset=dataset.name,
         directed_scores=directed_scores,

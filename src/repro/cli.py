@@ -15,7 +15,16 @@ corpora (see DESIGN.md for the experiment index):
 ``detect``         detected-vs-declared: do algorithms recover the groups?
 ``lint``           repo-specific AST lint pass (repro.devtools.lint)
 ``check``          seed-determinism check of the stochastic pipelines
+``trace``          run any other subcommand under the tracer (repro.obs)
 =================  ========================================================
+
+Every dataset-taking subcommand accepts the dataset either positionally
+(``repro score google_plus``) or as a flag (``repro score --dataset
+gplus-synth``); common aliases such as ``gplus-synth`` resolve to the
+synthetic builder names.  Passing ``--trace-out PATH`` to any subcommand
+records a JSONL trace plus a ``.manifest.json`` sidecar; ``repro trace
+<cmd> ...`` does the same with a human-readable ``--format text`` option
+(see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -23,7 +32,9 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
+from repro import obs
 from repro.analysis.characterization import characterize, table2_comparison
 from repro.analysis.comparison import compare_datasets
 from repro.analysis.experiment import circles_vs_random
@@ -32,6 +43,7 @@ from repro.analysis.report import render_cdf_panel, render_kv, render_table
 from repro.analysis.robustness import directed_vs_undirected
 from repro.data.datasets import Dataset
 from repro.engine import AnalysisContext
+from repro.obs import write_manifests
 from repro.synth.paper_datasets import (
     build_google_plus,
     build_livejournal,
@@ -50,24 +62,44 @@ _BUILDERS = {
     "magno": build_magno_reference,
 }
 
+#: Accepted spellings for the synthetic corpora (paper-ish names included).
+_ALIASES = {
+    "gplus": "google_plus",
+    "gplus-synth": "google_plus",
+    "google-plus": "google_plus",
+    "twitter-synth": "twitter",
+    "lj": "livejournal",
+    "lj-synth": "livejournal",
+    "livejournal-synth": "livejournal",
+    "orkut-synth": "orkut",
+    "magno-synth": "magno",
+}
+
 
 def _build(name: str, seed: int | None) -> Dataset:
+    name = _ALIASES.get(name, name)
     try:
         builder = _BUILDERS[name]
     except KeyError:
-        known = ", ".join(sorted(_BUILDERS))
+        known = ", ".join(sorted([*_BUILDERS, *_ALIASES]))
         raise SystemExit(f"unknown dataset {name!r}; known: {known}") from None
     return builder(seed=seed) if seed is not None else builder()
 
 
+def _dataset_name(args: argparse.Namespace) -> str:
+    """Resolve the dataset from flag form (``--dataset``) or positional."""
+    return args.dataset_flag or args.dataset
+
+
 def _cmd_characterize(args: argparse.Namespace) -> int:
-    names = list(_BUILDERS) if args.dataset == "all" else [args.dataset]
+    chosen = _dataset_name(args)
+    names = list(_BUILDERS) if chosen == "all" else [chosen]
     rows = []
     for name in names:
         dataset = _build(name, args.seed)
         rows.append(characterize(dataset, seed=0).as_row())
     print(render_table(rows, title="Dataset characterization (Table II/III)"))
-    if args.dataset == "all":
+    if chosen == "all":
         ego = characterize(_build("google_plus", args.seed), seed=0)
         bfs = characterize(_build("magno", args.seed), seed=0)
         contrast = table2_comparison(ego, bfs)["contrast"]
@@ -77,9 +109,9 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_overlap(args: argparse.Namespace) -> int:
-    dataset = _build(args.dataset, args.seed)
+    dataset = _build(_dataset_name(args), args.seed)
     if dataset.ego_collection is None:
-        raise SystemExit(f"dataset {args.dataset!r} has no ego collection")
+        raise SystemExit(f"dataset {dataset.name!r} has no ego collection")
     report = analyze_overlap(dataset.ego_collection)
     print(render_kv(report.summary(), title="Ego-network overlap (Fig. 1)"))
     print()
@@ -95,7 +127,7 @@ def _cmd_degree_fit(args: argparse.Namespace) -> int:
     from repro.algorithms.degrees import degree_sequence, in_degree_sequence
     from repro.powerlaw.comparison import best_fit
 
-    dataset = _build(args.dataset, args.seed)
+    dataset = _build(_dataset_name(args), args.seed)
     if dataset.directed:
         sequence = in_degree_sequence(dataset.graph)
         kind = "in-degree"
@@ -112,7 +144,7 @@ def _cmd_degree_fit(args: argparse.Namespace) -> int:
 
 
 def _cmd_score(args: argparse.Namespace) -> int:
-    dataset = _build(args.dataset, args.seed)
+    dataset = _build(_dataset_name(args), args.seed)
     context = AnalysisContext(dataset.graph)
     result = circles_vs_random(
         dataset, sampler=args.sampler, seed=args.seed or 0, context=context
@@ -155,7 +187,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_robustness(args: argparse.Namespace) -> int:
-    dataset = _build(args.dataset, args.seed)
+    dataset = _build(_dataset_name(args), args.seed)
     result = directed_vs_undirected(
         dataset, context=AnalysisContext(dataset.graph)
     )
@@ -171,9 +203,9 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
 def _cmd_classify(args: argparse.Namespace) -> int:
     from repro.analysis.circle_types import classify_circles
 
-    dataset = _build(args.dataset, args.seed)
+    dataset = _build(_dataset_name(args), args.seed)
     if dataset.structure != "circles":
-        raise SystemExit(f"dataset {args.dataset!r} has no circles to classify")
+        raise SystemExit(f"dataset {dataset.name!r} has no circles to classify")
     classification = classify_circles(
         dataset.graph, dataset.groups, method=args.method, seed=0
     )
@@ -197,9 +229,9 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 def _cmd_ego_view(args: argparse.Namespace) -> int:
     from repro.analysis.ego_view import ego_centered_scores
 
-    dataset = _build(args.dataset, args.seed)
+    dataset = _build(_dataset_name(args), args.seed)
     if dataset.ego_collection is None:
-        raise SystemExit(f"dataset {args.dataset!r} has no ego collection")
+        raise SystemExit(f"dataset {dataset.name!r} has no ego collection")
     result = ego_centered_scores(
         dataset.ego_collection, joined=dataset.graph
     )
@@ -220,7 +252,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         partition_modularity,
     )
 
-    dataset = _build(args.dataset, args.seed)
+    dataset = _build(_dataset_name(args), args.seed)
     partition = louvain_communities(dataset.graph, seed=0)
     quality = partition_modularity(dataset.graph, partition)
     recovery = mean_best_jaccard(
@@ -274,6 +306,45 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(forwarded)
 
 
+def _write_trace(
+    tracer: "obs.Tracer", trace_out: str, trace_format: str = "jsonl"
+) -> None:
+    """Write a finished tracer as JSONL plus a ``.manifest.json`` sidecar.
+
+    With ``trace_format == "text"`` the human-readable span tree is also
+    printed (to stderr, so the traced command's stdout stays byte-
+    identical to an untraced run).
+    """
+    path = Path(trace_out)
+    tracer.write_jsonl(path)
+    manifest_path = path.with_suffix(".manifest.json")
+    write_manifests(tracer.manifests, manifest_path)
+    if trace_format == "text":
+        print(tracer.render_text(), file=sys.stderr)
+    print(
+        f"trace written to {path} (manifests: {manifest_path})",
+        file=sys.stderr,
+    )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        raise SystemExit("trace: missing command to run (repro trace <cmd> ...)")
+    if rest[0] == "trace":
+        raise SystemExit("trace: cannot nest 'repro trace trace'")
+    inner = build_parser().parse_args(rest)
+    tracer = obs.enable(name=" ".join(rest), memory=args.memory)
+    try:
+        code = inner.handler(inner)
+    finally:
+        obs.disable()
+    _write_trace(tracer, args.trace_out, args.trace_format)
+    return code
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.devtools.determinism import main as determinism_main
 
@@ -286,6 +357,30 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return determinism_main(forwarded)
 
 
+def _add_dataset_argument(
+    parser: argparse.ArgumentParser, *, default: str = "google_plus"
+) -> None:
+    """Add the dataset selector in both positional and flag form.
+
+    ``repro score google_plus`` and ``repro score --dataset gplus-synth``
+    are equivalent; the flag wins when both are given (see
+    :func:`_dataset_name`).
+    """
+    parser.add_argument(
+        "dataset",
+        nargs="?",
+        default=default,
+        help=f"dataset name (default: {default})",
+    )
+    parser.add_argument(
+        "--dataset",
+        dest="dataset_flag",
+        default=None,
+        metavar="NAME",
+        help="dataset name in flag form (aliases like 'gplus-synth' accepted)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -295,32 +390,42 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=None, help="generation seed (default: per-dataset)"
     )
+    # Shared by every subcommand: record a JSONL trace of the run.
+    trace_parent = argparse.ArgumentParser(add_help=False)
+    trace_parent.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="record a JSONL trace (+ .manifest.json sidecar) of this run",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     characterize_parser = commands.add_parser(
-        "characterize", help="Table II/III dataset characterization"
+        "characterize",
+        help="Table II/III dataset characterization",
+        parents=[trace_parent],
     )
-    characterize_parser.add_argument(
-        "dataset", nargs="?", default="all", help="dataset name or 'all'"
-    )
+    _add_dataset_argument(characterize_parser, default="all")
     characterize_parser.set_defaults(handler=_cmd_characterize)
 
     overlap_parser = commands.add_parser(
-        "overlap", help="Fig. 1-2 ego overlap analysis"
+        "overlap", help="Fig. 1-2 ego overlap analysis", parents=[trace_parent]
     )
-    overlap_parser.add_argument("dataset", nargs="?", default="google_plus")
+    _add_dataset_argument(overlap_parser)
     overlap_parser.set_defaults(handler=_cmd_overlap)
 
     fit_parser = commands.add_parser(
-        "degree-fit", help="Fig. 3 degree-distribution model selection"
+        "degree-fit",
+        help="Fig. 3 degree-distribution model selection",
+        parents=[trace_parent],
     )
-    fit_parser.add_argument("dataset", nargs="?", default="google_plus")
+    _add_dataset_argument(fit_parser)
     fit_parser.set_defaults(handler=_cmd_degree_fit)
 
     score_parser = commands.add_parser(
-        "score", help="Fig. 5 circles vs random sets"
+        "score", help="Fig. 5 circles vs random sets", parents=[trace_parent]
     )
-    score_parser.add_argument("dataset", nargs="?", default="google_plus")
+    _add_dataset_argument(score_parser)
     score_parser.add_argument(
         "--sampler",
         default="random_walk",
@@ -329,47 +434,87 @@ def build_parser() -> argparse.ArgumentParser:
     score_parser.set_defaults(handler=_cmd_score)
 
     compare_parser = commands.add_parser(
-        "compare", help="Fig. 6 circles vs communities across datasets"
+        "compare",
+        help="Fig. 6 circles vs communities across datasets",
+        parents=[trace_parent],
     )
     compare_parser.set_defaults(handler=_cmd_compare)
 
     robustness_parser = commands.add_parser(
-        "robustness", help="section IV-B directed vs undirected check"
+        "robustness",
+        help="section IV-B directed vs undirected check",
+        parents=[trace_parent],
     )
-    robustness_parser.add_argument("dataset", nargs="?", default="google_plus")
+    _add_dataset_argument(robustness_parser)
     robustness_parser.set_defaults(handler=_cmd_robustness)
 
     classify_parser = commands.add_parser(
-        "classify", help="Fang et al. community/celebrity circle categorization"
+        "classify",
+        help="Fang et al. community/celebrity circle categorization",
+        parents=[trace_parent],
     )
-    classify_parser.add_argument("dataset", nargs="?", default="google_plus")
+    _add_dataset_argument(classify_parser)
     classify_parser.add_argument(
         "--method", default="kmeans", choices=["kmeans", "threshold"]
     )
     classify_parser.set_defaults(handler=_cmd_classify)
 
     ego_view_parser = commands.add_parser(
-        "ego-view", help="section VI: ego-local vs global circle scores"
+        "ego-view",
+        help="section VI: ego-local vs global circle scores",
+        parents=[trace_parent],
     )
-    ego_view_parser.add_argument("dataset", nargs="?", default="google_plus")
+    _add_dataset_argument(ego_view_parser)
     ego_view_parser.set_defaults(handler=_cmd_ego_view)
 
     detect_parser = commands.add_parser(
-        "detect", help="Louvain detection vs declared groups"
+        "detect",
+        help="Louvain detection vs declared groups",
+        parents=[trace_parent],
     )
-    detect_parser.add_argument("dataset", nargs="?", default="google_plus")
+    _add_dataset_argument(detect_parser)
     detect_parser.set_defaults(handler=_cmd_detect)
 
     export_parser = commands.add_parser(
-        "export", help="write the data series of Figs. 2-6 as CSV files"
+        "export",
+        help="write the data series of Figs. 2-6 as CSV files",
+        parents=[trace_parent],
     )
     export_parser.add_argument(
         "-o", "--output", default="figures", help="output directory"
     )
     export_parser.set_defaults(handler=_cmd_export)
 
+    trace_parser = commands.add_parser(
+        "trace", help="run another subcommand under the tracer (repro.obs)"
+    )
+    trace_parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default="trace.jsonl",
+        help="trace output path (default: trace.jsonl)",
+    )
+    trace_parser.add_argument(
+        "--format",
+        dest="trace_format",
+        choices=("jsonl", "text"),
+        default="jsonl",
+        help="also print a human-readable span tree with 'text'",
+    )
+    trace_parser.add_argument(
+        "--memory",
+        action="store_true",
+        help="record tracemalloc peak deltas per span (adds overhead)",
+    )
+    trace_parser.add_argument(
+        "rest",
+        nargs=argparse.REMAINDER,
+        help="the repro subcommand to run, with its arguments",
+    )
+    trace_parser.set_defaults(handler=_cmd_trace)
+
     lint_parser = commands.add_parser(
-        "lint", help="repo-specific AST lint pass (rules REP001-REP204)"
+        "lint", help="repo-specific AST lint pass (rules REP001-REP301)"
     )
     lint_parser.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories"
@@ -429,6 +574,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out and args.handler is not _cmd_trace:
+        tracer = obs.enable(name=args.command)
+        try:
+            code = args.handler(args)
+        finally:
+            obs.disable()
+        _write_trace(tracer, trace_out)
+        return code
     return args.handler(args)
 
 

@@ -5,9 +5,10 @@ The generic linters the ecosystem ships cannot know that this codebase
 substrate whose private adjacency dicts may only be *mutated* inside
 :mod:`repro.graph`, and (c) freezes graphs exactly once into
 :class:`~repro.engine.AnalysisContext` snapshots.  This module encodes
-those rules: the stateless per-statement family (REP001–REP006) lives
-here, the flow-sensitive families (REP1xx RNG discipline, REP2xx
-freeze-once contracts) in :mod:`repro.devtools.rules_flow` on top of the
+those rules: the stateless per-statement family (REP001–REP006) and the
+documentation family (REP301) live here, the flow-sensitive families
+(REP1xx RNG discipline, REP2xx freeze-once contracts) in
+:mod:`repro.devtools.rules_flow` on top of the
 :mod:`repro.devtools.dataflow` core.
 
 Usage::
@@ -90,6 +91,7 @@ __all__ = [
     "FloatEqualityRule",
     "MissingAllRule",
     "BroadExceptRule",
+    "DocstringCoverageRule",
     "FLOW_RULES",
     "ALL_RULES",
     "lint_source",
@@ -489,6 +491,120 @@ class BroadExceptRule(Rule):
                     break
 
 
+class DocstringCoverageRule(Rule):
+    """Every public function and class of the instrumented packages
+    (:mod:`repro.obs`, :mod:`repro.engine`) has an imperative-summary
+    docstring.
+
+    The observability surface is consumed by people debugging *other*
+    layers — a span name or metric helper without a docstring forces them
+    to reverse-engineer the instrumentation itself.  The first line must
+    read as an imperative summary ("Return …", "Record …"), matching the
+    house style; openers like "This function returns …" or "Returns …"
+    are flagged.  Private names (leading underscore), private modules and
+    nested helpers are exempt.
+    """
+
+    id = "REP301"
+    summary = "public obs/engine API without imperative-summary docstring"
+    example_bad = (
+        'def freeze(graph):\n'
+        '    """This function freezes the graph."""\n'
+    )
+    example_good = (
+        'def freeze(graph):\n'
+        '    """Freeze the graph into CSR form."""\n'
+    )
+
+    #: Only files with one of these path components are checked.
+    path_filter: tuple[str, ...] = ("obs", "engine")
+
+    #: First words that mark a descriptive (non-imperative) opening.
+    _WEAK_OPENERS = frozenset(
+        {
+            "a",
+            "an",
+            "are",
+            "builds",
+            "computes",
+            "contains",
+            "creates",
+            "does",
+            "gets",
+            "has",
+            "holds",
+            "implements",
+            "is",
+            "it",
+            "makes",
+            "provides",
+            "represents",
+            "returns",
+            "sets",
+            "the",
+            "these",
+            "this",
+            "wraps",
+        }
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
+        name = ctx.module_basename
+        if name.startswith("_") and name != "__init__.py":
+            return
+        if not any(part in ctx.path_parts for part in self.path_filter):
+            return
+        yield from self._check_body(tree.body, ctx, qualname=())
+
+    def _check_body(
+        self,
+        body: Sequence[ast.stmt],
+        ctx: FileContext,
+        qualname: tuple[str, ...],
+    ) -> Iterator[Violation]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not stmt.name.startswith("_"):
+                    yield from self._check_docstring(
+                        stmt, ctx, qualname, kind="function"
+                    )
+            elif isinstance(stmt, ast.ClassDef):
+                if stmt.name.startswith("_"):
+                    continue
+                yield from self._check_docstring(
+                    stmt, ctx, qualname, kind="class"
+                )
+                yield from self._check_body(
+                    stmt.body, ctx, (*qualname, stmt.name)
+                )
+
+    def _check_docstring(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef,
+        ctx: FileContext,
+        qualname: tuple[str, ...],
+        kind: str,
+    ) -> Iterator[Violation]:
+        name = ".".join((*qualname, node.name))
+        doc = ast.get_docstring(node)
+        if not doc or not doc.strip():
+            yield self.violation(
+                ctx, node, f"public {kind} '{name}' has no docstring"
+            )
+            return
+        first_line = doc.strip().splitlines()[0].strip()
+        match = re.match(r"[A-Za-z]+", first_line)
+        first_word = match.group(0).lower() if match else ""
+        if not first_word or first_word in self._WEAK_OPENERS:
+            yield self.violation(
+                ctx,
+                node,
+                f"docstring of {kind} '{name}' opens with "
+                f"{first_word or first_line[:20]!r}; start with an "
+                "imperative summary (e.g. 'Return ...', 'Record ...')",
+            )
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     UnseededRandomRule,
     GraphPrivateMutationRule,
@@ -497,6 +613,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     MissingAllRule,
     BroadExceptRule,
     *FLOW_RULES,
+    DocstringCoverageRule,
 )
 
 _KNOWN_RULE_IDS = frozenset(rule.id for rule in ALL_RULES)
@@ -632,7 +749,7 @@ def _check_noqa_ids(lines: Sequence[str], path: str) -> list[Violation]:
                         rule_id="REP000",
                         message=(
                             f"unknown rule id '{rule_id}' in noqa comment; "
-                            "known ids: REP001..REP204 (see --list-rules)"
+                            "known ids: REP001..REP301 (see --list-rules)"
                         ),
                         path=path,
                         line=lineno,
@@ -706,17 +823,25 @@ def lint_paths(
     merged in the (sorted) file-iteration order, so the output is
     byte-identical to a single-process run.
     """
+    from repro import obs
+    from repro.obs import instruments
+
     config = config if config is not None else LintConfig()
-    files = [str(path) for path in iter_python_files(paths)]
-    if jobs > 1 and len(files) > 1:
-        items = [(path, config) for path in files]
-        with multiprocessing.Pool(processes=min(jobs, len(files))) as pool:
-            per_file = pool.map(_lint_one_file, items)
-    else:
-        per_file = [_lint_one_file((path, config)) for path in files]
-    violations: list[Violation] = []
-    for result in per_file:
-        violations.extend(result)
+    with obs.span("lint.run"):
+        files = [str(path) for path in iter_python_files(paths)]
+        if jobs > 1 and len(files) > 1:
+            items = [(path, config) for path in files]
+            with multiprocessing.Pool(
+                processes=min(jobs, len(files))
+            ) as pool:
+                per_file = pool.map(_lint_one_file, items)
+        else:
+            per_file = [_lint_one_file((path, config)) for path in files]
+        violations: list[Violation] = []
+        for result in per_file:
+            violations.extend(result)
+        instruments.LINT_FILES.inc(len(files))
+        instruments.LINT_VIOLATIONS.inc(len(violations))
     return violations
 
 
@@ -758,7 +883,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro.devtools.lint``."""
     parser = argparse.ArgumentParser(
         prog="repro.devtools.lint",
-        description="Repo-specific AST lint pass (rules REP001-REP204)",
+        description="Repo-specific AST lint pass (rules REP001-REP301)",
     )
     parser.add_argument("paths", nargs="*", default=["src"], help="files or dirs")
     parser.add_argument(

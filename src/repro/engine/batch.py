@@ -32,8 +32,10 @@ from typing import Literal
 
 import numpy as np
 
+from repro import obs
 from repro.engine.context import AnalysisContext
 from repro.exceptions import EmptyGroupError, NodeNotFound
+from repro.obs import instruments
 from repro.graph.csr import CSRGraph
 from repro.scoring.base import GroupStats
 
@@ -288,6 +290,24 @@ def batch_group_stats(
     ``strategy`` selects the membership kernel; the default ``"auto"``
     compares the two kernels' predicted entry counts for the batch.
     """
+    with obs.span("engine.score_batch"):
+        return _batch_group_stats(
+            context,
+            groups,
+            graph_median_degree=graph_median_degree,
+            include_internal_adjacency=include_internal_adjacency,
+            strategy=strategy,
+        )
+
+
+def _batch_group_stats(
+    context: AnalysisContext,
+    groups: Iterable[Iterable[Node]],
+    *,
+    graph_median_degree: float | None,
+    include_internal_adjacency: bool,
+    strategy: Strategy,
+) -> list[GroupStats]:
     context = AnalysisContext.ensure(context)
     n = context.num_vertices
     m = context.num_edges
@@ -326,6 +346,12 @@ def batch_group_stats(
         gather_entries = int(context.degree_array[table.ids].sum())
         strategy = "pairs" if pair_entries <= gather_entries else "gather"
     use_pairs = strategy == "pairs"
+    if obs.enabled():
+        instruments.KERNEL_SELECTED.inc(label=strategy)
+        instruments.GROUPS_SCORED.inc(len(member_tuples))
+        instruments.GROUP_SIZE.observe_many(sizes_list)
+        obs.add("groups", len(member_tuples))
+        obs.add(f"kernel_{strategy}", 1)
     keep = include_internal_adjacency
 
     entries: _Entries | None = None

@@ -26,7 +26,9 @@ from collections.abc import Hashable, Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import GraphError, NodeNotFound
+from repro.obs import instruments
 from repro.graph.csr import CSRGraph, freeze_directed
 from repro.graph.digraph import DiGraph
 from repro.graph.ugraph import Graph
@@ -76,13 +78,15 @@ class AnalysisContext:
             )
         self.graph = graph
         self.is_directed = bool(graph.is_directed)
-        if self.is_directed:
-            # One adjacency pass yields all three orientations.
-            self.csr, self.csr_out, self.csr_in = freeze_directed(graph)
-        else:
-            self.csr = CSRGraph(graph)
-            self.csr_out = None
-            self.csr_in = None
+        with obs.span("engine.freeze"):
+            if self.is_directed:
+                # One adjacency pass yields all three orientations.
+                self.csr, self.csr_out, self.csr_in = freeze_directed(graph)
+            else:
+                self.csr = CSRGraph(graph)
+                self.csr_out = None
+                self.csr_in = None
+        instruments.CONTEXTS_FROZEN.inc()
         self.num_vertices = self.csr.num_vertices
         self.num_edges = graph.number_of_edges()
         self._degree_array: np.ndarray | None = None

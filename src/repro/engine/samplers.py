@@ -22,8 +22,10 @@ from collections.abc import Hashable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.engine.context import AnalysisContext
 from repro.exceptions import SamplingError
+from repro.obs import instruments
 
 Node = Hashable
 
@@ -79,6 +81,7 @@ def random_walk_set(
     collected[current] = True
     count = 1
     steps = 0
+    restarts = 0
     budget = max_steps_factor * size
     while count < size:
         steps += 1
@@ -90,6 +93,7 @@ def random_walk_set(
         row = indices[indptr[current] : indptr[current + 1]]
         fresh = row[~collected[row]]
         if fresh.size == 0:
+            restarts += 1
             current = rng.choice(population)
             if not collected[current]:
                 collected[current] = True
@@ -100,6 +104,8 @@ def random_walk_set(
         current = int(rng.choice(fresh))
         collected[current] = True
         count += 1
+    instruments.WALK_STEPS.inc(steps)
+    instruments.WALK_RESTARTS.inc(restarts)
     return _labels(context, collected)
 
 
@@ -189,14 +195,20 @@ def sample_matched_sets(
     """
     context = AnalysisContext.ensure(context)
     rng = random.Random(seed)
-    if sampler in ENGINE_SAMPLERS:
-        function = ENGINE_SAMPLERS[sampler]
-        return [function(context, size, seed=rng) for size in sizes]
-    if sampler == "forest_fire":
-        from repro.sampling.random_sets import forest_fire_set
+    with obs.span("sampler.matched_sets"):
+        if sampler in ENGINE_SAMPLERS:
+            function = ENGINE_SAMPLERS[sampler]
+            sets = [function(context, size, seed=rng) for size in sizes]
+        elif sampler == "forest_fire":
+            from repro.sampling.random_sets import forest_fire_set
 
-        return [
-            forest_fire_set(context.graph, size, seed=rng) for size in sizes
-        ]
-    known = ", ".join(sorted([*ENGINE_SAMPLERS, "forest_fire"]))
-    raise KeyError(f"unknown sampler {sampler!r}; known: {known}")
+            sets = [
+                forest_fire_set(context.graph, size, seed=rng)
+                for size in sizes
+            ]
+        else:
+            known = ", ".join(sorted([*ENGINE_SAMPLERS, "forest_fire"]))
+            raise KeyError(f"unknown sampler {sampler!r}; known: {known}")
+        instruments.SETS_SAMPLED.inc(len(sets), label=sampler)
+        obs.add("sets", len(sets))
+    return sets

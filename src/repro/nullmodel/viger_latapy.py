@@ -23,8 +23,10 @@ from __future__ import annotations
 import random
 from collections.abc import Sequence
 
+from repro import obs
 from repro.algorithms.traversal import connected_components, is_connected
 from repro.exceptions import NotGraphical, SamplingError
+from repro.obs import instruments
 from repro.graph.convert import stable_sorted
 from repro.graph.ugraph import Graph
 from repro.nullmodel.configuration import configuration_model
@@ -133,6 +135,7 @@ def connect_components(
         graph.remove_edge(c, d)
         graph.add_edge(a, c)
         graph.add_edge(b, d)
+        instruments.NULLMODEL_MERGES.inc()
 
 
 def viger_latapy_graph(
@@ -168,42 +171,48 @@ def viger_latapy_graph(
     if sum(degrees) // 2 < n - 1:
         raise SamplingError("connected realization impossible: too few edges")
     rng = random.Random(seed)
-    numpy_seed = rng.randrange(2**32)
-    graph = configuration_model(degrees, seed=numpy_seed, max_attempts=3)
-    connect_components(graph, seed=rng)
+    with obs.span("nullmodel.viger_latapy"):
+        numpy_seed = rng.randrange(2**32)
+        graph = configuration_model(degrees, seed=numpy_seed, max_attempts=3)
+        connect_components(graph, seed=rng)
 
-    # Shuffle phase: connectivity-preserving double edge swaps in windows.
-    m = graph.number_of_edges()
-    target_swaps = int(shuffle_factor * m)
-    performed = 0
-    while performed < target_swaps:
-        batch = min(window, target_swaps - performed)
-        undo: list[tuple[tuple, tuple, tuple, tuple]] = []
-        edges = list(graph.edges)
-        for _ in range(batch):
-            i, j = rng.randrange(len(edges)), rng.randrange(len(edges))
-            if i == j:
-                continue
-            a, b = edges[i]
-            c, d = edges[j]
-            if rng.random() < 0.5:
-                c, d = d, c
-            if len({a, b, c, d}) < 4:
-                continue
-            if graph.has_edge(a, d) or graph.has_edge(c, b):
-                continue
-            graph.remove_edge(a, b)
-            graph.remove_edge(c, d)
-            graph.add_edge(a, d)
-            graph.add_edge(c, b)
-            edges[i] = (a, d)
-            edges[j] = (c, b)
-            undo.append(((a, b), (c, d), (a, d), (c, b)))
-        if undo and not is_connected(graph):
-            for old_one, old_two, new_one, new_two in reversed(undo):
-                graph.remove_edge(*new_one)
-                graph.remove_edge(*new_two)
-                graph.add_edge(*old_one)
-                graph.add_edge(*old_two)
-        performed += batch
+        # Shuffle phase: connectivity-preserving double edge swaps in
+        # windows.
+        m = graph.number_of_edges()
+        target_swaps = int(shuffle_factor * m)
+        performed = 0
+        while performed < target_swaps:
+            batch = min(window, target_swaps - performed)
+            undo: list[tuple[tuple, tuple, tuple, tuple]] = []
+            edges = list(graph.edges)
+            for _ in range(batch):
+                i, j = rng.randrange(len(edges)), rng.randrange(len(edges))
+                if i == j:
+                    continue
+                a, b = edges[i]
+                c, d = edges[j]
+                if rng.random() < 0.5:
+                    c, d = d, c
+                if len({a, b, c, d}) < 4:
+                    continue
+                if graph.has_edge(a, d) or graph.has_edge(c, b):
+                    continue
+                graph.remove_edge(a, b)
+                graph.remove_edge(c, d)
+                graph.add_edge(a, d)
+                graph.add_edge(c, b)
+                edges[i] = (a, d)
+                edges[j] = (c, b)
+                undo.append(((a, b), (c, d), (a, d), (c, b)))
+            if undo and not is_connected(graph):
+                for old_one, old_two, new_one, new_two in reversed(undo):
+                    graph.remove_edge(*new_one)
+                    graph.remove_edge(*new_two)
+                    graph.add_edge(*old_one)
+                    graph.add_edge(*old_two)
+                instruments.NULLMODEL_ROLLBACKS.inc()
+            else:
+                instruments.NULLMODEL_SWAPS.inc(len(undo))
+            performed += batch
+        instruments.NULLMODEL_GRAPHS.inc()
     return graph

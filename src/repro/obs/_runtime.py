@@ -1,0 +1,32 @@
+"""Process-wide observability switch shared by every instrument.
+
+Both :mod:`repro.obs.tracer` (spans) and :mod:`repro.obs.metrics`
+(counters/gauges/histograms) guard on :data:`STATE` — one mutable
+singleton rather than a module-level boolean so the flag check stays a
+single attribute load on the hot path and flipping it never requires
+rebinding names in other modules.  The public on/off API lives in
+:mod:`repro.obs` (``enable`` / ``disable`` / ``enabled``); nothing else
+may mutate this state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.tracer import Tracer
+
+
+class RuntimeState:
+    """Mutable switchboard: the enabled flag and the active tracer."""
+
+    __slots__ = ("enabled", "tracer", "owns_tracemalloc")
+
+    def __init__(self) -> None:
+        self.enabled: bool = False
+        self.tracer: "Tracer | None" = None
+        self.owns_tracemalloc: bool = False
+
+
+#: The one process-wide state instance every instrument reads.
+STATE = RuntimeState()

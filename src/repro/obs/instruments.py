@@ -1,0 +1,143 @@
+"""Central declaration of every runtime metric the library emits.
+
+Instrumented call sites import their instrument from here instead of
+registering ad hoc, which buys two guarantees:
+
+* one ``import repro.obs.instruments`` registers the *complete* metric
+  surface, so ``tests/obs/test_doc_sync.py`` can diff
+  :data:`repro.obs.metrics.REGISTRY` against the catalogue table in
+  ``docs/OBSERVABILITY.md`` — a metric missing from the docs fails CI;
+* metric names live in exactly one place, so a rename cannot leave a
+  stale name incrementing in some far-away module.
+
+Every instrument here must have one row in the ``docs/OBSERVABILITY.md``
+catalogue (name, kind, unit, incrementing site).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import REGISTRY
+
+__all__ = [
+    "CONTEXTS_FROZEN",
+    "KERNEL_SELECTED",
+    "GROUPS_SCORED",
+    "GROUP_SIZE",
+    "SETS_SAMPLED",
+    "WALK_STEPS",
+    "WALK_RESTARTS",
+    "NULLMODEL_GRAPHS",
+    "NULLMODEL_SWAPS",
+    "NULLMODEL_ROLLBACKS",
+    "NULLMODEL_MERGES",
+    "SCORE_GROUPS_CALLS",
+    "SCORES_COMPUTED",
+    "EXPERIMENT_RUNS",
+    "MANIFESTS_RECORDED",
+    "LINT_FILES",
+    "LINT_VIOLATIONS",
+]
+
+CONTEXTS_FROZEN = REGISTRY.counter(
+    "engine.contexts_frozen",
+    "graphs frozen into an AnalysisContext",
+    unit="freezes",
+)
+
+KERNEL_SELECTED = REGISTRY.counter(
+    "engine.kernel_selected",
+    "batch membership kernel chosen per batch_group_stats call "
+    "(label: pairs | gather)",
+    unit="batches",
+)
+
+GROUPS_SCORED = REGISTRY.counter(
+    "engine.groups_scored",
+    "vertex groups processed by batch_group_stats",
+    unit="groups",
+)
+
+GROUP_SIZE = REGISTRY.histogram(
+    "engine.group_size",
+    "distribution of deduplicated group sizes entering the batch kernels",
+    unit="members",
+    edges=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+)
+
+SETS_SAMPLED = REGISTRY.counter(
+    "sampler.sets_sampled",
+    "matched random vertex sets drawn (label: sampler name)",
+    unit="sets",
+)
+
+WALK_STEPS = REGISTRY.counter(
+    "sampler.walk_steps",
+    "random-walk transitions taken across all random_walk_set calls",
+    unit="steps",
+)
+
+WALK_RESTARTS = REGISTRY.counter(
+    "sampler.walk_restarts",
+    "uniform restarts taken when a walk found no uncollected neighbour",
+    unit="restarts",
+)
+
+NULLMODEL_GRAPHS = REGISTRY.counter(
+    "nullmodel.graphs_generated",
+    "connected Viger-Latapy null graphs generated",
+    unit="graphs",
+)
+
+NULLMODEL_SWAPS = REGISTRY.counter(
+    "nullmodel.swaps_performed",
+    "double edge swaps applied and kept in the shuffle phase",
+    unit="swaps",
+)
+
+NULLMODEL_ROLLBACKS = REGISTRY.counter(
+    "nullmodel.windows_rolled_back",
+    "shuffle windows undone because they broke connectivity",
+    unit="windows",
+)
+
+NULLMODEL_MERGES = REGISTRY.counter(
+    "nullmodel.components_merged",
+    "degree-preserving component-merging swaps in connect_components",
+    unit="merges",
+)
+
+SCORE_GROUPS_CALLS = REGISTRY.counter(
+    "scoring.score_groups_calls",
+    "score_groups invocations",
+    unit="calls",
+)
+
+SCORES_COMPUTED = REGISTRY.counter(
+    "scoring.scores_computed",
+    "individual (group, function) score evaluations",
+    unit="scores",
+)
+
+EXPERIMENT_RUNS = REGISTRY.counter(
+    "experiment.runs",
+    "experiment-driver invocations (label: driver name)",
+    unit="runs",
+)
+
+MANIFESTS_RECORDED = REGISTRY.counter(
+    "obs.manifests_recorded",
+    "RunManifests captured onto the active tracer",
+    unit="manifests",
+)
+
+LINT_FILES = REGISTRY.counter(
+    "lint.files_analyzed",
+    "Python files analyzed by lint_paths",
+    unit="files",
+)
+
+LINT_VIOLATIONS = REGISTRY.counter(
+    "lint.violations_found",
+    "unsuppressed lint violations found by lint_paths",
+    unit="violations",
+)

@@ -1,0 +1,240 @@
+"""Process-wide metrics: counters, gauges, and fixed-bucket histograms.
+
+Engine kernels, samplers, null models and the linter increment these
+instruments at well-known names (``engine.kernel_selected``,
+``sampler.walk_steps``, …; the full catalogue lives in
+:mod:`repro.obs.instruments` and ``docs/OBSERVABILITY.md``).  Two design
+rules keep the layer honest:
+
+* **Off means free.**  Every recording method checks the process-wide
+  enabled flag first and returns immediately when observability is off;
+  ``benchmarks/bench_obs_overhead.py`` asserts the disabled cost stays
+  under 3 % of the batch-scoring pass.
+* **Deterministic output.**  Histograms use *fixed* bucket edges declared
+  at registration (never data-derived), and :meth:`MetricsRegistry.snapshot`
+  orders instruments and labels lexicographically — two identical runs
+  serialize byte-identically.
+
+Instruments register once at import time; duplicate names raise.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Iterable, Sequence
+
+from repro.obs._runtime import STATE
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+]
+
+
+class Counter:
+    """Monotonically increasing count, optionally split by a label.
+
+    ``inc(3)`` adds to the unlabeled stream; ``inc(label="pairs")`` keeps
+    per-label sub-counts (rendered as ``name{label}``).
+    """
+
+    kind = "counter"
+
+    __slots__ = ("name", "description", "unit", "_values")
+
+    def __init__(self, name: str, description: str, unit: str = "count") -> None:
+        self.name = name
+        self.description = description
+        self.unit = unit
+        self._values: dict[str, int] = {}
+
+    def inc(self, value: int = 1, *, label: str = "") -> None:
+        """Add ``value`` to the counter (no-op while observability is off)."""
+        if not STATE.enabled:
+            return
+        self._values[label] = self._values.get(label, 0) + int(value)
+
+    def value(self, label: str = "") -> int:
+        """Return the accumulated count for ``label`` (0 if never hit)."""
+        return self._values.get(label, 0)
+
+    def total(self) -> int:
+        """Return the sum over every label."""
+        return sum(self._values.values())
+
+    def snapshot(self) -> dict[str, object]:
+        """Serialize kind, unit, description and per-label values."""
+        return {
+            "kind": self.kind,
+            "unit": self.unit,
+            "description": self.description,
+            "values": {label: self._values[label] for label in sorted(self._values)},
+        }
+
+    def reset(self) -> None:
+        """Zero every label."""
+        self._values.clear()
+
+
+class Gauge:
+    """Last-written value per label (e.g. a current size or ratio)."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "description", "unit", "_values")
+
+    def __init__(self, name: str, description: str, unit: str = "value") -> None:
+        self.name = name
+        self.description = description
+        self.unit = unit
+        self._values: dict[str, float] = {}
+
+    def set(self, value: float, *, label: str = "") -> None:
+        """Overwrite the gauge (no-op while observability is off)."""
+        if not STATE.enabled:
+            return
+        self._values[label] = float(value)
+
+    def value(self, label: str = "") -> float | None:
+        """Return the last written value, or None if never set."""
+        return self._values.get(label)
+
+    def snapshot(self) -> dict[str, object]:
+        """Serialize kind, unit, description and per-label values."""
+        return {
+            "kind": self.kind,
+            "unit": self.unit,
+            "description": self.description,
+            "values": {label: self._values[label] for label in sorted(self._values)},
+        }
+
+    def reset(self) -> None:
+        """Forget every label."""
+        self._values.clear()
+
+
+class Histogram:
+    """Fixed-bucket distribution of observed values.
+
+    Bucket edges are declared at registration and never derived from the
+    data, so the serialized counts of two identical runs match exactly.
+    ``counts[i]`` holds observations ``<= edges[i]`` (and greater than the
+    previous edge); the final bucket is the ``> edges[-1]`` overflow.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("name", "description", "unit", "edges", "_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        name: str,
+        description: str,
+        unit: str,
+        edges: Sequence[float],
+    ) -> None:
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError("histogram edges must be non-empty and ascending")
+        self.name = name
+        self.description = description
+        self.unit = unit
+        self.edges = tuple(edges)
+        self._counts = [0] * (len(self.edges) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one value (no-op while observability is off)."""
+        if not STATE.enabled:
+            return
+        self._counts[bisect_left(self.edges, value)] += 1
+        self._sum += float(value)
+        self._count += 1
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record every value of an iterable in one guarded call."""
+        if not STATE.enabled:
+            return
+        edges, counts = self.edges, self._counts
+        total = 0.0
+        seen = 0
+        for value in values:
+            counts[bisect_left(edges, value)] += 1
+            total += float(value)
+            seen += 1
+        self._sum += total
+        self._count += seen
+
+    def snapshot(self) -> dict[str, object]:
+        """Serialize edges, bucket counts, total count and sum."""
+        return {
+            "kind": self.kind,
+            "unit": self.unit,
+            "description": self.description,
+            "edges": list(self.edges),
+            "counts": list(self._counts),
+            "count": self._count,
+            "sum": self._sum,
+        }
+
+    def reset(self) -> None:
+        """Zero every bucket."""
+        self._counts = [0] * (len(self.edges) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+
+class MetricsRegistry:
+    """Name-to-instrument table with deterministic serialization."""
+
+    __slots__ = ("_instruments",)
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def counter(self, name: str, description: str, unit: str = "count") -> Counter:
+        """Register (or fail on duplicate) and return a :class:`Counter`."""
+        return self._register(Counter(name, description, unit))
+
+    def gauge(self, name: str, description: str, unit: str = "value") -> Gauge:
+        """Register (or fail on duplicate) and return a :class:`Gauge`."""
+        return self._register(Gauge(name, description, unit))
+
+    def histogram(
+        self, name: str, description: str, unit: str, edges: Sequence[float]
+    ) -> Histogram:
+        """Register (or fail on duplicate) and return a :class:`Histogram`."""
+        return self._register(Histogram(name, description, unit, edges))
+
+    def _register(self, instrument):
+        if instrument.name in self._instruments:
+            raise ValueError(f"metric {instrument.name!r} is already registered")
+        self._instruments[instrument.name] = instrument
+        return instrument
+
+    def get(self, name: str) -> Counter | Gauge | Histogram:
+        """Look up one instrument by name (KeyError if unregistered)."""
+        return self._instruments[name]
+
+    def names(self) -> list[str]:
+        """Return every registered metric name, sorted."""
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """Serialize every instrument, names and labels sorted."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+    def reset(self) -> None:
+        """Zero every registered instrument (test isolation hook)."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+
+#: The process-wide registry all library instruments register into.
+REGISTRY = MetricsRegistry()

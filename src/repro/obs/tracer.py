@@ -1,0 +1,219 @@
+"""Nestable span tracing into an in-memory tree.
+
+Instrumented code wraps stages in ``with obs.span("engine.freeze"):``;
+each span records wall time, an optional ``tracemalloc`` peak delta, and
+free-form counters, and nests under whichever span was open when it
+started.  The resulting tree exports as JSONL (one record per span, plus
+manifest and metrics records — schema in ``docs/OBSERVABILITY.md``) or as
+an indented human-readable summary (``repro trace --format text``).
+
+Memory tracking is opt-in (``Tracer(memory=True)``): ``tracemalloc``
+itself slows allocation-heavy code noticeably, which would defeat the
+"near-zero overhead" contract if it were implied by tracing.  Peak deltas
+propagate upward — a parent span's peak is at least the peak of any
+child — by carrying the absolute peak through the stack on exit.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import tracemalloc
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.manifest import RunManifest
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One timed stage: name, wall time, memory peak, counters, children."""
+
+    __slots__ = (
+        "name",
+        "children",
+        "counters",
+        "wall_seconds",
+        "memory_peak_bytes",
+        "status",
+        "_start",
+        "_mem_start",
+        "_peak_abs",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.children: list[Span] = []
+        self.counters: dict[str, float] = {}
+        self.wall_seconds: float | None = None
+        self.memory_peak_bytes: int | None = None
+        self.status: str = "open"
+        self._start = 0.0
+        self._mem_start = 0
+        self._peak_abs = 0
+
+    def add(self, key: str, value: float = 1) -> None:
+        """Accumulate a named counter on this span."""
+        self.counters[key] = self.counters.get(key, 0) + value
+
+    def to_dict(self, *, path: str, depth: int) -> dict[str, object]:
+        """Serialize this span (without children) as one JSONL record."""
+        record: dict[str, object] = {
+            "type": "span",
+            "name": self.name,
+            "path": path,
+            "depth": depth,
+            "wall_seconds": (
+                round(self.wall_seconds, 6)
+                if self.wall_seconds is not None
+                else None
+            ),
+            "status": self.status,
+        }
+        if self.memory_peak_bytes is not None:
+            record["memory_peak_bytes"] = self.memory_peak_bytes
+        if self.counters:
+            record["counters"] = {
+                key: self.counters[key] for key in sorted(self.counters)
+            }
+        return record
+
+
+class _SpanContext:
+    """Context manager driving one span's enter/exit bookkeeping."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        span = self._span
+        if tracer._stack:
+            tracer._stack[-1].children.append(span)
+        else:
+            tracer.roots.append(span)
+        tracer._stack.append(span)
+        if tracer.memory and tracemalloc.is_tracing():
+            span._mem_start = tracemalloc.get_traced_memory()[0]
+            tracemalloc.reset_peak()
+        span._start = time.perf_counter()
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        tracer = self._tracer
+        span.wall_seconds = time.perf_counter() - span._start
+        span.status = "ok" if exc_type is None else f"error:{exc_type.__name__}"
+        if tracer.memory and tracemalloc.is_tracing():
+            peak = max(tracemalloc.get_traced_memory()[1], span._peak_abs)
+            span.memory_peak_bytes = max(0, peak - span._mem_start)
+            tracemalloc.reset_peak()
+            # Carry the absolute peak up so the parent's peak covers it.
+            if len(tracer._stack) > 1:
+                parent = tracer._stack[-2]
+                parent._peak_abs = max(parent._peak_abs, peak)
+        # Unwind exactly this span even if an exception skipped children.
+        while tracer._stack and tracer._stack[-1] is not span:
+            tracer._stack.pop()
+        if tracer._stack:
+            tracer._stack.pop()
+        return False
+
+
+class Tracer:
+    """Collector for one run's span tree, manifests, and metric snapshot."""
+
+    __slots__ = ("name", "memory", "roots", "manifests", "_stack")
+
+    def __init__(self, name: str = "run", *, memory: bool = False) -> None:
+        self.name = name
+        self.memory = memory
+        self.roots: list[Span] = []
+        self.manifests: list["RunManifest"] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str) -> _SpanContext:
+        """Open a nested span; use as ``with tracer.span("stage"):``."""
+        return _SpanContext(self, Span(name))
+
+    def add(self, key: str, value: float = 1) -> None:
+        """Accumulate a counter on the innermost open span (no-op if none)."""
+        if self._stack:
+            self._stack[-1].add(key, value)
+
+    def current(self) -> Span | None:
+        """Return the innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def records(self) -> list[dict[str, object]]:
+        """Flatten the run into JSONL-ready records.
+
+        Order: one header, every span depth-first, every captured
+        manifest, then the final metrics snapshot.
+        """
+        from repro.obs.metrics import REGISTRY
+
+        out: list[dict[str, object]] = [
+            {"type": "trace", "name": self.name, "version": 1}
+        ]
+
+        def walk(span: Span, prefix: str, depth: int) -> None:
+            path = f"{prefix}/{span.name}" if prefix else span.name
+            out.append(span.to_dict(path=path, depth=depth))
+            for child in span.children:
+                walk(child, path, depth + 1)
+
+        for root in self.roots:
+            walk(root, "", 0)
+        for manifest in self.manifests:
+            out.append({"type": "manifest", **manifest.to_dict()})
+        out.append({"type": "metrics", "metrics": REGISTRY.snapshot()})
+        return out
+
+    def to_jsonl(self) -> str:
+        """Serialize :meth:`records` as one JSON object per line."""
+        return (
+            "\n".join(
+                json.dumps(record, sort_keys=True) for record in self.records()
+            )
+            + "\n"
+        )
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Write the JSONL serialization to ``path`` and return it."""
+        target = Path(path)
+        target.write_text(self.to_jsonl(), encoding="utf-8")
+        return target
+
+    def render_text(self) -> str:
+        """Render the span tree as an indented, human-readable summary."""
+        lines = [f"trace: {self.name}"]
+
+        def fmt(span: Span, depth: int) -> None:
+            wall = (
+                f"{span.wall_seconds:9.4f}s"
+                if span.wall_seconds is not None
+                else "     open"
+            )
+            extras = []
+            if span.memory_peak_bytes is not None:
+                extras.append(f"peak {span.memory_peak_bytes / 1024:.0f} KiB")
+            if span.status not in ("ok", "open"):
+                extras.append(span.status)
+            for key in sorted(span.counters):
+                extras.append(f"{key}={span.counters[key]:g}")
+            suffix = f"  [{', '.join(extras)}]" if extras else ""
+            lines.append(f"  {'  ' * depth}{span.name:<40} {wall}{suffix}")
+            for child in span.children:
+                fmt(child, depth + 1)
+
+        for root in self.roots:
+            fmt(root, 0)
+        if self.manifests:
+            lines.append(f"  manifests: {len(self.manifests)}")
+        return "\n".join(lines) + "\n"

@@ -15,8 +15,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.data.groups import GroupSet, VertexGroup
 from repro.engine import AnalysisContext, batch_group_stats
+from repro.obs import capture_manifest, instruments
 from repro.graph.digraph import DiGraph
 from repro.graph.ugraph import Graph
 from repro.scoring.base import GroupStats, ScoringFunction, compute_group_stats
@@ -205,38 +207,54 @@ def score_groups(
     if functions is None:
         functions = make_paper_functions()
     context = AnalysisContext.ensure(graph)
-    median = (
-        context.median_degree
-        if _needs(functions, FractionOverMedianDegree)
-        else None
-    )
-
-    names: list[str] = []
-    sizes: list[int] = []
-    member_lists: list[list[Node]] = []
-    for group in list(groups):
-        members = list(group.members)
-        if restrict_to_graph:
-            members = [node for node in members if node in context]
-            if not members:
-                continue
-        names.append(group.name)
-        member_lists.append(members)
-
-    stats_list = batch_group_stats(
-        context,
-        member_lists,
-        graph_median_degree=median,
-        include_internal_adjacency=_needs(
-            functions, TriangleParticipationRatio
-        ),
-    )
-    rows: list[dict[str, float]] = []
-    for stats in stats_list:
-        sizes.append(stats.n_C)
-        rows.append(
-            {function.name: float(function(stats)) for function in functions}
+    with obs.span("scoring.score_groups"):
+        median = (
+            context.median_degree
+            if _needs(functions, FractionOverMedianDegree)
+            else None
         )
+
+        names: list[str] = []
+        sizes: list[int] = []
+        member_lists: list[list[Node]] = []
+        for group in list(groups):
+            members = list(group.members)
+            if restrict_to_graph:
+                members = [node for node in members if node in context]
+                if not members:
+                    continue
+            names.append(group.name)
+            member_lists.append(members)
+
+        stats_list = batch_group_stats(
+            context,
+            member_lists,
+            graph_median_degree=median,
+            include_internal_adjacency=_needs(
+                functions, TriangleParticipationRatio
+            ),
+        )
+        rows: list[dict[str, float]] = []
+        for stats in stats_list:
+            sizes.append(stats.n_C)
+            rows.append(
+                {
+                    function.name: float(function(stats))
+                    for function in functions
+                }
+            )
+
+        if obs.enabled():
+            instruments.SCORE_GROUPS_CALLS.inc()
+            instruments.SCORES_COMPUTED.inc(len(rows) * len(functions))
+            dataset_name = context.graph.name or "graph"
+            obs.record_manifest(
+                capture_manifest(
+                    "score_groups",
+                    contexts={dataset_name: context},
+                    functions=[function.name for function in functions],
+                )
+            )
 
     columns = {
         function.name: np.array(

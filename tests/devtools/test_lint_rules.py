@@ -364,3 +364,92 @@ def test_rep000_for_unknown_noqa_id_is_not_itself_suppressible():
         "x = 1  # repro: noqa[REP999]  # repro: noqa\n"
     )
     assert "REP000" in rule_ids(source)
+
+
+# -- REP301: docstring coverage of repro.obs / repro.engine ------------------
+
+
+OBS_PATH = "src/repro/obs/module.py"
+ENGINE_PATH = "src/repro/engine/module.py"
+
+
+def test_rep301_fires_on_missing_docstring_in_obs():
+    source = '"""Doc."""\n__all__ = []\n\ndef freeze(graph):\n    return graph\n'
+    assert "REP301" in rule_ids(source, OBS_PATH)
+
+
+def test_rep301_fires_on_descriptive_opener_in_engine():
+    source = (
+        '"""Doc."""\n'
+        "__all__ = []\n"
+        "\n"
+        "def freeze(graph):\n"
+        '    """This function freezes the graph."""\n'
+        "    return graph\n"
+    )
+    findings = lint(source, ENGINE_PATH)
+    assert [v.rule_id for v in findings] == ["REP301"]
+    assert "imperative" in findings[0].message
+
+
+def test_rep301_accepts_imperative_summary():
+    source = (
+        '"""Doc."""\n'
+        "__all__ = []\n"
+        "\n"
+        "def freeze(graph):\n"
+        '    """Freeze the graph into CSR form."""\n'
+        "    return graph\n"
+    )
+    assert rule_ids(source, OBS_PATH) == []
+
+
+def test_rep301_checks_classes_and_their_public_methods():
+    source = (
+        '"""Doc."""\n'
+        "__all__ = []\n"
+        "\n"
+        "class Tracer:\n"
+        "    def span(self, name):\n"
+        "        return name\n"
+    )
+    ids = rule_ids(source, OBS_PATH)
+    assert ids.count("REP301") == 2  # the class and the method
+
+
+def test_rep301_exempts_private_names_and_private_modules():
+    private_names = (
+        '"""Doc."""\n'
+        "__all__ = []\n"
+        "\n"
+        "def _helper():\n"
+        "    return 1\n"
+        "\n"
+        "class _Internal:\n"
+        "    def method(self):\n"
+        "        return 2\n"
+    )
+    assert rule_ids(private_names, OBS_PATH) == []
+    undocumented = '"""Doc."""\n__all__ = []\n\ndef f():\n    return 1\n'
+    assert rule_ids(undocumented, "src/repro/obs/_runtime.py") == []
+
+
+def test_rep301_still_checks_dunder_init_module():
+    source = '"""Doc."""\n__all__ = []\n\ndef span(name):\n    return name\n'
+    assert "REP301" in rule_ids(source, "src/repro/obs/__init__.py")
+
+
+def test_rep301_ignores_paths_outside_obs_and_engine():
+    source = '"""Doc."""\n__all__ = []\n\ndef f():\n    return 1\n'
+    assert rule_ids(source) == []
+
+
+def test_rep301_is_suppressible_with_noqa():
+    source = (
+        '"""Doc."""\n'
+        "__all__ = []\n"
+        "\n"
+        "def freeze(graph):  # repro: noqa[REP301]\n"
+        "    return graph\n"
+    )
+    assert rule_ids(source, OBS_PATH) == []

@@ -1,0 +1,18 @@
+"""Isolation for observability tests: the process-wide switch and the
+metrics registry are shared state, so every test starts and ends with
+observability off and all instruments zeroed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def obs_isolation():
+    obs.disable()
+    obs.REGISTRY.reset()
+    yield
+    obs.disable()
+    obs.REGISTRY.reset()

@@ -1,0 +1,46 @@
+"""Doc-sync gates: the docs must list exactly what the code registers.
+
+Two contracts:
+
+* every metric in the live registry has a row in the
+  ``docs/OBSERVABILITY.md`` catalogue table (and no stale rows linger);
+* every lint rule in ``ALL_RULES`` (plus the REP000 meta diagnostic) has
+  a row in the README rule table, and vice versa.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro import obs
+from repro.devtools.lint import ALL_RULES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_observability_doc_lists_every_registered_metric():
+    from repro.obs import instruments  # noqa: F401  (import registers)
+
+    doc = (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text(encoding="utf-8")
+    catalogue = doc.split("## Metric catalogue", 1)[1].split("\n## ", 1)[0]
+    documented = set(
+        re.findall(r"^\| `([a-z_.]+)` \|", catalogue, flags=re.MULTILINE)
+    )
+    registered = set(obs.REGISTRY.names())
+
+    missing = registered - documented
+    stale = documented - registered
+    assert not missing, f"metrics missing from docs/OBSERVABILITY.md: {sorted(missing)}"
+    assert not stale, f"stale metric rows in docs/OBSERVABILITY.md: {sorted(stale)}"
+
+
+def test_readme_rule_table_lists_every_lint_rule():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    documented = set(re.findall(r"^\| (REP\d{3}) \|", readme, flags=re.MULTILINE))
+    registered = {rule.id for rule in ALL_RULES} | {"REP000"}
+
+    missing = registered - documented
+    stale = documented - registered
+    assert not missing, f"rules missing from the README table: {sorted(missing)}"
+    assert not stale, f"stale rule rows in the README table: {sorted(stale)}"

@@ -1,0 +1,126 @@
+"""Run-manifest tests: fingerprints, round-trips, and determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.engine.context import AnalysisContext
+from repro.graph.ugraph import Graph
+from repro.obs.manifest import (
+    DatasetManifest,
+    RunManifest,
+    capture_manifest,
+    fingerprint_context,
+    read_manifests,
+    write_manifests,
+)
+
+
+@pytest.fixture
+def context():
+    graph = Graph([(1, 2), (2, 3), (3, 1), (3, 4)], name="tiny")
+    return AnalysisContext(graph)
+
+
+class TestFingerprint:
+    def test_refreezing_the_same_graph_reproduces_it(self):
+        edges = [(1, 2), (2, 3), (3, 1), (3, 4)]
+        first = AnalysisContext(Graph(edges, name="tiny"))
+        second = AnalysisContext(Graph(edges, name="tiny"))
+        assert fingerprint_context(first) == fingerprint_context(second)
+
+    def test_structural_change_changes_it(self, context):
+        other = AnalysisContext(
+            Graph([(1, 2), (2, 3), (3, 1), (3, 4), (4, 1)], name="tiny")
+        )
+        assert fingerprint_context(context) != fingerprint_context(other)
+
+    def test_dataset_manifest_from_context(self, context):
+        entry = DatasetManifest.from_context(context, name="override")
+        assert entry.name == "override"
+        assert entry.vertices == context.num_vertices
+        assert entry.edges == context.num_edges
+        assert not entry.directed
+        assert len(entry.fingerprint) == 16
+
+
+class TestRoundTrip:
+    def test_write_read_equality(self, tmp_path, context):
+        manifest = capture_manifest(
+            "unit-test",
+            contexts={"tiny": context},
+            seeds={"sampler": 0},
+            functions=["conductance", "modularity"],
+            extra={"sampler": "random_walk"},
+        )
+        path = manifest.write(tmp_path / "run.manifest.json")
+        assert RunManifest.read(path) == manifest
+
+    def test_sidecar_list_round_trip(self, tmp_path, context):
+        manifests = [
+            capture_manifest("first", contexts={"tiny": context}),
+            capture_manifest("second", seeds={"export": 3}),
+        ]
+        path = write_manifests(manifests, tmp_path / "trace.manifest.json")
+        assert read_manifests(path) == manifests
+
+    def test_manifest_json_carries_no_timestamps_or_hostnames(
+        self, tmp_path, context
+    ):
+        path = capture_manifest("clean", contexts={"tiny": context}).write(
+            tmp_path / "m.json"
+        )
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert set(data) == {
+            "command",
+            "datasets",
+            "seeds",
+            "kernels",
+            "functions",
+            "package_version",
+            "python_version",
+            "numpy_version",
+            "extra",
+        }
+
+    def test_identical_captures_serialize_identically(self, tmp_path):
+        edges = [(1, 2), (2, 3), (3, 1)]
+
+        def capture():
+            context = AnalysisContext(Graph(edges, name="twin"))
+            return capture_manifest(
+                "twin-run", contexts={"twin": context}, seeds={"sampler": 7}
+            )
+
+        first = capture().write(tmp_path / "a.json")
+        second = capture().write(tmp_path / "b.json")
+        assert first.read_bytes() == second.read_bytes()
+
+
+class TestCaptureDefaults:
+    def test_kernels_default_to_engine_selection_snapshot(self, context):
+        from repro.obs import instruments
+
+        obs.enable(name="kernels")
+        instruments.KERNEL_SELECTED.inc(label="pairs")
+        manifest = capture_manifest("with-kernels")
+        assert manifest.kernels == {"score_batch": {"pairs": 1}}
+
+    def test_versions_are_populated(self):
+        import platform
+
+        manifest = capture_manifest("versions")
+        assert manifest.package_version
+        assert manifest.python_version == platform.python_version()
+        assert manifest.numpy_version
+
+    def test_record_manifest_attaches_to_tracer_and_counts(self, context):
+        from repro.obs import instruments
+
+        tracer = obs.enable(name="attach")
+        obs.record_manifest(capture_manifest("attached"))
+        assert [m.command for m in tracer.manifests] == ["attached"]
+        assert instruments.MANIFESTS_RECORDED.total() == 1

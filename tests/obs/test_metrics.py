@@ -1,0 +1,127 @@
+"""Metrics tests: deterministic bucketing, labels, registry behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestHistogram:
+    def test_fixed_bucket_assignment_is_deterministic(self, registry):
+        obs.enable(name="hist")
+        hist = registry.histogram("t.sizes", "test sizes", "members", [1, 2, 4])
+        for value in (0.5, 1, 1.5, 2, 3, 4, 5):
+            hist.observe(value)
+
+        snap = hist.snapshot()
+        # bucket i holds values <= edges[i]; the last bucket is overflow
+        assert snap["edges"] == [1, 2, 4]
+        assert snap["counts"] == [2, 2, 2, 1]
+        assert snap["count"] == 7
+        assert snap["sum"] == pytest.approx(17.0)
+
+    def test_observe_many_matches_repeated_observe(self, registry):
+        obs.enable(name="hist")
+        one = registry.histogram("t.one", "one", "u", [10, 20])
+        many = registry.histogram("t.many", "many", "u", [10, 20])
+        values = [3, 10, 11, 20, 21, 200]
+        for value in values:
+            one.observe(value)
+        many.observe_many(values)
+        assert one.snapshot() == {**many.snapshot(), "description": "one"}
+
+    def test_edges_must_be_ascending_and_nonempty(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("t.bad", "bad", "u", [])
+        with pytest.raises(ValueError):
+            registry.histogram("t.bad2", "bad", "u", [4, 2, 1])
+
+    def test_reset_zeroes_buckets(self, registry):
+        obs.enable(name="hist")
+        hist = registry.histogram("t.r", "r", "u", [1])
+        hist.observe(5)
+        hist.reset()
+        snap = hist.snapshot()
+        assert snap["counts"] == [0, 0]
+        assert snap["count"] == 0
+
+
+class TestCounterAndGauge:
+    def test_counter_labels_are_independent_substreams(self, registry):
+        obs.enable(name="ctr")
+        counter = registry.counter("t.kernel", "kernel picks", "batches")
+        counter.inc(label="pairs")
+        counter.inc(2, label="pairs")
+        counter.inc(label="gather")
+        counter.inc(10)
+
+        assert counter.value("pairs") == 3
+        assert counter.value("gather") == 1
+        assert counter.value() == 10
+        assert counter.total() == 14
+        # snapshot orders labels lexicographically
+        assert list(counter.snapshot()["values"]) == ["", "gather", "pairs"]
+
+    def test_gauge_keeps_last_written_value(self, registry):
+        obs.enable(name="gauge")
+        gauge = registry.gauge("t.ratio", "a ratio")
+        gauge.set(0.25)
+        gauge.set(0.75)
+        assert gauge.value() == 0.75
+        assert registry.get("t.ratio") is gauge
+
+    def test_disabled_recording_is_a_noop(self, registry):
+        counter = registry.counter("t.off", "off", "count")
+        hist = registry.histogram("t.off_h", "off", "u", [1])
+        gauge = registry.gauge("t.off_g", "off")
+        counter.inc(5)
+        hist.observe(3)
+        gauge.set(1.0)
+        assert counter.total() == 0
+        assert hist.snapshot()["count"] == 0
+        assert gauge.value() is None
+
+
+class TestRegistry:
+    def test_duplicate_names_raise(self, registry):
+        registry.counter("t.dup", "first", "count")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("t.dup", "second")
+
+    def test_snapshot_and_names_are_sorted(self, registry):
+        registry.counter("t.zeta", "z", "count")
+        registry.counter("t.alpha", "a", "count")
+        assert registry.names() == ["t.alpha", "t.zeta"]
+        assert list(registry.snapshot()) == ["t.alpha", "t.zeta"]
+
+    def test_two_identical_runs_snapshot_identically(self, registry):
+        import json
+
+        obs.enable(name="det")
+        counter = registry.counter("t.same", "same", "count")
+        hist = registry.histogram("t.same_h", "same", "u", [1, 2, 4, 8])
+
+        def run():
+            counter.reset()
+            hist.reset()
+            for i in range(50):
+                counter.inc(label="ab"[i % 2])
+                hist.observe(i % 9)
+            return json.dumps(registry.snapshot(), sort_keys=True)
+
+        assert run() == run()
+
+    def test_library_instruments_register_into_global_registry(self):
+        from repro.obs import instruments  # noqa: F401  (import registers)
+
+        names = obs.REGISTRY.names()
+        assert "engine.kernel_selected" in names
+        assert "scoring.score_groups_calls" in names
+        assert names == sorted(names)

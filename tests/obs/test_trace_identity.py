@@ -1,0 +1,61 @@
+"""Subprocess identity gate: tracing must never change a result.
+
+Runs the same scoring workload in two fresh interpreters — one with
+``REPRO_TRACE=1``, one with tracing off — and asserts the printed score
+bytes are identical.  A fresh process per run makes the check honest: the
+environment flag is read at import time, exactly as a user would hit it.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+WORKLOAD = """
+import sys
+
+from repro.data.groups import VertexGroup
+from repro.graph.ugraph import Graph
+from repro.scoring.registry import score_groups
+
+graph = Graph(name="identity")
+for i in range(40):
+    graph.add_edge(i, (i + 1) % 40)
+    graph.add_edge(i, (i + 7) % 40)
+groups = [
+    VertexGroup(name=f"g{start}", members=frozenset(range(start, start + 6)))
+    for start in range(0, 30, 3)
+]
+table = score_groups(graph, groups)
+print(table.group_names)
+for name in sorted(table.columns):
+    print(name, table.columns[name].tobytes().hex())
+"""
+
+
+def run_workload(trace: bool) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_TRACE", None)
+    if trace:
+        env["REPRO_TRACE"] = "1"
+    return subprocess.run(
+        [sys.executable, "-c", WORKLOAD],
+        capture_output=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=120,
+    )
+
+
+def test_stdout_is_byte_identical_with_tracing_on_and_off():
+    off = run_workload(trace=False)
+    on = run_workload(trace=True)
+    assert off.returncode == 0, off.stderr.decode()
+    assert on.returncode == 0, on.stderr.decode()
+    assert off.stdout == on.stdout
+    assert b"identity" not in off.stderr  # nothing written implicitly

@@ -1,0 +1,171 @@
+"""Tracer tests: span nesting, exception unwinding, counters, export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.tracer import Tracer
+
+
+class TestNesting:
+    def test_spans_nest_under_the_open_span(self):
+        tracer = obs.enable(name="nest")
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+            with obs.span("sibling"):
+                pass
+        obs.disable()
+
+        assert [root.name for root in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [child.name for child in outer.children] == ["inner", "sibling"]
+        assert outer.children[0].children == []
+
+    def test_sequential_roots_stay_separate(self):
+        tracer = obs.enable(name="roots")
+        with obs.span("first"):
+            pass
+        with obs.span("second"):
+            pass
+        obs.disable()
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+    def test_records_carry_slash_paths_and_depth(self):
+        tracer = obs.enable(name="paths")
+        with obs.span("a"):
+            with obs.span("b"):
+                with obs.span("c"):
+                    pass
+        obs.disable()
+
+        spans = [r for r in tracer.records() if r["type"] == "span"]
+        assert [(s["path"], s["depth"]) for s in spans] == [
+            ("a", 0),
+            ("a/b", 1),
+            ("a/b/c", 2),
+        ]
+        assert all(s["status"] == "ok" for s in spans)
+        assert all(s["wall_seconds"] >= 0 for s in spans)
+
+    def test_counters_accumulate_on_innermost_span(self):
+        tracer = obs.enable(name="counters")
+        with obs.span("outer"):
+            obs.add("outer_hits")
+            with obs.span("inner"):
+                obs.add("groups", 3)
+                obs.add("groups", 2)
+        obs.disable()
+
+        outer = tracer.roots[0]
+        assert outer.counters == {"outer_hits": 1}
+        assert outer.children[0].counters == {"groups": 5}
+
+
+class TestExceptionUnwinding:
+    def test_exception_marks_status_and_propagates(self):
+        tracer = obs.enable(name="boom")
+        with pytest.raises(ValueError, match="boom"):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    raise ValueError("boom")
+        obs.disable()
+
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert inner.status == "error:ValueError"
+        assert outer.status == "error:ValueError"
+        assert inner.wall_seconds is not None
+        assert outer.wall_seconds is not None
+
+    def test_stack_unwinds_cleanly_after_exception(self):
+        tracer = obs.enable(name="recover")
+        with pytest.raises(RuntimeError):
+            with obs.span("failed"):
+                raise RuntimeError
+        with obs.span("after"):
+            pass
+        obs.disable()
+
+        # The post-exception span is a new root, not a stale child.
+        assert [root.name for root in tracer.roots] == ["failed", "after"]
+        assert tracer.current() is None
+
+    def test_error_status_shows_in_text_rendering(self):
+        tracer = obs.enable(name="text")
+        with pytest.raises(KeyError):
+            with obs.span("lookup"):
+                raise KeyError("missing")
+        obs.disable()
+        assert "error:KeyError" in tracer.render_text()
+
+
+class TestExport:
+    def test_jsonl_order_header_spans_metrics(self, tmp_path):
+        tracer = obs.enable(name="export")
+        with obs.span("stage"):
+            obs.add("items", 4)
+        obs.disable()
+
+        path = tracer.write_jsonl(tmp_path / "trace.jsonl")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        records = [json.loads(line) for line in lines]
+
+        assert records[0] == {"type": "trace", "name": "export", "version": 1}
+        assert records[1]["type"] == "span"
+        assert records[1]["counters"] == {"items": 4}
+        assert records[-1]["type"] == "metrics"
+        # sort_keys makes each line reproducible
+        assert lines[0] == json.dumps(records[0], sort_keys=True)
+
+    def test_render_text_lists_manifest_count(self):
+        tracer = obs.enable(name="manifests")
+        with obs.span("work"):
+            obs.record_manifest(obs.capture_manifest("unit-test"))
+        obs.disable()
+        text = tracer.render_text()
+        assert text.startswith("trace: manifests\n")
+        assert "manifests: 1" in text
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_shared_noop(self):
+        first = obs.span("anything")
+        second = obs.span("else")
+        assert first is second  # one shared object — no allocation when off
+
+    def test_disabled_add_and_manifest_do_nothing(self):
+        obs.add("ignored", 7)
+        obs.record_manifest(obs.capture_manifest("ignored"))
+        assert obs.current_tracer() is None
+
+    def test_enable_disable_roundtrip_returns_tracer(self):
+        tracer = obs.enable(name="cycle")
+        assert obs.enabled()
+        assert obs.current_tracer() is tracer
+        assert obs.disable() is tracer
+        assert not obs.enabled()
+
+    def test_memory_tracing_records_peaks(self):
+        tracer = obs.enable(name="mem", memory=True)
+        with obs.span("alloc"):
+            _payload = [bytes(1024) for _ in range(64)]
+            with obs.span("child"):
+                _more = bytes(32_768)
+        obs.disable()
+
+        parent = tracer.roots[0]
+        child = parent.children[0]
+        assert parent.memory_peak_bytes is not None
+        assert child.memory_peak_bytes is not None
+        # A parent's peak always covers its children's.
+        assert parent.memory_peak_bytes >= child.memory_peak_bytes
+
+    def test_plain_tracer_usable_without_global_switch(self):
+        tracer = Tracer("standalone")
+        with tracer.span("s"):
+            tracer.add("k", 2)
+        assert tracer.roots[0].counters == {"k": 2}

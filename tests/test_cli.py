@@ -157,3 +157,89 @@ class TestCommands:
         assert cli.main(["check", "--list"]) == 0
         out = capsys.readouterr().out
         assert "sampling.random_walk" in out
+
+
+class TestTrace:
+    @pytest.fixture(autouse=True)
+    def obs_off(self):
+        from repro import obs
+
+        obs.disable()
+        obs.REGISTRY.reset()
+        yield
+        obs.disable()
+        obs.REGISTRY.reset()
+
+    def test_trace_wraps_subcommand_and_writes_artifacts(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.jsonl"
+        code = cli.main(
+            ["trace", "--trace-out", str(out_path), "score", "google_plus"]
+        )
+        assert code == 0
+
+        captured = capsys.readouterr()
+        assert "Separation summary" in captured.out  # traced stdout intact
+        assert "trace written to" in captured.err
+
+        records = [
+            json.loads(line)
+            for line in out_path.read_text(encoding="utf-8").splitlines()
+        ]
+        assert records[0]["type"] == "trace"
+        assert records[-1]["type"] == "metrics"
+        span_names = {r["name"] for r in records if r["type"] == "span"}
+        assert "experiment.circles_vs_random" in span_names
+        manifest_commands = [
+            r["command"] for r in records if r["type"] == "manifest"
+        ]
+        assert "circles_vs_random" in manifest_commands
+
+        sidecar = out_path.with_suffix(".manifest.json")
+        assert sidecar.exists()
+        assert json.loads(sidecar.read_text(encoding="utf-8"))
+
+    def test_trace_text_format_prints_tree_to_stderr(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.jsonl"
+        code = cli.main(
+            [
+                "trace",
+                "--trace-out",
+                str(out_path),
+                "--format",
+                "text",
+                "score",
+                "--dataset",
+                "gplus-synth",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "trace: score --dataset gplus-synth" in err
+        assert "experiment.circles_vs_random" in err
+
+    def test_trace_disables_observability_afterwards(self, tmp_path):
+        from repro import obs
+
+        cli.main(["trace", "--trace-out", str(tmp_path / "t.jsonl"), "overlap"])
+        assert not obs.enabled()
+
+    def test_trace_requires_a_command(self):
+        with pytest.raises(SystemExit, match="missing command"):
+            cli.main(["trace"])
+
+    def test_trace_rejects_nesting(self):
+        with pytest.raises(SystemExit, match="cannot nest"):
+            cli.main(["trace", "trace", "score"])
+
+    def test_trace_out_flag_on_plain_subcommand(self, capsys, tmp_path):
+        out_path = tmp_path / "direct.jsonl"
+        assert cli.main(["score", "google_plus", "--trace-out", str(out_path)]) == 0
+        assert out_path.exists()
+        assert out_path.with_suffix(".manifest.json").exists()
+        assert "trace written to" in capsys.readouterr().err
+
+    def test_dataset_aliases_resolve(self, capsys):
+        assert cli.main(["score", "--dataset", "gplus-synth"]) == 0
+        assert "Separation summary" in capsys.readouterr().out
