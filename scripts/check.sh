@@ -20,6 +20,10 @@ python -m repro.devtools.determinism --fast
 echo "== engine scoring smoke (bit-identity vs legacy) =="
 python benchmarks/bench_engine_scoring.py --smoke
 
+echo "== parallel scoring smoke (Fig. 5 serial vs --jobs 2, CSV byte diff) =="
+python benchmarks/bench_parallel_scoring.py --smoke --jobs 2 \
+    --csv-dir bench-parallel-csv --output bench-parallel.json
+
 echo "== observability overhead smoke (trace artifact: trace-sample.jsonl) =="
 python benchmarks/bench_obs_overhead.py --smoke --trace-out trace-sample.jsonl
 

@@ -88,6 +88,8 @@ def compare_datasets(
     min_group_size: int = 2,
     top_k: int | None = None,
     contexts: dict[str, AnalysisContext] | None = None,
+    jobs: int | None = None,
+    cache: "object | None" = None,
 ) -> CrossDatasetResult:
     """Score every data set's groups under common functions (Fig. 6).
 
@@ -95,7 +97,10 @@ def compare_datasets(
     does with the top-5000 LiveJournal/Orkut communities.  Each data set's
     graph is frozen into an :class:`~repro.engine.AnalysisContext` exactly
     once; pass ``contexts`` (keyed by data-set name) to reuse freezes made
-    elsewhere in the run.
+    elsewhere in the run.  ``jobs``/``cache`` forward to
+    :func:`~repro.scoring.registry.score_groups` per data set (each data
+    set gets its own worker pool — the shared-memory export is
+    per-context).
     """
     functions = functions or make_paper_functions()
     contexts = contexts or {}
@@ -111,7 +116,7 @@ def compare_datasets(
                 context = AnalysisContext(dataset.graph)
             frozen[dataset.name] = context
             result.tables[dataset.name] = score_groups(
-                context, groups, functions
+                context, groups, functions, jobs=jobs, cache=cache
             )
             result.structures[dataset.name] = dataset.structure
         if obs.enabled():

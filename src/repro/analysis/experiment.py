@@ -15,7 +15,13 @@ from repro import obs
 from repro.analysis.cdf import EmpiricalCDF
 from repro.data.datasets import Dataset
 from repro.data.groups import GroupSet, VertexGroup
-from repro.engine import AnalysisContext, sample_matched_sets
+from repro.engine import (
+    AnalysisContext,
+    ParallelExecutor,
+    ResultCache,
+    resolve_jobs,
+    sample_matched_sets,
+)
 from repro.obs import capture_manifest, instruments
 from repro.graph.digraph import DiGraph
 from repro.graph.ugraph import Graph
@@ -77,6 +83,8 @@ def circles_vs_random(
     seed: int | None = 0,
     min_group_size: int = 2,
     context: AnalysisContext | None = None,
+    jobs: int | None = None,
+    cache: "ResultCache | str | bool | None" = None,
 ) -> CirclesVsRandomResult:
     """Run the Fig. 5 experiment: score circles against matched random sets.
 
@@ -91,6 +99,11 @@ def circles_vs_random(
     exactly once; scoring of both populations and the matched sampling all
     share that one substrate.  Pass ``context`` to reuse an existing
     freeze of the same graph.
+
+    ``jobs > 1`` runs circle scoring, matched sampling and random-set
+    scoring on one shared worker pool over the frozen context (results
+    stay byte-identical to serial); ``cache`` serves repeated runs from
+    disk (see :class:`~repro.engine.ResultCache`).
     """
     if isinstance(source, Dataset):
         graph, groups = source.graph, source.groups
@@ -109,19 +122,41 @@ def circles_vs_random(
                 usable.append(group)
         usable_set = GroupSet(groups=usable, name=dataset_name)
 
-        circle_scores = score_groups(context, usable_set, functions)
-        sizes = circle_scores.group_sizes
-        random_sets = sample_matched_sets(context, sizes, sampler, seed=seed)
-        random_groups = GroupSet(
-            groups=[
-                VertexGroup(name=f"random-{i}", members=frozenset(members))
-                for i, members in enumerate(random_sets)
-            ],
-            name=f"{dataset_name}-random",
+        # One executor spans all three phases, so pool startup and the
+        # shared-memory CSR export are paid once per run, not per batch.
+        effective_jobs = resolve_jobs(jobs)
+        executor = (
+            ParallelExecutor(context, effective_jobs)
+            if effective_jobs > 1
+            else None
         )
-        random_scores = score_groups(
-            context, random_groups, functions, restrict_to_graph=False
-        )
+        try:
+            circle_scores = score_groups(
+                context, usable_set, functions, cache=cache, executor=executor
+            )
+            sizes = circle_scores.group_sizes
+            random_sets = sample_matched_sets(
+                context, sizes, sampler, seed=seed, cache=cache,
+                executor=executor,
+            )
+            random_groups = GroupSet(
+                groups=[
+                    VertexGroup(name=f"random-{i}", members=frozenset(members))
+                    for i, members in enumerate(random_sets)
+                ],
+                name=f"{dataset_name}-random",
+            )
+            random_scores = score_groups(
+                context,
+                random_groups,
+                functions,
+                restrict_to_graph=False,
+                cache=cache,
+                executor=executor,
+            )
+        finally:
+            if executor is not None:
+                executor.close()
         if obs.enabled():
             instruments.EXPERIMENT_RUNS.inc(label="circles_vs_random")
             obs.record_manifest(

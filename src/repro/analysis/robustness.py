@@ -119,6 +119,8 @@ def directed_vs_undirected(
     functions: list[ScoringFunction] | None = None,
     min_group_size: int = 2,
     context: AnalysisContext | None = None,
+    jobs: int | None = None,
+    cache: "object | None" = None,
 ) -> RobustnessResult:
     """Score ``dataset``'s groups on both edge representations.
 
@@ -127,7 +129,9 @@ def directed_vs_undirected(
     single edge, exactly as described in section IV-B.  Each
     representation is frozen into one
     :class:`~repro.engine.AnalysisContext`; ``context`` may supply an
-    existing freeze of the *directed* graph.
+    existing freeze of the *directed* graph.  ``jobs``/``cache`` forward
+    to :func:`~repro.scoring.registry.score_groups` per representation
+    (two contexts, two shared-memory exports).
     """
     if not dataset.directed:
         raise ValueError("the robustness check requires a directed data set")
@@ -137,10 +141,12 @@ def directed_vs_undirected(
         directed_context = AnalysisContext.ensure(
             context if context is not None else dataset.graph
         )
-        directed_scores = score_groups(directed_context, groups, functions)
+        directed_scores = score_groups(
+            directed_context, groups, functions, jobs=jobs, cache=cache
+        )
         undirected_context = AnalysisContext(to_undirected(dataset.graph))
         undirected_scores = score_groups(
-            undirected_context, groups, functions
+            undirected_context, groups, functions, jobs=jobs, cache=cache
         )
         if obs.enabled():
             instruments.EXPERIMENT_RUNS.inc(label="directed_vs_undirected")

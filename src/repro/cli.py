@@ -143,11 +143,27 @@ def _cmd_degree_fit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_arg(args: argparse.Namespace) -> "str | bool | None":
+    """Resolve the --cache-dir/--no-cache pair to a driver cache argument.
+
+    ``False`` disables caching outright; ``None`` defers to the
+    ``REPRO_CACHE_DIR`` environment flag.
+    """
+    if getattr(args, "no_cache", False):
+        return False
+    return getattr(args, "cache_dir", None)
+
+
 def _cmd_score(args: argparse.Namespace) -> int:
     dataset = _build(_dataset_name(args), args.seed)
     context = AnalysisContext(dataset.graph)
     result = circles_vs_random(
-        dataset, sampler=args.sampler, seed=args.seed or 0, context=context
+        dataset,
+        sampler=args.sampler,
+        seed=args.seed or 0,
+        context=context,
+        jobs=args.jobs,
+        cache=_cache_arg(args),
     )
     for name in result.function_names():
         circles, randoms = result.cdf_pair(name)
@@ -174,7 +190,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     contexts = {
         dataset.name: AnalysisContext(dataset.graph) for dataset in datasets
     }
-    result = compare_datasets(datasets, contexts=contexts)
+    result = compare_datasets(
+        datasets, contexts=contexts, jobs=args.jobs, cache=_cache_arg(args)
+    )
     for name in result.function_names():
         print(render_cdf_panel(result.cdfs(name), title=f"Fig. 6 — {name}"))
         print()
@@ -189,7 +207,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_robustness(args: argparse.Namespace) -> int:
     dataset = _build(_dataset_name(args), args.seed)
     result = directed_vs_undirected(
-        dataset, context=AnalysisContext(dataset.graph)
+        dataset,
+        context=AnalysisContext(dataset.graph),
+        jobs=args.jobs,
+        cache=_cache_arg(args),
     )
     print(
         render_kv(
@@ -398,6 +419,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="record a JSONL trace (+ .manifest.json sidecar) of this run",
     )
+    # Shared by the scoring-heavy subcommands: worker count and result
+    # cache (defaults defer to REPRO_JOBS / REPRO_CACHE_DIR).
+    perf_parent = argparse.ArgumentParser(add_help=False)
+    perf_parent.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for scoring/sampling "
+        "(default: $REPRO_JOBS or 1; output is byte-identical to serial)",
+    )
+    perf_parent.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="on-disk result cache directory (default: $REPRO_CACHE_DIR; "
+        "unset disables caching)",
+    )
+    perf_parent.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache even if REPRO_CACHE_DIR is set",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     characterize_parser = commands.add_parser(
@@ -423,7 +467,9 @@ def build_parser() -> argparse.ArgumentParser:
     fit_parser.set_defaults(handler=_cmd_degree_fit)
 
     score_parser = commands.add_parser(
-        "score", help="Fig. 5 circles vs random sets", parents=[trace_parent]
+        "score",
+        help="Fig. 5 circles vs random sets",
+        parents=[trace_parent, perf_parent],
     )
     _add_dataset_argument(score_parser)
     score_parser.add_argument(
@@ -436,14 +482,14 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser = commands.add_parser(
         "compare",
         help="Fig. 6 circles vs communities across datasets",
-        parents=[trace_parent],
+        parents=[trace_parent, perf_parent],
     )
     compare_parser.set_defaults(handler=_cmd_compare)
 
     robustness_parser = commands.add_parser(
         "robustness",
         help="section IV-B directed vs undirected check",
-        parents=[trace_parent],
+        parents=[trace_parent, perf_parent],
     )
     _add_dataset_argument(robustness_parser)
     robustness_parser.set_defaults(handler=_cmd_robustness)

@@ -74,6 +74,22 @@ _FREEZE_CONSTRUCTOR_NAMES = frozenset(
     {"AnalysisContext", "CSRGraph", "freeze_directed"}
 )
 
+#: Methods that hand their arguments to another process (stdlib
+#: ``concurrent.futures`` / ``multiprocessing`` dispatch surface).
+_EXECUTOR_DISPATCH = frozenset(
+    {
+        "submit",
+        "map",
+        "map_async",
+        "starmap",
+        "starmap_async",
+        "apply",
+        "apply_async",
+        "imap",
+        "imap_unordered",
+    }
+)
+
 
 def _call_name(node: ast.Call) -> str | None:
     if isinstance(node.func, ast.Name):
@@ -136,6 +152,20 @@ def _looks_like_rng(
     if leaf in fa.info.module_rng_names:
         return True
     return leaf == "random_state" or leaf == "rng" or leaf.endswith("_rng")
+
+
+def _looks_like_executor(expr: ast.expr) -> bool:
+    """Receiver heuristic for executor dispatch: a conventional pool or
+    executor name (``pool``, ``executor``, ``*_pool``, ``*_executor``)."""
+    path = dotted_path(expr)
+    if path is None:
+        return False
+    leaf = path.split(".")[-1]
+    return (
+        leaf in {"pool", "executor"}
+        or leaf.endswith("_pool")
+        or leaf.endswith("_executor")
+    )
 
 
 def _freeze_site_arg(
@@ -401,6 +431,87 @@ class DeadSeedParameter(Rule):
                 continue  # docstring or bare ellipsis
             return False
         return True
+
+
+class RngAcrossProcessBoundary(Rule):
+    """An RNG object is shipped across a process/executor boundary.
+
+    ``pool.submit(fn, rng)`` pickles the RNG into the worker: the parent's
+    copy and the worker's copy then advance independently, so the combined
+    random sequence depends on scheduling and is unreplayable from the
+    seed.  Under ``fork`` the hazard inverts — every worker inherits the
+    *same* state and draws identical "random" values.  Ship integer child
+    seeds instead (:func:`repro.sampling.seeds.spawn_child_seeds`, built on
+    ``numpy.random.SeedSequence.spawn``) and rebuild the RNG inside the
+    worker.
+    """
+
+    id = "REP105"
+    summary = "RNG object passed across a process/executor boundary"
+    example_bad = (
+        "rng = random.Random(seed)\n"
+        "futures = [pool.submit(sample_one, ctx, size, rng)\n"
+        "           for size in sizes]  # forked/pickled RNG state\n"
+    )
+    example_good = (
+        "seeds = spawn_child_seeds(seed, len(sizes))\n"
+        "futures = [pool.submit(sample_one, ctx, size, child)\n"
+        "           for size, child in zip(sizes, seeds)]\n"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
+        module = analyze_module(tree)
+        for fn in module.functions():
+            fa = module.analysis_for(fn)
+            for stmt in fa.cfg.statement_order():
+                for call in _calls_in(stmt):
+                    if not isinstance(call.func, ast.Attribute):
+                        continue
+                    if call.func.attr not in _EXECUTOR_DISPATCH:
+                        continue
+                    if not _looks_like_executor(call.func.value):
+                        continue
+                    for arg in [
+                        *call.args,
+                        *(kw.value for kw in call.keywords),
+                    ]:
+                        offender = self._rng_payload(arg, fa, stmt)
+                        if offender is None:
+                            continue
+                        label = dotted_path(offender) or "<rng>"
+                        yield self.violation(
+                            ctx,
+                            call,
+                            f"RNG `{label}` crosses a process boundary "
+                            f"via `{call.func.attr}`; RNG state does not "
+                            "replay across pickling/fork — send integer "
+                            "child seeds (sampling.seeds."
+                            "spawn_child_seeds) and rebuild the RNG in "
+                            "the worker",
+                        )
+                        break
+
+    @staticmethod
+    def _rng_payload(
+        arg: ast.expr, fa: FunctionAnalysis, stmt: ast.stmt
+    ) -> ast.expr | None:
+        """The RNG-valued expression shipped by ``arg``, else ``None``.
+
+        Checks the argument itself and, recursively, the elements of
+        literal tuples/lists (the ``args=(rng,)`` convention); structure
+        behind variables is opaque to intraprocedural tags and stays
+        exempt.
+        """
+        pending: list[ast.expr] = [arg]
+        while pending:
+            candidate = pending.pop()
+            if isinstance(candidate, ast.Starred):
+                pending.append(candidate.value)
+            elif isinstance(candidate, (ast.Tuple, ast.List)):
+                pending.extend(candidate.elts)
+            elif _looks_like_rng(candidate, fa, stmt):
+                return candidate
+        return None
 
 
 # --------------------------------------------------------------------------
@@ -735,6 +846,7 @@ FLOW_RULES: tuple[type[Rule], ...] = (
     ModuleRngInFunction,
     SharedPipelineRng,
     DeadSeedParameter,
+    RngAcrossProcessBoundary,
     MutationAfterFreeze,
     DoubleFreeze,
     GraphInValueObject,

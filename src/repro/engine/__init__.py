@@ -15,7 +15,9 @@ oracle; the engine is the production path.
 """
 
 from repro.engine.batch import batch_group_stats, group_stats
-from repro.engine.context import AnalysisContext
+from repro.engine.cache import ResultCache
+from repro.engine.context import AnalysisContext, CSRBuffers
+from repro.engine.parallel import ParallelExecutor, resolve_jobs
 from repro.engine.samplers import (
     ENGINE_SAMPLERS,
     bfs_ball_set,
@@ -26,6 +28,9 @@ from repro.engine.samplers import (
 
 __all__ = [
     "AnalysisContext",
+    "CSRBuffers",
+    "ParallelExecutor",
+    "ResultCache",
     "batch_group_stats",
     "group_stats",
     "random_walk_set",
@@ -33,4 +38,5 @@ __all__ = [
     "uniform_vertex_set",
     "ENGINE_SAMPLERS",
     "sample_matched_sets",
+    "resolve_jobs",
 ]

@@ -23,6 +23,7 @@ experiment drivers.
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -35,7 +36,32 @@ from repro.graph.ugraph import Graph
 
 Node = Hashable
 
-__all__ = ["AnalysisContext"]
+__all__ = ["AnalysisContext", "CSRBuffers"]
+
+
+@dataclass(frozen=True)
+class CSRBuffers:
+    """Raw contiguous CSR arrays of one frozen orientation.
+
+    The single code path through which anything reads a context's bytes
+    wholesale: the manifest fingerprint hashes them, the shared-memory
+    exporter copies them.  Arrays are C-contiguous and dtype-stable
+    (``int64``), so ``tobytes()`` and buffer copies agree across
+    processes.
+    """
+
+    orientation: str
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    def arrays(self) -> list[tuple[str, np.ndarray]]:
+        """Return the named arrays in canonical (hashing/export) order."""
+        return [("indptr", self.indptr), ("indices", self.indices)]
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload size of both arrays in bytes."""
+        return int(self.indptr.nbytes + self.indices.nbytes)
 
 
 class AnalysisContext:
@@ -64,6 +90,7 @@ class AnalysisContext:
         "_degree_array",
         "_median_degree",
         "_label_rank",
+        "_fingerprint",
     )
 
     def __init__(self, graph: "Graph | DiGraph | AnalysisContext") -> None:
@@ -92,6 +119,43 @@ class AnalysisContext:
         self._degree_array: np.ndarray | None = None
         self._median_degree: float | None = None
         self._label_rank: np.ndarray | None = None
+        self._fingerprint: str | None = None
+
+    @classmethod
+    def from_parts(
+        cls,
+        csr: CSRGraph,
+        csr_out: CSRGraph | None,
+        csr_in: CSRGraph | None,
+        *,
+        num_edges: int,
+        is_directed: bool,
+        degree_array: np.ndarray | None = None,
+        median_degree: float | None = None,
+        label_rank: np.ndarray | None = None,
+        graph: "Graph | DiGraph | None" = None,
+    ) -> "AnalysisContext":
+        """Assemble a context directly from already-frozen parts.
+
+        Trusted constructor for callers that rebuild a snapshot from
+        exported arrays (the shared-memory workers): no graph traversal,
+        no freeze span, no re-derivation of caches the parent already
+        computed.  ``graph`` may be ``None`` — such a context serves the
+        CSR kernels and samplers but not label-level protocols.
+        """
+        self = object.__new__(cls)
+        self.graph = graph  # type: ignore[assignment]
+        self.csr = csr
+        self.csr_out = csr_out
+        self.csr_in = csr_in
+        self.num_vertices = csr.num_vertices
+        self.num_edges = num_edges
+        self.is_directed = is_directed
+        self._degree_array = degree_array
+        self._median_degree = median_degree
+        self._label_rank = label_rank
+        self._fingerprint = None
+        return self
 
     @classmethod
     def ensure(
@@ -134,6 +198,37 @@ class AnalysisContext:
     def labels(self, vertex_ids: Sequence[int] | np.ndarray) -> list[Node]:
         """Map integer vertex ids back to node labels."""
         return self.csr.labels(vertex_ids)
+
+    # -- raw buffer access ---------------------------------------------------
+
+    def csr_buffers(self) -> dict[str, CSRBuffers]:
+        """Raw CSR arrays per frozen orientation, in canonical order.
+
+        Keys are ``"union"`` and, for directed graphs, ``"out"`` and
+        ``"in"``.  Both the manifest fingerprint and the shared-memory
+        export read through this accessor, so the bytes they see are the
+        same by construction.
+        """
+        buffers = {
+            "union": CSRBuffers(
+                orientation="union",
+                indptr=np.ascontiguousarray(self.csr.indptr),
+                indices=np.ascontiguousarray(self.csr.indices),
+            )
+        }
+        if self.csr_out is not None:
+            buffers["out"] = CSRBuffers(
+                orientation="out",
+                indptr=np.ascontiguousarray(self.csr_out.indptr),
+                indices=np.ascontiguousarray(self.csr_out.indices),
+            )
+        if self.csr_in is not None:
+            buffers["in"] = CSRBuffers(
+                orientation="in",
+                indptr=np.ascontiguousarray(self.csr_in.indptr),
+                indices=np.ascontiguousarray(self.csr_in.indices),
+            )
+        return buffers
 
     # -- cached graph-wide quantities ----------------------------------------
 

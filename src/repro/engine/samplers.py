@@ -12,6 +12,13 @@ by :attr:`~repro.engine.context.AnalysisContext.label_rank` (the
 :func:`~repro.graph.convert.stable_sorted` order of their labels) makes
 every draw pick the same vertex.  Same seed, same sample, whichever
 substrate runs it; ``tests/engine/test_samplers.py`` pins this.
+
+**Replicate independence.**  :func:`sample_matched_sets` derives one
+child seed per replicate (:func:`repro.sampling.seeds.spawn_child_seeds`)
+instead of threading a single RNG through the loop, so replicate ``i``'s
+stream does not depend on replicates ``0..i-1`` — which is what lets the
+parallel executor hand replicates to workers and still produce the exact
+serial output.
 """
 
 from __future__ import annotations
@@ -23,9 +30,12 @@ from collections.abc import Hashable, Sequence
 import numpy as np
 
 from repro import obs
+from repro.engine.cache import ResultCache
 from repro.engine.context import AnalysisContext
+from repro.engine.parallel import ParallelExecutor, resolve_jobs
 from repro.exceptions import SamplingError
 from repro.obs import instruments
+from repro.sampling.seeds import spawn_child_seeds
 
 Node = Hashable
 
@@ -34,6 +44,7 @@ __all__ = [
     "bfs_ball_set",
     "uniform_vertex_set",
     "ENGINE_SAMPLERS",
+    "SAMPLER_IDS",
     "sample_matched_sets",
 ]
 
@@ -51,28 +62,20 @@ def _check_size(context: AnalysisContext, size: int) -> int:
     return n
 
 
-def _labels(context: AnalysisContext, collected: np.ndarray) -> set[Node]:
+def _id_labels(context: AnalysisContext, ids: np.ndarray) -> set[Node]:
     nodes = context.csr.nodes
-    return {nodes[int(i)] for i in np.flatnonzero(collected)}
+    return {nodes[int(i)] for i in ids}
 
 
-def random_walk_set(
+def _random_walk_ids(
     context: AnalysisContext,
     size: int,
+    rng: random.Random,
     *,
-    seed: int | random.Random | None = None,
     max_steps_factor: int = 200,
-) -> set[Node]:
-    """Sample ``size`` distinct vertices by random walk with restarts.
-
-    CSR-native equivalent of
-    :func:`repro.sampling.random_walk.random_walk_set` (same seed, same
-    sample).  Walks ignore edge direction; restarts draw a uniform vertex
-    whenever no uncollected neighbour remains.
-    """
-    context = AnalysisContext.ensure(context)
+) -> np.ndarray:
+    """Id-level random walk; returns the collected ids sorted ascending."""
     n = _check_size(context, size)
-    rng = _resolve_rng(seed)
     indptr, indices = context.csr.indptr, context.csr.indices
     rank = context.label_rank
     population = range(n)
@@ -106,24 +109,14 @@ def random_walk_set(
         count += 1
     instruments.WALK_STEPS.inc(steps)
     instruments.WALK_RESTARTS.inc(restarts)
-    return _labels(context, collected)
+    return np.flatnonzero(collected)
 
 
-def bfs_ball_set(
-    context: AnalysisContext,
-    size: int,
-    *,
-    seed: int | random.Random | None = None,
-) -> set[Node]:
-    """Sample a BFS ball of ``size`` vertices around a random root.
-
-    CSR-native equivalent of
-    :func:`repro.sampling.random_sets.bfs_ball_set`; restarts from a fresh
-    random root whenever a component is exhausted.
-    """
-    context = AnalysisContext.ensure(context)
+def _bfs_ball_ids(
+    context: AnalysisContext, size: int, rng: random.Random
+) -> np.ndarray:
+    """Id-level BFS ball; returns the collected ids sorted ascending."""
     n = _check_size(context, size)
-    rng = _resolve_rng(seed)
     indptr, indices = context.csr.indptr, context.csr.indices
     rank = context.label_rank
     collected = np.zeros(n, dtype=bool)
@@ -149,7 +142,55 @@ def bfs_ball_set(
             collected[other] = True
             count += 1
             queue.append(other)
-    return _labels(context, collected)
+    return np.flatnonzero(collected)
+
+
+def _uniform_ids(
+    context: AnalysisContext, size: int, rng: random.Random
+) -> np.ndarray:
+    """Id-level uniform draw; returns the drawn ids sorted ascending."""
+    n = _check_size(context, size)
+    drawn = np.asarray(rng.sample(range(n), size), dtype=np.int64)
+    drawn.sort()
+    return drawn
+
+
+def random_walk_set(
+    context: AnalysisContext,
+    size: int,
+    *,
+    seed: int | random.Random | None = None,
+    max_steps_factor: int = 200,
+) -> set[Node]:
+    """Sample ``size`` distinct vertices by random walk with restarts.
+
+    CSR-native equivalent of
+    :func:`repro.sampling.random_walk.random_walk_set` (same seed, same
+    sample).  Walks ignore edge direction; restarts draw a uniform vertex
+    whenever no uncollected neighbour remains.
+    """
+    context = AnalysisContext.ensure(context)
+    ids = _random_walk_ids(
+        context, size, _resolve_rng(seed), max_steps_factor=max_steps_factor
+    )
+    return _id_labels(context, ids)
+
+
+def bfs_ball_set(
+    context: AnalysisContext,
+    size: int,
+    *,
+    seed: int | random.Random | None = None,
+) -> set[Node]:
+    """Sample a BFS ball of ``size`` vertices around a random root.
+
+    CSR-native equivalent of
+    :func:`repro.sampling.random_sets.bfs_ball_set`; restarts from a fresh
+    random root whenever a component is exhausted.
+    """
+    context = AnalysisContext.ensure(context)
+    ids = _bfs_ball_ids(context, size, _resolve_rng(seed))
+    return _id_labels(context, ids)
 
 
 def uniform_vertex_set(
@@ -164,10 +205,8 @@ def uniform_vertex_set(
     :func:`repro.sampling.random_sets.uniform_vertex_set`.
     """
     context = AnalysisContext.ensure(context)
-    n = _check_size(context, size)
-    rng = _resolve_rng(seed)
-    nodes = context.csr.nodes
-    return {nodes[i] for i in rng.sample(range(n), size)}
+    ids = _uniform_ids(context, size, _resolve_rng(seed))
+    return _id_labels(context, ids)
 
 
 #: CSR-native sampler registry (name -> callable over a context).
@@ -177,6 +216,14 @@ ENGINE_SAMPLERS = {
     "random_walk": random_walk_set,
 }
 
+#: Id-level variants (name -> callable(context, size, rng) -> id array);
+#: the parallel workers run these — labels never cross the boundary.
+SAMPLER_IDS = {
+    "uniform": _uniform_ids,
+    "bfs_ball": _bfs_ball_ids,
+    "random_walk": _random_walk_ids,
+}
+
 
 def sample_matched_sets(
     context: AnalysisContext,
@@ -184,31 +231,92 @@ def sample_matched_sets(
     sampler: str,
     *,
     seed: int | None = None,
+    jobs: int | None = None,
+    cache: "ResultCache | str | bool | None" = None,
+    executor: ParallelExecutor | None = None,
 ) -> list[set[Node]]:
     """One vertex set per entry of ``sizes`` using a named sampler.
 
     Drop-in replacement for
     :func:`repro.sampling.random_sets.sample_matched_sets` that shares the
-    frozen context across all draws.  ``forest_fire`` (not yet CSR-native)
-    falls through to the legacy label-level implementation with identical
-    rng threading, so outputs stay seed-for-seed identical.
+    frozen context across all draws.  Replicate ``i`` owns child stream
+    ``i`` of ``seed``, so serial, parallel (``jobs``/``executor``) and
+    legacy label-level execution all emit identical sets.  Seeded draws
+    may be served from ``cache``; ``forest_fire`` (not yet CSR-native)
+    falls through to the legacy label-level implementation, serially.
     """
     context = AnalysisContext.ensure(context)
-    rng = random.Random(seed)
+    sizes = [int(size) for size in sizes]
+    if sampler not in ENGINE_SAMPLERS and sampler != "forest_fire":
+        known = ", ".join(sorted([*ENGINE_SAMPLERS, "forest_fire"]))
+        raise KeyError(f"unknown sampler {sampler!r}; known: {known}")
     with obs.span("sampler.matched_sets"):
-        if sampler in ENGINE_SAMPLERS:
-            function = ENGINE_SAMPLERS[sampler]
-            sets = [function(context, size, seed=rng) for size in sizes]
-        elif sampler == "forest_fire":
-            from repro.sampling.random_sets import forest_fire_set
-
-            sets = [
-                forest_fire_set(context.graph, size, seed=rng)
-                for size in sizes
-            ]
-        else:
-            known = ", ".join(sorted([*ENGINE_SAMPLERS, "forest_fire"]))
-            raise KeyError(f"unknown sampler {sampler!r}; known: {known}")
+        sets = _matched_sets(
+            context, sizes, sampler, seed, jobs, cache, executor
+        )
         instruments.SETS_SAMPLED.inc(len(sets), label=sampler)
         obs.add("sets", len(sets))
     return sets
+
+
+def _matched_sets(
+    context: AnalysisContext,
+    sizes: list[int],
+    sampler: str,
+    seed: int | None,
+    jobs: int | None,
+    cache: "ResultCache | str | bool | None",
+    executor: ParallelExecutor | None,
+) -> list[set[Node]]:
+    store = ResultCache.resolve(cache)
+    key = None
+    if store is not None and seed is not None:
+        key = store.matched_sets_key(
+            context, sampler=sampler, seed=seed, sizes=sizes
+        )
+        cached = store.load_id_sets(key)
+        if cached is not None:
+            return [_id_labels(context, ids) for ids in cached]
+
+    child_seeds = spawn_child_seeds(seed, len(sizes))
+    own_executor = False
+    if executor is None and sampler in SAMPLER_IDS:
+        effective = resolve_jobs(jobs)
+        if effective > 1:
+            executor = ParallelExecutor(context, effective)
+            own_executor = True
+    try:
+        if (
+            executor is not None
+            and executor.active
+            and sampler in SAMPLER_IDS
+        ):
+            id_lists = executor.sample_ids(sampler, sizes, child_seeds)
+        elif sampler in SAMPLER_IDS:
+            function = SAMPLER_IDS[sampler]
+            id_lists = [
+                function(context, size, random.Random(child))
+                for size, child in zip(sizes, child_seeds)
+            ]
+        else:  # forest_fire: label-level legacy implementation.
+            from repro.sampling.random_sets import forest_fire_set
+
+            sets = [
+                forest_fire_set(context.graph, size, seed=child)
+                for size, child in zip(sizes, child_seeds)
+            ]
+            if key is not None and store is not None:
+                store.store_id_sets(
+                    key,
+                    [
+                        np.sort(context.vertex_ids(list(members)))
+                        for members in sets
+                    ],
+                )
+            return sets
+    finally:
+        if own_executor and executor is not None:
+            executor.close()
+    if key is not None and store is not None:
+        store.store_id_sets(key, id_lists)
+    return [_id_labels(context, ids) for ids in id_lists]

@@ -17,6 +17,7 @@ __all__ = [
     "FormatError",
     "FitError",
     "SamplingError",
+    "ParallelError",
     "InvariantViolation",
 ]
 
@@ -70,6 +71,15 @@ class FitError(ReproError, ValueError):
 
 class SamplingError(ReproError, RuntimeError):
     """A sampler could not produce a sample under the given constraints."""
+
+
+class ParallelError(ReproError, RuntimeError):
+    """A parallel execution failed outside the task's own semantics.
+
+    Raised by :mod:`repro.engine.parallel` when a worker process dies
+    (crash, OOM kill) rather than raising a library error; the original
+    task-level exceptions propagate unchanged.
+    """
 
 
 class InvariantViolation(GraphError, AssertionError):

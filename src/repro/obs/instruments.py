@@ -30,6 +30,10 @@ __all__ = [
     "NULLMODEL_SWAPS",
     "NULLMODEL_ROLLBACKS",
     "NULLMODEL_MERGES",
+    "PARALLEL_SHARDS",
+    "CACHE_HITS",
+    "CACHE_MISSES",
+    "CACHE_EVICTIONS",
     "SCORE_GROUPS_CALLS",
     "SCORES_COMPUTED",
     "EXPERIMENT_RUNS",
@@ -104,6 +108,32 @@ NULLMODEL_MERGES = REGISTRY.counter(
     "nullmodel.components_merged",
     "degree-preserving component-merging swaps in connect_components",
     unit="merges",
+)
+
+PARALLEL_SHARDS = REGISTRY.counter(
+    "engine.parallel_shards",
+    "work shards dispatched to parallel workers (label: score | sample)",
+    unit="shards",
+)
+
+CACHE_HITS = REGISTRY.counter(
+    "cache.hits",
+    "result-cache lookups answered from disk (label: entry kind)",
+    unit="lookups",
+)
+
+CACHE_MISSES = REGISTRY.counter(
+    "cache.misses",
+    "result-cache lookups that fell through to computation "
+    "(label: entry kind)",
+    unit="lookups",
+)
+
+CACHE_EVICTIONS = REGISTRY.counter(
+    "cache.evictions",
+    "corrupt or unreadable cache entries removed on access "
+    "(label: entry kind)",
+    unit="entries",
 )
 
 SCORE_GROUPS_CALLS = REGISTRY.counter(

@@ -40,17 +40,25 @@ __all__ = [
 def fingerprint_context(context: "AnalysisContext") -> str:
     """Hash a frozen context's content into a short stable fingerprint.
 
-    Digests the union-CSR ``indptr``/``indices`` arrays plus the node
-    labels in vertex order, so any change to the graph's structure or
-    labeling changes the fingerprint, while re-freezing the same graph
-    reproduces it exactly.
+    Digests the union-orientation CSR buffers (read through
+    :meth:`~repro.engine.context.AnalysisContext.csr_buffers`, the same
+    accessor the shared-memory exporter uses) plus the node labels in
+    vertex order, so any change to the graph's structure or labeling
+    changes the fingerprint, while re-freezing the same graph reproduces
+    it exactly.  The digest is memoized on the context — the result cache
+    keys every lookup on it, and a frozen context's bytes never change.
     """
+    cached = context._fingerprint  # noqa: SLF001 - memoized on the context
+    if cached is not None:
+        return cached
     digest = hashlib.sha256()
-    digest.update(context.csr.indptr.tobytes())
-    digest.update(context.csr.indices.tobytes())
+    for _, array in context.csr_buffers()["union"].arrays():
+        digest.update(array.tobytes())
     digest.update(repr(context.csr.nodes).encode("utf-8"))
     digest.update(b"directed" if context.is_directed else b"undirected")
-    return digest.hexdigest()[:16]
+    value = digest.hexdigest()[:16]
+    context._fingerprint = value  # noqa: SLF001
+    return value
 
 
 @dataclass(frozen=True)
@@ -152,6 +160,15 @@ def capture_manifest(
     if kernels is None:
         snapshot = instruments.KERNEL_SELECTED.snapshot()
         kernels = {"score_batch": snapshot["values"]}
+        cache_totals = {
+            "hits": instruments.CACHE_HITS.total(),
+            "misses": instruments.CACHE_MISSES.total(),
+            "evictions": instruments.CACHE_EVICTIONS.total(),
+        }
+        if any(cache_totals.values()):
+            # Surface result-cache effectiveness only when a cache was in
+            # play, so cache-free manifests keep their historical shape.
+            kernels["cache"] = cache_totals
     dataset_entries = tuple(
         DatasetManifest.from_context(context, name=name)
         for name, context in (contexts or {}).items()

@@ -154,7 +154,10 @@ def sample_matched_sets(
 ) -> list[set[Node]]:
     """One vertex set per entry of ``sizes`` using a named sampler.
 
-    ``sampler`` is a key of :data:`SAMPLERS` or ``"random_walk"``.
+    ``sampler`` is a key of :data:`SAMPLERS` or ``"random_walk"``.  Each
+    replicate owns an independent child stream of ``seed``
+    (:func:`repro.sampling.seeds.spawn_child_seeds`), matching the
+    engine's serial and parallel matched-set draws seed-for-seed.
     """
     if sampler == "random_walk":
         from repro.sampling.random_walk import matched_random_sets
@@ -165,5 +168,10 @@ def sample_matched_sets(
     except KeyError:
         known = ", ".join(sorted(SAMPLERS) + ["random_walk"])
         raise KeyError(f"unknown sampler {sampler!r}; known: {known}") from None
-    rng = random.Random(seed)
-    return [function(graph, size, seed=rng) for size in sizes]
+    from repro.sampling.seeds import spawn_child_seeds
+
+    child_seeds = spawn_child_seeds(seed, len(sizes))
+    return [
+        function(graph, size, seed=child)
+        for size, child in zip(sizes, child_seeds)
+    ]

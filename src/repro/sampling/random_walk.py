@@ -92,12 +92,16 @@ def matched_random_sets(
     """One random-walk vertex set per entry of ``sizes``.
 
     This is the baseline of the paper's Fig. 5: for every circle, a random
-    set of exactly the circle's size.
+    set of exactly the circle's size.  Each replicate owns an independent
+    child stream of ``seed`` (:func:`repro.sampling.seeds.spawn_child_seeds`),
+    so the CSR-native and parallel paths replay these draws exactly.
     """
-    rng = random.Random(seed)
+    from repro.sampling.seeds import spawn_child_seeds
+
+    child_seeds = spawn_child_seeds(seed, len(sizes))
     return [
         random_walk_set(
-            graph, size, seed=rng, max_steps_factor=max_steps_factor
+            graph, size, seed=child, max_steps_factor=max_steps_factor
         )
-        for size in sizes
+        for size, child in zip(sizes, child_seeds)
     ]

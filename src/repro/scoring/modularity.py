@@ -32,7 +32,52 @@ from repro.nullmodel.configuration import directed_configuration_model
 from repro.nullmodel.viger_latapy import viger_latapy_graph
 from repro.exceptions import SamplingError
 from repro.nullmodel.configuration import configuration_model
+from repro.sampling.seeds import spawn_generators
 from repro.scoring.base import GroupStats
+
+
+def _generate_null_graph(
+    payload: tuple[str, list[int], list[int] | None, str, float],
+    seed_pair: tuple[int, int],
+) -> Graph | DiGraph:
+    """Realize one null-model sample from its private seed pair.
+
+    ``seed_pair`` is (primary seed, fallback seed) drawn from the
+    sample's own child stream — the fallback seed is consumed only when
+    Viger-Latapy fails and ``method="auto"`` degrades to the
+    configuration model, so consuming it never shifts other samples.
+    Module-level so the parallel ensemble path can ship it to a pool.
+    """
+    kind, degrees, out_degrees, method, shuffle_factor = payload
+    primary, fallback = seed_pair
+    if kind == "directed":
+        assert out_degrees is not None
+        return directed_configuration_model(
+            degrees, out_degrees, seed=primary
+        )
+    if method in ("auto", "viger_latapy"):
+        try:
+            return viger_latapy_graph(
+                degrees, seed=primary, shuffle_factor=shuffle_factor
+            )
+        except SamplingError:
+            if method == "viger_latapy":
+                raise
+            return configuration_model(degrees, seed=fallback)
+    return configuration_model(degrees, seed=primary)
+
+
+def _null_worker_init() -> None:
+    """Silence observability in forked null-model workers.
+
+    A forked worker inherits the parent's tracer; letting it write would
+    interleave records into the parent's trace stream.
+    """
+    from repro.obs._runtime import STATE
+
+    STATE.enabled = False
+    STATE.tracer = None
+    STATE.owns_tracemalloc = False
 
 Node = Hashable
 
@@ -77,14 +122,17 @@ class NullModelEnsemble:
         method: str = "auto",
         seed: int | None = None,
         shuffle_factor: float = 1.0,
+        jobs: int | None = None,
     ) -> None:
         if samples < 1:
             raise ValueError("need at least one null-model sample")
         self.method = method
         index_of, _ = integer_index(graph)
         self._index_of = index_of
-        rng = np.random.default_rng(seed)
-        self._null_graphs: list[Graph | DiGraph] = []
+        # Every sample owns an independent child stream (including any
+        # Viger-Latapy -> configuration fallback draws), so serial and
+        # parallel generation realize identical null graphs.
+        streams = spawn_generators(seed, samples)
         if graph.is_directed:
             if method not in ("auto", "configuration"):
                 raise ValueError(
@@ -92,37 +140,43 @@ class NullModelEnsemble:
                 )
             in_degrees = [len(graph._pred[v]) for v in graph]  # noqa: SLF001
             out_degrees = [len(graph._succ[v]) for v in graph]  # noqa: SLF001
-            for _ in range(samples):
-                self._null_graphs.append(
-                    directed_configuration_model(
-                        in_degrees,
-                        out_degrees,
-                        seed=int(rng.integers(2**32)),
+            payloads = [
+                ("directed", in_degrees, out_degrees, method, shuffle_factor)
+            ] * samples
+        else:
+            if method not in ("auto", "viger_latapy", "configuration"):
+                raise ValueError(f"unknown null-model method {method!r}")
+            degrees = [len(graph._adj[v]) for v in graph]  # noqa: SLF001
+            payloads = [
+                ("undirected", degrees, None, method, shuffle_factor)
+            ] * samples
+        seed_pairs = [
+            (int(stream.integers(2**32)), int(stream.integers(2**32)))
+            for stream in streams
+        ]
+        from repro.engine.parallel import resolve_jobs
+
+        jobs = resolve_jobs(jobs)
+        if jobs > 1 and samples > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, samples),
+                initializer=_null_worker_init,
+            ) as pool:
+                self._null_graphs = list(
+                    pool.map(
+                        _generate_null_graph,
+                        payloads,
+                        seed_pairs,
+                        chunksize=1,
                     )
                 )
         else:
-            degrees = [len(graph._adj[v]) for v in graph]  # noqa: SLF001
-            for _ in range(samples):
-                if method in ("auto", "viger_latapy"):
-                    try:
-                        null = viger_latapy_graph(
-                            degrees,
-                            seed=int(rng.integers(2**32)),
-                            shuffle_factor=shuffle_factor,
-                        )
-                    except SamplingError:
-                        if method == "viger_latapy":
-                            raise
-                        null = configuration_model(
-                            degrees, seed=int(rng.integers(2**32))
-                        )
-                elif method == "configuration":
-                    null = configuration_model(
-                        degrees, seed=int(rng.integers(2**32))
-                    )
-                else:
-                    raise ValueError(f"unknown null-model method {method!r}")
-                self._null_graphs.append(null)
+            self._null_graphs = [
+                _generate_null_graph(payload, pair)
+                for payload, pair in zip(payloads, seed_pairs)
+            ]
 
     def __len__(self) -> int:
         return len(self._null_graphs)

@@ -18,6 +18,8 @@ import numpy as np
 from repro import obs
 from repro.data.groups import GroupSet, VertexGroup
 from repro.engine import AnalysisContext, batch_group_stats
+from repro.engine.cache import ResultCache, function_tokens
+from repro.engine.parallel import ParallelExecutor, resolve_jobs
 from repro.obs import capture_manifest, instruments
 from repro.graph.digraph import DiGraph
 from repro.graph.ugraph import Graph
@@ -191,6 +193,9 @@ def score_groups(
     functions: Sequence[ScoringFunction] | None = None,
     *,
     restrict_to_graph: bool = True,
+    jobs: int | None = None,
+    cache: "ResultCache | str | bool | None" = None,
+    executor: ParallelExecutor | None = None,
 ) -> ScoreTable:
     """Score every group of ``groups`` under ``functions``.
 
@@ -203,6 +208,14 @@ def score_groups(
     :class:`~repro.engine.AnalysisContext` once, here) or an existing
     context (no freeze at all); either way every group's statistics come
     from one engine batch pass over the shared CSR substrate.
+
+    ``jobs > 1`` (or a live ``executor``) shards the batch across a
+    shared-memory worker pool; shards merge in canonical group order, so
+    the table is byte-identical to the serial one.  ``cache`` may serve
+    the whole batch from disk, keyed on the context fingerprint, the
+    functions' configuration and the groups' vertex ids.  Functions
+    carrying non-scalar state (a sampled-Modularity ensemble) are scored
+    serially and never cached.
     """
     if functions is None:
         functions = make_paper_functions()
@@ -213,6 +226,7 @@ def score_groups(
             if _needs(functions, FractionOverMedianDegree)
             else None
         )
+        include_adjacency = _needs(functions, TriangleParticipationRatio)
 
         names: list[str] = []
         sizes: list[int] = []
@@ -226,40 +240,107 @@ def score_groups(
             names.append(group.name)
             member_lists.append(members)
 
-        stats_list = batch_group_stats(
-            context,
-            member_lists,
-            graph_median_degree=median,
-            include_internal_adjacency=_needs(
-                functions, TriangleParticipationRatio
-            ),
-        )
-        rows: list[dict[str, float]] = []
-        for stats in stats_list:
-            sizes.append(stats.n_C)
-            rows.append(
-                {
-                    function.name: float(function(stats))
+        tokens = function_tokens(functions)
+        store = ResultCache.resolve(cache)
+        id_lists: list[np.ndarray] | None = None
+        key: str | None = None
+        if store is not None and tokens is not None:
+            id_lists = [
+                context.vertex_ids(members) for members in member_lists
+            ]
+            key = store.score_groups_key(
+                context,
+                tokens=tokens,
+                group_names=names,
+                id_lists=id_lists,
+                include_internal_adjacency=include_adjacency,
+            )
+            hit = store.load_score_table(key)
+            if hit is not None:
+                names, sizes, columns = hit
+                _record_score_manifest(context, functions)
+                return ScoreTable(
+                    group_names=names, group_sizes=sizes, columns=columns
+                )
+
+        own_executor = False
+        if executor is None and tokens is not None:
+            effective = resolve_jobs(jobs)
+            if effective > 1:
+                executor = ParallelExecutor(context, effective)
+                own_executor = True
+        try:
+            if (
+                executor is not None
+                and executor.active
+                and tokens is not None
+                and member_lists
+            ):
+                if id_lists is None:
+                    id_lists = [
+                        context.vertex_ids(members)
+                        for members in member_lists
+                    ]
+                sizes, row_lists = executor.score_groups(
+                    id_lists,
+                    functions,
+                    graph_median_degree=median,
+                    include_internal_adjacency=include_adjacency,
+                )
+                columns = {
+                    function.name: np.array(
+                        [row[j] for row in row_lists], dtype=np.float64
+                    )
+                    for j, function in enumerate(functions)
+                }
+            else:
+                stats_list = batch_group_stats(
+                    context,
+                    member_lists,
+                    graph_median_degree=median,
+                    include_internal_adjacency=include_adjacency,
+                )
+                rows: list[dict[str, float]] = []
+                for stats in stats_list:
+                    sizes.append(stats.n_C)
+                    rows.append(
+                        {
+                            function.name: float(function(stats))
+                            for function in functions
+                        }
+                    )
+                columns = {
+                    function.name: np.array(
+                        [row[function.name] for row in rows],
+                        dtype=np.float64,
+                    )
                     for function in functions
                 }
-            )
+        finally:
+            if own_executor and executor is not None:
+                executor.close()
+
+        if key is not None and store is not None:
+            store.store_score_table(key, names, sizes, columns)
 
         if obs.enabled():
-            instruments.SCORE_GROUPS_CALLS.inc()
-            instruments.SCORES_COMPUTED.inc(len(rows) * len(functions))
-            dataset_name = context.graph.name or "graph"
-            obs.record_manifest(
-                capture_manifest(
-                    "score_groups",
-                    contexts={dataset_name: context},
-                    functions=[function.name for function in functions],
-                )
-            )
+            instruments.SCORES_COMPUTED.inc(len(names) * len(functions))
+            _record_score_manifest(context, functions)
 
-    columns = {
-        function.name: np.array(
-            [row[function.name] for row in rows], dtype=np.float64
-        )
-        for function in functions
-    }
     return ScoreTable(group_names=names, group_sizes=sizes, columns=columns)
+
+
+def _record_score_manifest(
+    context: AnalysisContext, functions: Sequence[ScoringFunction]
+) -> None:
+    if not obs.enabled():
+        return
+    instruments.SCORE_GROUPS_CALLS.inc()
+    dataset_name = context.graph.name or "graph"
+    obs.record_manifest(
+        capture_manifest(
+            "score_groups",
+            contexts={dataset_name: context},
+            functions=[function.name for function in functions],
+        )
+    )

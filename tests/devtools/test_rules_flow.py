@@ -179,6 +179,73 @@ def test_rep104_quiet_on_protocol_stub():
     assert "REP104" not in rule_ids(source)
 
 
+# -- REP105: RNG across a process boundary -----------------------------------
+
+
+def test_rep105_fires_on_rng_submitted_to_pool():
+    source = """
+        import random
+        __all__ = ["f"]
+
+        def f(pool, ctx, sizes, seed):
+            rng = random.Random(seed)
+            return [pool.submit(work, ctx, size, rng) for size in sizes]
+    """
+    assert "REP105" in rule_ids(source)
+
+
+def test_rep105_fires_on_rng_inside_args_tuple():
+    source = """
+        import random
+        __all__ = ["f"]
+
+        def f(pool, ctx, seed):
+            rng = random.Random(seed)
+            return pool.apply_async(work, args=(ctx, rng))
+    """
+    assert "REP105" in rule_ids(source)
+
+
+def test_rep105_fires_on_rng_parameter_mapped_to_executor():
+    source = """
+        import random
+        __all__ = ["f"]
+
+        def f(executor, payloads, rng: random.Random):
+            return list(executor.map(work, payloads, rng))
+    """
+    assert "REP105" in rule_ids(source)
+
+
+def test_rep105_quiet_on_integer_child_seeds():
+    source = """
+        from repro.sampling.seeds import spawn_child_seeds
+        __all__ = ["f"]
+
+        def f(pool, ctx, sizes, seed):
+            seeds = spawn_child_seeds(seed, len(sizes))
+            return [
+                pool.submit(work, ctx, size, child)
+                for size, child in zip(sizes, seeds)
+            ]
+    """
+    assert "REP105" not in rule_ids(source)
+
+
+def test_rep105_quiet_on_builtin_map_and_non_executor_receivers():
+    source = """
+        import random
+        __all__ = ["f"]
+
+        def f(items, seed):
+            rng = random.Random(seed)
+            shuffled = list(map(str, items))  # builtin map, no boundary
+            table = {"rows": items}
+            return shuffled, table, rng
+    """
+    assert "REP105" not in rule_ids(source)
+
+
 # -- REP201: mutation after freeze -------------------------------------------
 
 
