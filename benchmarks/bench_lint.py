@@ -12,6 +12,17 @@ produce identical findings (the determinism contract behind
     python benchmarks/bench_lint.py              # full, prints JSON
     python benchmarks/bench_lint.py --jobs 8     # explicit worker count
     python benchmarks/bench_lint.py --repeat 5
+
+``--interproc`` exercises the whole-program pass (call graph + function
+summaries + REP4xx/REP5xx) in isolation: it measures a cold run and then
+warm re-runs that hit the content-hash source cache and the program-hash
+summary cache, asserts the warm wall time stays under a bound
+(``--warm-budget``, default 10 s — generous so CI boxes never flake), and
+re-checks serial/parallel byte-identity with the interprocedural rules
+active::
+
+    python benchmarks/bench_lint.py --interproc
+    python benchmarks/bench_lint.py --interproc --warm-budget 5
 """
 
 from __future__ import annotations
@@ -27,6 +38,18 @@ from repro.devtools.lint import LintConfig, iter_python_files, lint_paths
 
 ROOT = Path(__file__).resolve().parents[1]
 
+#: Rule ids of the interprocedural families (REP4xx parallel safety,
+#: REP5xx cache soundness).
+INTERPROC_IDS = (
+    "REP401",
+    "REP402",
+    "REP403",
+    "REP404",
+    "REP501",
+    "REP502",
+    "REP503",
+)
+
 
 def _time_lint(paths, config, *, jobs: int, repeat: int) -> tuple[float, list]:
     best = float("inf")
@@ -38,19 +61,7 @@ def _time_lint(paths, config, *, jobs: int, repeat: int) -> tuple[float, list]:
     return best, findings
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=min(4, multiprocessing.cpu_count()),
-        help="worker count for the parallel run",
-    )
-    parser.add_argument(
-        "--repeat", type=int, default=3, help="runs per path; best is kept"
-    )
-    args = parser.parse_args(argv)
-
+def _bench_full(args: argparse.Namespace) -> int:
     src = ROOT / "src"
     config = LintConfig.from_pyproject(ROOT / "pyproject.toml")
     files = list(iter_python_files([src]))
@@ -80,6 +91,94 @@ def main(argv=None) -> int:
         print("FAIL: parallel findings differ from serial", file=sys.stderr)
         return 1
     return 0
+
+
+def _bench_interproc(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    src = ROOT / "src"
+    base = LintConfig.from_pyproject(ROOT / "pyproject.toml")
+    config = dataclasses.replace(base, select=INTERPROC_IDS, ignore=())
+    files = list(iter_python_files([src]))
+
+    # Cold: first whole-program run of this process pays parsing, call
+    # graph construction and the bottom-up summary fixpoint.
+    cold_start = time.perf_counter()
+    cold_findings = lint_paths([src], config, jobs=1)
+    cold_seconds = time.perf_counter() - cold_start
+
+    # Warm: unchanged sources hit the content-hash source cache and the
+    # program-hash summary cache; this is the watch-loop/CI steady state.
+    warm_seconds, warm_findings = _time_lint(
+        [src], config, jobs=1, repeat=args.repeat
+    )
+    parallel_seconds, parallel_findings = _time_lint(
+        [src], config, jobs=args.jobs, repeat=args.repeat
+    )
+
+    warm_lines = [v.format() for v in warm_findings]
+    identical = (
+        [v.format() for v in cold_findings] == warm_lines
+        and warm_lines == [v.format() for v in parallel_findings]
+    )
+    within_budget = warm_seconds <= args.warm_budget
+    report = {
+        "mode": "interproc",
+        "files": len(files),
+        "rules": list(INTERPROC_IDS),
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_budget_seconds": args.warm_budget,
+        "within_budget": within_budget,
+        "parallel_seconds": round(parallel_seconds, 4),
+        "jobs": args.jobs,
+        "findings": len(warm_findings),
+        "identical_output": identical,
+    }
+    print(json.dumps(report, indent=2))
+    if not identical:
+        print(
+            "FAIL: interproc findings differ across cold/warm/parallel runs",
+            file=sys.stderr,
+        )
+        return 1
+    if not within_budget:
+        print(
+            f"FAIL: warm interproc lint took {warm_seconds:.2f}s "
+            f"(budget {args.warm_budget:.2f}s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=min(4, multiprocessing.cpu_count()),
+        help="worker count for the parallel run",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="runs per path; best is kept"
+    )
+    parser.add_argument(
+        "--interproc",
+        action="store_true",
+        help="benchmark the whole-program REP4xx/REP5xx pass in isolation",
+    )
+    parser.add_argument(
+        "--warm-budget",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="max allowed warm-cache wall time in --interproc mode",
+    )
+    args = parser.parse_args(argv)
+    if args.interproc:
+        return _bench_interproc(args)
+    return _bench_full(args)
 
 
 if __name__ == "__main__":

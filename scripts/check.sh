@@ -8,11 +8,17 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== repro lint (REP001-REP301, 2 jobs) =="
+echo "== repro lint (REP001-REP503, 2 jobs) =="
 python -m repro.devtools.lint src --jobs 2
+
+echo "== repro lint baseline ratchet (no stale entries) =="
+python -m repro.devtools.lint src --check-baseline
 
 echo "== repro lint SARIF artifact (lint.sarif) =="
 python -m repro.devtools.lint src --format sarif --output lint.sarif
+
+echo "== interprocedural lint benchmark (warm cache, serial vs parallel) =="
+python benchmarks/bench_lint.py --interproc --repeat 2
 
 echo "== determinism check (fast pipelines) =="
 python -m repro.devtools.determinism --fast

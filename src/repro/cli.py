@@ -324,6 +324,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         forwarded += ["--baseline", args.baseline]
     if args.write_baseline:
         forwarded.append("--write-baseline")
+    if args.check_baseline:
+        forwarded.append("--check-baseline")
     return lint_main(forwarded)
 
 
@@ -560,7 +562,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.set_defaults(handler=_cmd_trace)
 
     lint_parser = commands.add_parser(
-        "lint", help="repo-specific AST lint pass (rules REP001-REP301)"
+        "lint", help="repo-specific AST lint pass (rules REP001-REP503)"
     )
     lint_parser.add_argument(
         "paths", nargs="*", default=["src"], help="files or directories"
@@ -571,7 +573,8 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "--explain",
         metavar="REPxxx",
-        help="print one rule's rationale with a bad/good example",
+        help="print one rule's rationale with a bad/good example "
+        "('all' prints the whole catalogue)",
     )
     lint_parser.add_argument(
         "--format",
@@ -595,7 +598,12 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "--write-baseline",
         action="store_true",
-        help="rewrite the baseline from current findings",
+        help="rewrite the baseline from current findings (pruning stale entries)",
+    )
+    lint_parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="fail if the baseline contains stale entries",
     )
     lint_parser.set_defaults(handler=_cmd_lint)
 

@@ -10,10 +10,19 @@ codebase grows:
   origin tagging (RNG / graph / frozen / set-ordered values); and
   :mod:`repro.devtools.rules_flow` builds the RNG-discipline (REP1xx)
   and freeze-once-contract (REP2xx) rule families on top of it.
+  The interprocedural layer lifts the analysis to whole-program scope:
+  :mod:`repro.devtools.callgraph` builds a call graph (direct calls,
+  class-hierarchy method resolution, registry/dispatch indirection,
+  process-boundary edges) with an SCC condensation,
+  :mod:`repro.devtools.summaries` computes per-function effect
+  summaries bottom-up over it, and
+  :mod:`repro.devtools.rules_interproc` expresses the parallel-safety
+  (REP4xx) and cache-soundness (REP5xx) rule families on top.
   :mod:`repro.devtools.report` renders text/JSON/SARIF output and
   :mod:`repro.devtools.baseline` implements the
   ``.repro-lint-baseline.json`` ratchet.  Runnable as
   ``python -m repro.devtools.lint src/`` or ``repro lint``.
+  The full rule catalogue lives in ``docs/LINTING.md``.
 * :mod:`repro.devtools.invariants` — runtime structural validation of
   :class:`~repro.graph.Graph` / :class:`~repro.graph.DiGraph` /
   :class:`~repro.graph.CSRGraph`, with an opt-in
@@ -33,7 +42,10 @@ from __future__ import annotations
 __all__ = [
     "lint",
     "dataflow",
+    "callgraph",
+    "summaries",
     "rules_flow",
+    "rules_interproc",
     "report",
     "baseline",
     "invariants",

@@ -1,0 +1,889 @@
+"""Whole-program call graph over the repro source tree.
+
+The flow rules of :mod:`repro.devtools.rules_flow` stop at function
+boundaries; the REP4xx/REP5xx families (parallel safety, cache soundness)
+need to know *what runs inside a worker process* and *which values feed a
+cached kernel* — questions that span many calls.  This module builds the
+call graph those rules and :mod:`repro.devtools.summaries` consume:
+
+* **direct calls** — ``f(...)`` resolved through each module's import
+  table (including ``from m import f as g`` chains and relative imports);
+* **method calls** — ``self.m(...)`` resolved within the enclosing class
+  (and its program-local bases); other receivers via a lightweight
+  class-hierarchy analysis keyed on the attribute name (only methods
+  *defined by program classes* participate, so stdlib method names add no
+  spurious edges);
+* **registry dispatch** — module-level dict literals whose values are
+  functions or classes (the scoring-function registry ``_FACTORIES``,
+  the sampler tables ``SAMPLER_IDS``/``ENGINE_SAMPLERS``) induce edges
+  from ``REG[x](...)`` call sites — and from ``f = REG[x]; f(...)`` —
+  to every registered target;
+* **reference edges** — a function passed as a value
+  (``functools.partial(f, ...)``, ``set_defaults(handler=f)``, a CLI
+  subcommand table) is *referenced*, not called, and gets a ``ref`` edge;
+* **process edges** — executor dispatch (``pool.submit(f, ...)``,
+  ``pool.map(f, ...)``) and worker bootstrap
+  (``ProcessPoolExecutor(initializer=f)``, ``Process(target=f)``) mark
+  ``f`` as a *worker entry point* running in another process.
+
+Recursion is handled by Tarjan strongly-connected-component condensation:
+:meth:`Program.condensation` returns SCCs callee-first, the order the
+bottom-up summary fixpoint of :mod:`repro.devtools.summaries` consumes.
+
+The graph is deliberately *under*-approximate for plain calls (an edge is
+added only when the callee is provably a program function) and mildly
+*over*-approximate for CHA and registries (every same-named program
+method / every registry value); the consuming rules are biased so that
+neither direction produces false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.dataflow import ModuleAnalysis, dotted_path
+
+__all__ = [
+    "CALL",
+    "REF",
+    "PROCESS",
+    "Edge",
+    "DispatchSite",
+    "FunctionInfo",
+    "ClassInfo",
+    "ProgramModule",
+    "Program",
+    "build_program",
+    "module_name_for_path",
+]
+
+#: Edge kinds.
+CALL = "call"  #: callee is invoked inline, in the caller's process
+REF = "ref"  #: callee is captured as a value (partial, handler table)
+PROCESS = "process"  #: callee runs in another process (worker entry)
+
+#: Executor dispatch methods (shared shape with rules_flow/REP105).
+_EXECUTOR_DISPATCH = frozenset(
+    {
+        "submit",
+        "map",
+        "map_async",
+        "starmap",
+        "starmap_async",
+        "apply",
+        "apply_async",
+        "imap",
+        "imap_unordered",
+    }
+)
+
+#: Constructors whose callable keywords bootstrap another process.
+_PROCESS_CONSTRUCTORS = frozenset(
+    {"ProcessPoolExecutor", "Pool", "Process"}
+)
+_PROCESS_CALLABLE_KWARGS = frozenset({"initializer", "target"})
+
+
+def _looks_like_executor(expr: ast.expr) -> bool:
+    path = dotted_path(expr)
+    if path is None:
+        return False
+    leaf = path.split(".")[-1]
+    return (
+        leaf in {"pool", "executor"}
+        or leaf.endswith("_pool")
+        or leaf.endswith("_executor")
+    )
+
+
+def module_name_for_path(path: str | Path) -> str:
+    """Derive a dotted module name from a file path.
+
+    ``src/repro/engine/cache.py`` maps to ``repro.engine.cache``; a
+    trailing ``__init__`` names the package itself.  Paths without a
+    ``src`` anchor use every path component, so test trees still get
+    unique, stable names.
+    """
+    parts = list(Path(path).with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    parts = [part for part in parts if part not in ("/", "")]
+    return ".".join(parts) or Path(path).stem
+
+
+@dataclass
+class ProgramModule:
+    """One source file of the program: tree, analysis, derived indices."""
+
+    modname: str
+    path: str
+    source: str
+    lines: tuple[str, ...]
+    tree: ast.Module
+    analysis: ModuleAnalysis
+    content_hash: str
+    #: local name -> ("module", modname) | ("from", modname, objname)
+    imports: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: module-level definitions: name -> ("func"|"class"|"registry", key)
+    defs: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method of the program."""
+
+    key: str  #: ``modname:qualname``
+    modname: str
+    qualname: str
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    module: ProgramModule
+    class_name: str | None = None  #: immediate enclosing class, if a method
+    nested: bool = False  #: defined inside another function (closure)
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        args = self.node.args
+        return tuple(
+            arg.arg
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        )
+
+
+@dataclass
+class ClassInfo:
+    """One class of the program, with its method table and bases."""
+
+    key: str  #: ``modname:ClassName``
+    modname: str
+    name: str
+    node: ast.ClassDef
+    methods: dict[str, str] = field(default_factory=dict)  #: name -> fn key
+    base_names: tuple[str, ...] = ()  #: dotted base expressions, unresolved
+    base_keys: tuple[str, ...] = ()  #: resolved program-local base classes
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One call-graph edge, anchored at its source call expression."""
+
+    caller: str
+    callee: str
+    kind: str  #: CALL | REF | PROCESS
+    lineno: int
+    col: int
+
+
+@dataclass
+class DispatchSite:
+    """One executor/process dispatch call, kept for the REP40x rules."""
+
+    caller: str  #: function key of the dispatching function
+    stmt: ast.stmt
+    call: ast.Call
+    kind: str  #: "executor" (pool.submit/map/...) or "constructor"
+    targets: tuple[str, ...]  #: resolved worker-entry function keys
+
+
+def _iter_own_statements(body: list[ast.stmt]):
+    """All statements of a function body, recursing into compound
+    statements but *not* into nested function/class definitions."""
+    for stmt in body:
+        yield stmt
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        for attr in ("body", "orelse", "finalbody"):
+            inner = getattr(stmt, attr, None)
+            if inner:
+                yield from _iter_own_statements(inner)
+        for handler in getattr(stmt, "handlers", ()):
+            yield from _iter_own_statements(handler.body)
+
+
+def _stmt_expressions(stmt: ast.stmt):
+    """Expressions evaluated by ``stmt`` itself (not nested bodies)."""
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        yield from stmt.decorator_list
+        return
+    if isinstance(stmt, ast.ClassDef):
+        yield from stmt.bases
+        yield from (kw.value for kw in stmt.keywords)
+        yield from stmt.decorator_list
+        return
+    if isinstance(stmt, (ast.If, ast.While)):
+        yield stmt.test
+        return
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield stmt.iter
+        return
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield item.context_expr
+        return
+    if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+        return
+    for _name, value in ast.iter_fields(stmt):
+        if isinstance(value, ast.expr):
+            yield value
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.expr):
+                    yield item
+
+
+def _function_calls(fn: ast.FunctionDef | ast.AsyncFunctionDef):
+    """Yield ``(stmt, call)`` pairs for every call the function itself
+    evaluates (lambda bodies included, nested ``def`` bodies excluded)."""
+    for stmt in _iter_own_statements(list(fn.body)):
+        for expr in _stmt_expressions(stmt):
+            for sub in ast.walk(expr):
+                if isinstance(sub, ast.Call):
+                    yield stmt, sub
+
+
+class Program:
+    """The whole-program index: modules, functions, classes, call edges."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ProgramModule] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: registry key (``modname:NAME``) -> resolved target function keys
+        self.registries: dict[str, tuple[str, ...]] = {}
+        self.edges: list[Edge] = []
+        self.dispatch_sites: list[DispatchSite] = []
+        self._edges_out: dict[str, list[Edge]] | None = None
+
+    # -- queries -------------------------------------------------------------
+
+    def edges_out(self, caller: str) -> list[Edge]:
+        """Outgoing edges of ``caller``, in deterministic site order."""
+        if self._edges_out is None:
+            grouped: dict[str, list[Edge]] = {}
+            for edge in self.edges:
+                grouped.setdefault(edge.caller, []).append(edge)
+            self._edges_out = grouped
+        return self._edges_out.get(caller, [])
+
+    def callees(self, caller: str, kinds: frozenset[str]) -> list[str]:
+        """Unique callee keys of ``caller`` along ``kinds`` edges."""
+        seen: list[str] = []
+        for edge in self.edges_out(caller):
+            if edge.kind in kinds and edge.callee not in seen:
+                seen.append(edge.callee)
+        return seen
+
+    def worker_entries(self) -> list[str]:
+        """Functions dispatched across a process boundary, sorted."""
+        return sorted(
+            {edge.callee for edge in self.edges if edge.kind == PROCESS}
+        )
+
+    def reachable(
+        self, roots, kinds: frozenset[str] = frozenset({CALL})
+    ) -> dict[str, str]:
+        """BFS closure over ``kinds`` edges.
+
+        Returns ``{reached key: root key it was first reached from}`` —
+        the provenance lets rules name the worker entry in messages.
+        Roots map to themselves.
+        """
+        origin: dict[str, str] = {}
+        frontier: list[str] = []
+        for root in sorted(set(roots)):
+            if root in self.functions and root not in origin:
+                origin[root] = root
+                frontier.append(root)
+        while frontier:
+            current = frontier.pop(0)
+            for callee in self.callees(current, kinds):
+                if callee in self.functions and callee not in origin:
+                    origin[callee] = origin[current]
+                    frontier.append(callee)
+        return origin
+
+    def condensation(self) -> list[tuple[str, ...]]:
+        """Tarjan SCCs over CALL edges, callee-first (reverse topological).
+
+        Each component is emitted only after every component it can reach,
+        so a bottom-up summary pass can fold the list left to right.
+        Components are tuples of function keys in discovery order;
+        singleton components without a self-loop need no fixpoint.
+        """
+        order = sorted(self.functions)
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        sccs: list[tuple[str, ...]] = []
+        counter = 0
+
+        for root in order:
+            if root in index:
+                continue
+            # Iterative Tarjan: (node, iterator position) work stack.
+            work: list[tuple[str, int]] = [(root, 0)]
+            while work:
+                node, child_pos = work[-1]
+                if child_pos == 0:
+                    index[node] = low[node] = counter
+                    counter += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                children = self.callees(node, frozenset({CALL}))
+                advanced = False
+                while child_pos < len(children):
+                    child = children[child_pos]
+                    child_pos += 1
+                    if child not in index:
+                        work[-1] = (node, child_pos)
+                        work.append((child, 0))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        low[node] = min(low[node], index[child])
+                if advanced:
+                    continue
+                work.pop()
+                if low[node] == index[node]:
+                    component: list[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    sccs.append(tuple(reversed(component)))
+                if work:
+                    parent, _pos = work[-1]
+                    low[parent] = min(low[parent], low[node])
+                else:
+                    work = work  # root finished
+        return sccs
+
+    def program_hash(self) -> str:
+        """Stable digest of every module's content hash (cache key)."""
+        import hashlib
+
+        digest = hashlib.sha256()
+        for modname in sorted(self.modules):
+            module = self.modules[modname]
+            digest.update(modname.encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(module.content_hash.encode("utf-8"))
+            digest.update(b"\0")
+        return digest.hexdigest()
+
+    # -- name resolution ------------------------------------------------------
+
+    def _lookup(
+        self, modname: str, name: str, *, depth: int = 0
+    ) -> tuple[str, str] | None:
+        """Resolve ``name`` in ``modname``'s top-level namespace.
+
+        Follows ``from m import x`` chains (bounded depth) and returns
+        one of ``("func", key)``, ``("class", key)``,
+        ``("registry", key)``, ``("module", modname)`` or ``None``.
+        """
+        if depth > 8:
+            return None
+        module = self.modules.get(modname)
+        if module is None:
+            return None
+        definition = module.defs.get(name)
+        if definition is not None:
+            return definition
+        imported = module.imports.get(name)
+        if imported is None:
+            return None
+        if imported[0] == "module":
+            target = imported[1]
+            return ("module", target) if target in self.modules else None
+        _kind, target_mod, objname = imported
+        if target_mod in self.modules:
+            return self._lookup(target_mod, objname, depth=depth + 1)
+        # ``from pkg import mod`` where pkg itself is opaque but the
+        # submodule is a program module.
+        dotted = f"{target_mod}.{objname}"
+        if dotted in self.modules:
+            return ("module", dotted)
+        return None
+
+    def method_of(self, class_key: str, name: str) -> str | None:
+        """Resolve a method on a program class, walking local bases."""
+        seen: set[str] = set()
+        frontier = [class_key]
+        while frontier:
+            current = frontier.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            if name in info.methods:
+                return info.methods[name]
+            frontier.extend(info.base_keys)
+        return None
+
+    def resolve(self, modname: str, dotted: str) -> tuple[str, str] | None:
+        """Resolve a dotted expression path from ``modname``'s namespace.
+
+        Handles ``f``, ``alias.f``, ``pkg.mod.f``, ``Class.method`` and
+        combinations; returns the same shapes as :meth:`_lookup`.
+        """
+        parts = dotted.split(".")
+        current: tuple[str, str] | None = self._lookup(modname, parts[0])
+        if current is None:
+            # Try the longest module-path prefix ("repro.engine.samplers").
+            for split in range(len(parts), 0, -1):
+                prefix = ".".join(parts[:split])
+                if prefix in self.modules:
+                    current = ("module", prefix)
+                    parts = parts[split - 1 :]
+                    break
+            if current is None:
+                return None
+        for part in parts[1:]:
+            kind, key = current
+            if kind == "module":
+                current = self._lookup(key, part)
+            elif kind == "class":
+                method = self.method_of(key, part)
+                current = ("func", method) if method is not None else None
+            else:
+                return None
+            if current is None:
+                return None
+        return current
+
+
+# --------------------------------------------------------------------------
+# Construction
+# --------------------------------------------------------------------------
+
+
+def _index_module(program: Program, module: ProgramModule) -> None:
+    """Phase A: functions, classes, imports and registry dicts."""
+    modname = module.modname
+
+    def add_function(
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        qual: tuple[str, ...],
+        class_name: str | None,
+        nested: bool,
+    ) -> FunctionInfo:
+        qualname = ".".join((*qual, node.name))
+        key = f"{modname}:{qualname}"
+        info = FunctionInfo(
+            key=key,
+            modname=modname,
+            qualname=qualname,
+            name=node.name,
+            node=node,
+            module=module,
+            class_name=class_name,
+            nested=nested,
+        )
+        program.functions[key] = info
+        return info
+
+    def walk(
+        body: list[ast.stmt],
+        qual: tuple[str, ...],
+        class_name: str | None,
+        in_function: bool,
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = add_function(stmt, qual, class_name, in_function)
+                if class_name is not None and not in_function:
+                    class_key = f"{modname}:{class_name}"
+                    program.classes[class_key].methods[stmt.name] = info.key
+                walk(stmt.body, (*qual, stmt.name), None, True)
+            elif isinstance(stmt, ast.ClassDef):
+                class_key = f"{modname}:{'.'.join((*qual, stmt.name))}"
+                bases = tuple(
+                    base_path
+                    for base in stmt.bases
+                    if (base_path := dotted_path(base)) is not None
+                )
+                program.classes[class_key] = ClassInfo(
+                    key=class_key,
+                    modname=modname,
+                    name=stmt.name,
+                    node=stmt,
+                    base_names=bases,
+                )
+                if not in_function and not qual:
+                    module.defs[stmt.name] = ("class", class_key)
+                walk(stmt.body, (*qual, stmt.name), stmt.name, in_function)
+
+    walk(list(module.tree.body), (), None, False)
+
+    for stmt in module.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            module.defs.setdefault(
+                stmt.name, ("func", f"{modname}:{stmt.name}")
+            )
+
+    module.imports.update(_collect_imports(module.tree.body, modname))
+
+    # Registry dicts: module-level NAME = { ...: func_or_class, ... }.
+    for stmt in module.tree.body:
+        if not (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Dict)
+        ):
+            continue
+        name = stmt.targets[0].id
+        values = [
+            value_path
+            for value in stmt.value.values
+            if (value_path := dotted_path(value)) is not None
+        ]
+        if values:
+            key = f"{modname}:{name}"
+            module.defs[name] = ("registry", key)
+            # Targets resolved in phase B (cross-module values).
+            program.registries[key] = tuple(values)
+
+
+def _collect_imports(
+    body: list[ast.stmt], modname: str
+) -> dict[str, tuple[str, ...]]:
+    """Import table of one statement list (module or function body)."""
+    table: dict[str, tuple[str, ...]] = {}
+    package_parts = modname.split(".")
+    for stmt in body:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.asname:
+                    table[alias.asname] = ("module", alias.name)
+                else:
+                    head = alias.name.split(".")[0]
+                    table.setdefault(head, ("module", head))
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.level:
+                # Relative import: anchor at the current package.
+                base = package_parts[: len(package_parts) - stmt.level]
+                source = ".".join((*base, stmt.module or "")).rstrip(".")
+            else:
+                source = stmt.module or ""
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                table[alias.asname or alias.name] = (
+                    "from",
+                    source,
+                    alias.name,
+                )
+    return table
+
+
+def _resolve_registry_targets(program: Program) -> None:
+    """Phase B prelude: registry values -> function keys (classes map to
+    their ``__init__`` when present, else stay as opaque targets)."""
+    resolved: dict[str, tuple[str, ...]] = {}
+    for key, value_paths in program.registries.items():
+        modname = key.split(":", 1)[0]
+        targets: list[str] = []
+        for value_path in value_paths:
+            hit = program.resolve(modname, value_path)
+            if hit is None:
+                continue
+            kind, target = hit
+            if kind == "func":
+                targets.append(target)
+            elif kind == "class":
+                init = program.method_of(target, "__init__")
+                if init is not None:
+                    targets.append(init)
+                call = program.method_of(target, "__call__")
+                if call is not None:
+                    targets.append(call)
+        resolved[key] = tuple(dict.fromkeys(targets))
+    program.registries = resolved
+
+
+def _resolve_class_bases(program: Program) -> None:
+    for info in program.classes.values():
+        keys: list[str] = []
+        for base in info.base_names:
+            hit = program.resolve(info.modname, base)
+            if hit is not None and hit[0] == "class":
+                keys.append(hit[1])
+        info.base_keys = tuple(keys)
+
+
+def _callable_target(
+    program: Program,
+    modname: str,
+    expr: ast.expr,
+    local_imports: dict[str, tuple[str, ...]],
+    registry_names: dict[str, str],
+) -> tuple[str, ...]:
+    """Function keys an expression used *as a callable/value* denotes."""
+    path = dotted_path(expr)
+    if path is None:
+        if isinstance(expr, ast.Subscript):
+            reg = _registry_of(
+                program, modname, expr.value, local_imports, registry_names
+            )
+            if reg is not None:
+                return program.registries.get(reg, ())
+        return ()
+    head = path.split(".")[0]
+    if head in registry_names and "." not in path:
+        return program.registries.get(registry_names[head], ())
+    hit = _resolve_with_locals(program, modname, path, local_imports)
+    if hit is None:
+        return ()
+    kind, key = hit
+    if kind == "func":
+        return (key,)
+    if kind == "class":
+        init = program.method_of(key, "__init__")
+        return (init,) if init is not None else ()
+    if kind == "registry":
+        return program.registries.get(key, ())
+    return ()
+
+
+def _registry_of(
+    program: Program,
+    modname: str,
+    expr: ast.expr,
+    local_imports: dict[str, tuple[str, ...]],
+    registry_names: dict[str, str],
+) -> str | None:
+    path = dotted_path(expr)
+    if path is None:
+        return None
+    if path in registry_names:
+        return registry_names[path]
+    hit = _resolve_with_locals(program, modname, path, local_imports)
+    if hit is not None and hit[0] == "registry":
+        return hit[1]
+    return None
+
+
+def _resolve_with_locals(
+    program: Program,
+    modname: str,
+    dotted: str,
+    local_imports: dict[str, tuple[str, ...]],
+) -> tuple[str, str] | None:
+    """Resolve honouring function-local imports before module scope."""
+    head = dotted.split(".")[0]
+    imported = local_imports.get(head)
+    if imported is not None:
+        if imported[0] == "module":
+            rest = dotted.split(".")[1:]
+            current: tuple[str, str] | None = ("module", imported[1])
+            for part in rest:
+                if current is None or current[0] != "module":
+                    break
+                current = program._lookup(current[1], part)
+            else:
+                return current
+            # Fall through to class/method handling via Program.resolve.
+            if imported[1] in program.modules and rest:
+                return program.resolve(
+                    imported[1], ".".join(rest)
+                )
+            return None
+        _kind, target_mod, objname = imported
+        rest = dotted.split(".")[1:]
+        rebased = ".".join((objname, *rest))
+        if target_mod in program.modules:
+            return program.resolve(target_mod, rebased)
+        return None
+    return program.resolve(modname, dotted)
+
+
+def _extract_edges(program: Program, info: FunctionInfo) -> None:
+    """Phase B: call / ref / process edges of one function."""
+    modname = info.modname
+    local_imports = _collect_imports(
+        list(_iter_own_statements(list(info.node.body))), modname
+    )
+    # Names bound (anywhere in this function) from a registry subscript:
+    # ``factory = _FACTORIES[name]`` makes ``factory(...)`` a dispatch.
+    registry_names: dict[str, str] = {}
+    for stmt in _iter_own_statements(list(info.node.body)):
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Subscript)
+        ):
+            reg = _registry_of(
+                program, modname, stmt.value.value, local_imports, {}
+            )
+            if reg is not None:
+                registry_names[stmt.targets[0].id] = reg
+
+    def add_edge(kind: str, callee: str, site: ast.AST) -> None:
+        program.edges.append(
+            Edge(
+                caller=info.key,
+                callee=callee,
+                kind=kind,
+                lineno=getattr(site, "lineno", info.node.lineno),
+                col=getattr(site, "col_offset", 0),
+            )
+        )
+
+    for stmt, call in _function_calls(info.node):
+        func = call.func
+        handled_args: set[int] = set()
+
+        # Process dispatch through an executor method.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _EXECUTOR_DISPATCH
+            and _looks_like_executor(func.value)
+        ):
+            targets: list[str] = []
+            if call.args:
+                for key in _callable_target(
+                    program, modname, call.args[0], local_imports,
+                    registry_names,
+                ):
+                    targets.append(key)
+                    add_edge(PROCESS, key, call)
+                handled_args.add(0)
+            program.dispatch_sites.append(
+                DispatchSite(
+                    caller=info.key,
+                    stmt=stmt,
+                    call=call,
+                    kind="executor",
+                    targets=tuple(targets),
+                )
+            )
+            continue
+
+        # Process bootstrap through a pool/process constructor.
+        callee_name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if callee_name in _PROCESS_CONSTRUCTORS:
+            targets = []
+            for kw in call.keywords:
+                if kw.arg in _PROCESS_CALLABLE_KWARGS:
+                    for key in _callable_target(
+                        program, modname, kw.value, local_imports,
+                        registry_names,
+                    ):
+                        targets.append(key)
+                        add_edge(PROCESS, key, call)
+            if targets:
+                program.dispatch_sites.append(
+                    DispatchSite(
+                        caller=info.key,
+                        stmt=stmt,
+                        call=call,
+                        kind="constructor",
+                        targets=tuple(targets),
+                    )
+                )
+
+        # Plain call resolution.
+        resolved = False
+        for key in _callable_target(
+            program, modname, func, local_imports, registry_names
+        ):
+            add_edge(CALL, key, call)
+            resolved = True
+        if not resolved and isinstance(func, ast.Attribute):
+            receiver = func.value
+            if (
+                isinstance(receiver, ast.Name)
+                and receiver.id in ("self", "cls")
+                and info.class_name is not None
+            ):
+                method = program.method_of(
+                    f"{modname}:{info.class_name}", func.attr
+                )
+                if method is not None:
+                    add_edge(CALL, method, call)
+                    resolved = True
+            if not resolved:
+                # Class-hierarchy analysis by attribute name: only
+                # methods defined by program classes participate.
+                for class_key in sorted(program.classes):
+                    method_key = program.classes[class_key].methods.get(
+                        func.attr
+                    )
+                    if method_key is not None:
+                        add_edge(CALL, method_key, call)
+
+        # Reference edges: program functions passed as values.
+        for position, arg in enumerate(call.args):
+            if position in handled_args or isinstance(arg, ast.Call):
+                continue
+            for key in _callable_target(
+                program, modname, arg, local_imports, registry_names
+            ):
+                add_edge(REF, key, call)
+        for kw in call.keywords:
+            if isinstance(kw.value, ast.Call):
+                continue
+            if callee_name in _PROCESS_CONSTRUCTORS and (
+                kw.arg in _PROCESS_CALLABLE_KWARGS
+            ):
+                continue
+            for key in _callable_target(
+                program, modname, kw.value, local_imports, registry_names
+            ):
+                add_edge(REF, key, call)
+
+
+def build_program(items) -> Program:
+    """Build a :class:`Program` from ``(modname, path, source)`` triples.
+
+    ``items`` may also carry pre-parsed ``(tree, analysis, content_hash)``
+    as produced by :func:`repro.devtools.dataflow.analyze_source`; see
+    :func:`program_from_paths` in :mod:`repro.devtools.lint` for the
+    file-level entry point.
+    """
+    import hashlib
+
+    from repro.devtools.dataflow import analyze_source
+
+    program = Program()
+    for item in items:
+        modname, path, source = item
+        tree, analysis = analyze_source(source, path)
+        module = ProgramModule(
+            modname=modname,
+            path=path,
+            source=source,
+            lines=tuple(source.splitlines()),
+            tree=tree,
+            analysis=analysis,
+            content_hash=hashlib.sha256(
+                source.encode("utf-8")
+            ).hexdigest(),
+        )
+        program.modules[modname] = module
+    for modname in sorted(program.modules):
+        _index_module(program, program.modules[modname])
+    _resolve_class_bases(program)
+    _resolve_registry_targets(program)
+    for key in sorted(program.functions):
+        _extract_edges(program, program.functions[key])
+    program._edges_out = None  # invalidate grouping built mid-construction
+    return program

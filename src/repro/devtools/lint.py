@@ -9,7 +9,10 @@ those rules: the stateless per-statement family (REP001–REP006) and the
 documentation family (REP301) live here, the flow-sensitive families
 (REP1xx RNG discipline, REP2xx freeze-once contracts) in
 :mod:`repro.devtools.rules_flow` on top of the
-:mod:`repro.devtools.dataflow` core.
+:mod:`repro.devtools.dataflow` core, and the interprocedural families
+(REP4xx parallel safety, REP5xx cache soundness) in
+:mod:`repro.devtools.rules_interproc` on top of the
+:mod:`repro.devtools.callgraph` / :mod:`repro.devtools.summaries` layer.
 
 Usage::
 
@@ -47,6 +50,7 @@ from __future__ import annotations
 import argparse
 import ast
 import dataclasses
+import difflib
 import fnmatch
 import multiprocessing
 import re
@@ -63,6 +67,7 @@ from repro.devtools._base import (
     _PRIVATE_ADJ,
     _SAFE_NUMPY_RANDOM,
     FileContext,
+    ProgramRule,
     Rule,
     Violation,
 )
@@ -72,8 +77,11 @@ from repro.devtools.baseline import (
     load_baseline,
     write_baseline,
 )
+from repro.devtools.callgraph import build_program, module_name_for_path
+from repro.devtools.dataflow import analyze_source
 from repro.devtools.report import FORMATS, render
 from repro.devtools.rules_flow import FLOW_RULES
+from repro.devtools.rules_interproc import INTERPROC_RULES
 
 try:
     import tomllib
@@ -93,6 +101,7 @@ __all__ = [
     "BroadExceptRule",
     "DocstringCoverageRule",
     "FLOW_RULES",
+    "INTERPROC_RULES",
     "ALL_RULES",
     "lint_source",
     "lint_paths",
@@ -614,6 +623,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     BroadExceptRule,
     *FLOW_RULES,
     DocstringCoverageRule,
+    *INTERPROC_RULES,
 )
 
 _KNOWN_RULE_IDS = frozenset(rule.id for rule in ALL_RULES)
@@ -749,7 +759,7 @@ def _check_noqa_ids(lines: Sequence[str], path: str) -> list[Violation]:
                         rule_id="REP000",
                         message=(
                             f"unknown rule id '{rule_id}' in noqa comment; "
-                            "known ids: REP001..REP301 (see --list-rules)"
+                            "known ids: REP001..REP503 (see --list-rules)"
                         ),
                         path=path,
                         line=lineno,
@@ -765,7 +775,10 @@ def lint_source(
     """Lint one source string; returns the unsuppressed violations."""
     config = config if config is not None else LintConfig()
     try:
-        tree = ast.parse(source, filename=path)
+        # Parse through the content-hash cache so repeated lints of an
+        # unchanged module (watch loops, bench warm runs, the program
+        # pass below) reuse the tree *and* its dataflow analysis.
+        tree, _ = analyze_source(source, path)
     except SyntaxError as error:
         return [
             Violation(
@@ -811,6 +824,55 @@ def _lint_one_file(item: tuple[str, LintConfig]) -> list[Violation]:
     return lint_source(source, path, config)
 
 
+def _run_program_rules(
+    files: Sequence[str], config: LintConfig
+) -> list[Violation]:
+    """Run the interprocedural rules (REP4xx/REP5xx) over one batch.
+
+    This always executes in the parent process, after the per-file pass:
+    the whole-program rules need every module at once, and running them
+    exactly once keeps serial and ``--jobs`` output byte-identical.
+    Files that fail to parse are skipped here — the per-file pass already
+    reported them as REP000.
+    """
+    program_rules = [
+        rule for rule in config.active_rules() if isinstance(rule, ProgramRule)
+    ]
+    if not program_rules:
+        return []
+    items: list[tuple[str, str, str]] = []
+    lines_by_path: dict[str, tuple[str, ...]] = {}
+    seen_modnames: set[str] = set()
+    for path in files:
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+        except OSError:
+            continue
+        try:
+            analyze_source(source, path)
+        except SyntaxError:
+            continue
+        modname = module_name_for_path(path)
+        while modname in seen_modnames:
+            modname += "_"
+        seen_modnames.add(modname)
+        items.append((modname, path, source))
+        lines_by_path[path] = tuple(source.splitlines())
+    if not items:
+        return []
+    program = build_program(items)
+    violations: list[Violation] = []
+    for rule in program_rules:
+        for violation in rule.check_program(program):
+            if violation.rule_id in config.path_ignored_rules(violation.path):
+                continue
+            lines = lines_by_path.get(violation.path, ())
+            if _suppressed(lines, violation.line, violation.rule_id):
+                continue
+            violations.append(violation)
+    return violations
+
+
 def lint_paths(
     paths: Iterable[str | Path],
     config: LintConfig | None = None,
@@ -821,7 +883,9 @@ def lint_paths(
 
     With ``jobs > 1`` files are linted in a process pool; results are
     merged in the (sorted) file-iteration order, so the output is
-    byte-identical to a single-process run.
+    byte-identical to a single-process run.  The interprocedural rules
+    always run once, serially, in the parent — their findings are merged
+    into the owning file's block and re-sorted, preserving determinism.
     """
     from repro import obs
     from repro.obs import instruments
@@ -837,6 +901,22 @@ def lint_paths(
                 per_file = pool.map(_lint_one_file, items)
         else:
             per_file = [_lint_one_file((path, config)) for path in files]
+        program_violations = _run_program_rules(files, config)
+        if program_violations:
+            by_path: dict[str, list[Violation]] = {}
+            for violation in program_violations:
+                by_path.setdefault(violation.path, []).append(violation)
+            sort_key = lambda v: (v.path, v.line, v.col, v.rule_id)  # noqa: E731
+            for index, path in enumerate(files):
+                extra = by_path.pop(path, None)
+                if extra:
+                    per_file[index] = sorted(
+                        [*per_file[index], *extra], key=sort_key
+                    )
+            # Paths the program reports that are not in the batch (never
+            # expected) still come out deterministically, at the end.
+            for path in sorted(by_path):
+                per_file.append(sorted(by_path[path], key=sort_key))
         violations: list[Violation] = []
         for result in per_file:
             violations.extend(result)
@@ -852,28 +932,46 @@ def _print_rule_catalogue() -> None:
         print(f"        {doc}")
 
 
-def _explain_rule(rule_id: str) -> int:
-    for rule in ALL_RULES:
-        if rule.id != rule_id:
-            continue
-        print(f"{rule.id} — {rule.summary}")
+def _print_one_explanation(rule: type[Rule]) -> None:
+    print(f"{rule.id} — {rule.summary}")
+    print()
+    doc = (rule.__doc__ or "").strip()
+    for line in doc.splitlines():
+        print(line.strip() if line.strip() else "")
+    if rule.example_bad:
         print()
-        doc = (rule.__doc__ or "").strip()
-        for line in doc.splitlines():
-            print(line.strip() if line.strip() else "")
-        if rule.example_bad:
-            print()
-            print("Bad:")
-            for line in rule.example_bad.rstrip("\n").splitlines():
-                print(f"    {line}")
-        if rule.example_good:
-            print()
-            print("Good:")
-            for line in rule.example_good.rstrip("\n").splitlines():
-                print(f"    {line}")
+        print("Bad:")
+        for line in rule.example_bad.rstrip("\n").splitlines():
+            print(f"    {line}")
+    if rule.example_good:
+        print()
+        print("Good:")
+        for line in rule.example_good.rstrip("\n").splitlines():
+            print(f"    {line}")
+
+
+def _explain_rule(rule_id: str) -> int:
+    """Print one rule's rationale, or all of them for ``--explain all``."""
+    if rule_id.lower() == "all":
+        for index, rule in enumerate(
+            sorted(ALL_RULES, key=lambda rule: rule.id)
+        ):
+            if index:
+                print()
+                print("-" * 72)
+                print()
+            _print_one_explanation(rule)
         return 0
+    for rule in ALL_RULES:
+        if rule.id == rule_id:
+            _print_one_explanation(rule)
+            return 0
+    hints = difflib.get_close_matches(
+        rule_id, sorted(_KNOWN_RULE_IDS), n=3, cutoff=0.6
+    )
+    suggestion = f"; did you mean {', '.join(hints)}?" if hints else ""
     print(
-        f"error: unknown rule id {rule_id!r} (see --list-rules)",
+        f"error: unknown rule id {rule_id!r}{suggestion} (see --list-rules)",
         file=sys.stderr,
     )
     return 2
@@ -883,7 +981,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro.devtools.lint``."""
     parser = argparse.ArgumentParser(
         prog="repro.devtools.lint",
-        description="Repo-specific AST lint pass (rules REP001-REP301)",
+        description="Repo-specific AST lint pass (rules REP001-REP503)",
     )
     parser.add_argument("paths", nargs="*", default=["src"], help="files or dirs")
     parser.add_argument(
@@ -903,7 +1001,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--explain",
         metavar="REPxxx",
-        help="print one rule's rationale with a bad/good example pair",
+        help=(
+            "print one rule's rationale with a bad/good example pair "
+            "('all' prints the whole catalogue in id order)"
+        ),
     )
     parser.add_argument(
         "--format",
@@ -931,7 +1032,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--write-baseline",
         action="store_true",
-        help="rewrite the baseline from current findings and exit",
+        help=(
+            "rewrite the baseline from current findings (pruning entries "
+            "that no longer fire) and exit"
+        ),
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help=(
+            "fail if the baseline contains stale entries that no longer "
+            "match any finding (ratchet enforcement)"
+        ),
     )
     args = parser.parse_args(argv)
     if args.list_rules:
@@ -977,9 +1089,29 @@ def main(argv: Sequence[str] | None = None) -> int:
     entries = load_baseline(baseline_path)
     if args.write_baseline:
         written = write_baseline(violations, baseline_path, previous=entries)
+        pruned = sorted(set(entries) - set(written))
         print(f"wrote {len(written)} baseline entr(y/ies) to {baseline_path}")
+        if pruned:
+            print(f"pruned {len(pruned)} stale entr(y/ies):")
+            for key in pruned:
+                print(f"  {key}")
         return 0
     remaining, stale = apply_baseline(violations, entries)
+    if args.check_baseline:
+        if stale:
+            print(
+                f"error: {len(stale)} stale baseline entr(y/ies) in "
+                f"{baseline_path}; tighten with --write-baseline:",
+                file=sys.stderr,
+            )
+            for key in stale:
+                print(f"  {key}", file=sys.stderr)
+            return 1
+        print(
+            f"baseline {baseline_path} is tight "
+            f"({len(entries)} entr(y/ies), none stale)"
+        )
+        return 0
     for key in stale:
         print(
             f"warning: stale baseline entry {key!r} — no findings remain; "

@@ -1,0 +1,655 @@
+"""Per-function effect summaries over the whole-program call graph.
+
+:mod:`repro.devtools.dataflow` answers "what does this value carry?"
+inside one function; the REP40x/REP50x rules need the same answer *across*
+calls: does ``_score_shard`` — three frames below ``pool.submit`` — write
+into a frozen CSR buffer?  Does the value returned by ``_worker_context``
+carry the FROZEN tag?  This module computes a :class:`FunctionSummary`
+for every function of a :class:`~repro.devtools.callgraph.Program`:
+
+* ``return_tags`` — the origin-lattice tags (RNG / GRAPH / FROZEN /
+  UNORDERED / …) of the function's return value, from return expressions
+  and the return annotation, extended with two interprocedural tags:
+  ``frozen_derived`` (a view or buffer reached *through* a frozen
+  snapshot — ``context.csr.indices``) and ``cache_path`` (a path produced
+  by a cache's ``_path`` key-to-file mapping);
+* ``mutates_params`` / ``frozen_mutation_sites`` — MUTATES-frozen: which
+  parameters the function writes through in place (subscript stores,
+  in-place array mutators, graph/container mutators), and the concrete
+  sites where a *frozen-tagged* value is mutated;
+* ``consumes_rng`` / ``consumes_rng_params`` — CONSUMES-RNG: the function
+  (transitively) draws from an RNG, and through which parameters;
+* ``crosses_process`` — CROSSES-PROCESS: the function (transitively)
+  dispatches work to another process;
+* CACHE-KEY-INPUT is per-call-site rather than per-function and lives in
+  :mod:`repro.devtools.rules_interproc` (REP501), which consumes the
+  evaluators exposed here.
+
+Summaries are computed bottom-up over the SCC condensation (callees
+first); mutually recursive components iterate to a fixpoint, which
+terminates because every field only grows within a finite lattice.  The
+finished table is cached per whole-program content hash (every module's
+source digest), so warm lints — second runs in one process, bench loops,
+the ``--jobs`` parent — skip straight to the rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.devtools._base import (
+    _CONTAINER_MUTATORS,
+    _GRAPH_MUTATORS,
+    _RNG_CONSUMERS,
+)
+from repro.devtools.callgraph import (
+    CALL,
+    FunctionInfo,
+    Program,
+    _callable_target,
+    _collect_imports,
+    _iter_own_statements,
+    _stmt_expressions,
+)
+from repro.devtools.dataflow import (
+    FROZEN,
+    RNG,
+    ControlFlowGraph,
+    _annotation_tags,
+    _expression_tags,
+    root_name,
+)
+
+__all__ = [
+    "FROZEN_DERIVED",
+    "CACHE_PATH",
+    "FunctionSummary",
+    "MutationSite",
+    "ProgramSummaries",
+    "summarize",
+]
+
+#: A value reached *through* a frozen snapshot (attribute/subscript chain
+#: rooted at a FROZEN value): mutating it mutates the frozen state.
+FROZEN_DERIVED = "frozen_derived"
+#: A filesystem path produced by a cache's key-to-file mapping.
+CACHE_PATH = "cache_path"
+
+_EMPTY: frozenset[str] = frozenset()
+_FROZENISH = frozenset({FROZEN, FROZEN_DERIVED})
+
+#: ndarray methods that mutate the array in place.
+_ARRAY_MUTATORS = frozenset(
+    {"fill", "sort", "put", "partition", "itemset", "resize"}
+)
+_ALL_MUTATORS = _GRAPH_MUTATORS | _CONTAINER_MUTATORS | _ARRAY_MUTATORS
+
+#: pathlib methods that derive one path from another (keep CACHE_PATH).
+_PATH_DERIVERS = frozenset(
+    {"with_name", "with_suffix", "with_stem", "absolute", "resolve"}
+)
+
+#: Methods exempt from frozen-mutation reporting: construction and
+#: unpickling legitimately populate not-yet-shared state.
+_CONSTRUCTION_METHODS = frozenset(
+    {"__init__", "__post_init__", "__new__", "__setstate__", "from_parts"}
+)
+
+#: Annotation identifiers that seed interprocedural tags (supplementing
+#: dataflow's ``_ANNOTATION_TAGS``).
+_SUMMARY_ANNOTATION_TAGS = {"CSRBuffers": FROZEN}
+
+
+@dataclass(frozen=True)
+class MutationSite:
+    """One in-place write through a frozen-tagged value."""
+
+    lineno: int
+    col: int
+    target: str  #: rendered receiver, e.g. ``context.csr.indices``
+    kind: str  #: "subscript-store" | "method:<name>"
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Effect summary of one program function (see module docstring)."""
+
+    key: str
+    return_tags: frozenset[str] = _EMPTY
+    mutates_params: frozenset[int] = frozenset()
+    frozen_mutation_sites: tuple[MutationSite, ...] = ()
+    consumes_rng: bool = False
+    consumes_rng_params: frozenset[int] = frozenset()
+    crosses_process: bool = False
+
+    @property
+    def mutates_frozen(self) -> bool:
+        return bool(self.frozen_mutation_sites)
+
+    def merged_with(self, other: "FunctionSummary") -> "FunctionSummary":
+        """Monotone union (fixpoint iteration never shrinks a field)."""
+        return FunctionSummary(
+            key=self.key,
+            return_tags=self.return_tags | other.return_tags,
+            mutates_params=self.mutates_params | other.mutates_params,
+            frozen_mutation_sites=tuple(
+                sorted(
+                    set(self.frozen_mutation_sites)
+                    | set(other.frozen_mutation_sites),
+                    key=lambda site: (site.lineno, site.col, site.kind),
+                )
+            ),
+            consumes_rng=self.consumes_rng or other.consumes_rng,
+            consumes_rng_params=(
+                self.consumes_rng_params | other.consumes_rng_params
+            ),
+            crosses_process=self.crosses_process or other.crosses_process,
+        )
+
+
+def _render(expr: ast.expr) -> str:
+    try:
+        return ast.unparse(expr)
+    except (ValueError, AttributeError):  # pragma: no cover - synthetic trees
+        return "<expr>"
+
+
+class _FunctionEval:
+    """Summary-aware origin environments for one function.
+
+    Re-runs the dataflow transfer over the function's CFG with an
+    extended tagging function: calls into program functions contribute
+    their summarized return tags, attribute/subscript chains rooted at a
+    FROZEN value yield ``frozen_derived``, and cache ``_path`` results
+    yield ``cache_path``.
+    """
+
+    def __init__(
+        self,
+        info: FunctionInfo,
+        program: Program,
+        table: dict[str, FunctionSummary],
+    ) -> None:
+        self.info = info
+        self.program = program
+        self.table = table
+        self.module_info = info.module.analysis.info
+        self.cfg = ControlFlowGraph.from_function(info.node)
+        own = list(_iter_own_statements(list(info.node.body)))
+        self.local_imports = _collect_imports(own, info.modname)
+        self._env_in: dict[int, dict[str, frozenset[str]]] = {}
+        self._compute()
+
+    # -- call resolution ----------------------------------------------------
+
+    def call_targets(self, func: ast.expr) -> tuple[str, ...]:
+        """Program functions a call's ``func`` expression may denote."""
+        info = self.info
+        targets = _callable_target(
+            self.program, info.modname, func, self.local_imports, {}
+        )
+        if targets:
+            return targets
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if (
+                isinstance(receiver, ast.Name)
+                and receiver.id in ("self", "cls")
+                and info.class_name is not None
+            ):
+                method = self.program.method_of(
+                    f"{info.modname}:{info.class_name}", func.attr
+                )
+                if method is not None:
+                    return (method,)
+            hits = []
+            for class_key in sorted(self.program.classes):
+                method = self.program.classes[class_key].methods.get(
+                    func.attr
+                )
+                if method is not None:
+                    hits.append(method)
+            return tuple(hits)
+        return ()
+
+    def _return_tags_of(self, func: ast.expr) -> frozenset[str]:
+        tags: frozenset[str] = _EMPTY
+        for key in self.call_targets(func):
+            summary = self.table.get(key)
+            if summary is not None:
+                tags |= summary.return_tags
+        return tags
+
+    # -- extended tagging ---------------------------------------------------
+
+    def tags(self, expr: ast.expr, stmt: ast.stmt) -> frozenset[str]:
+        return self._tags(expr, self.env_before(stmt))
+
+    def env_before(self, stmt: ast.stmt) -> dict[str, frozenset[str]]:
+        return self._env_in.get(id(stmt), self._initial_env())
+
+    def _tags(
+        self, expr: ast.expr, env: dict[str, frozenset[str]]
+    ) -> frozenset[str]:
+        if isinstance(expr, ast.Call):
+            base = _expression_tags(expr, env, self.module_info)
+            if base:
+                return base
+            if isinstance(expr.func, ast.Attribute):
+                receiver_tags = self._tags(expr.func.value, env)
+                if (
+                    CACHE_PATH in receiver_tags
+                    and expr.func.attr in _PATH_DERIVERS
+                ):
+                    return frozenset({CACHE_PATH})
+            return self._return_tags_of(expr.func)
+        if isinstance(expr, ast.Attribute):
+            base = self._tags(expr.value, env)
+            tags = _expression_tags(expr, env, self.module_info)
+            if base & _FROZENISH:
+                tags = tags | {FROZEN_DERIVED}
+            if CACHE_PATH in base and expr.attr == "parent":
+                tags = tags | {CACHE_PATH}
+            return tags
+        if isinstance(expr, ast.Subscript):
+            base = self._tags(expr.value, env)
+            if base & _FROZENISH:
+                return frozenset({FROZEN_DERIVED})
+            return _EMPTY
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            tags = _EMPTY
+            for element in expr.elts:
+                tags = tags | self._tags(element, env)
+            return tags
+        if isinstance(expr, ast.IfExp):
+            return self._tags(expr.body, env) | self._tags(expr.orelse, env)
+        if isinstance(expr, ast.BoolOp):
+            tags = _EMPTY
+            for value in expr.values:
+                tags = tags | self._tags(value, env)
+            return tags
+        if isinstance(expr, ast.Starred):
+            return self._tags(expr.value, env)
+        return _expression_tags(expr, env, self.module_info)
+
+    # -- fixpoint over the CFG ----------------------------------------------
+
+    def _initial_env(self) -> dict[str, frozenset[str]]:
+        env: dict[str, frozenset[str]] = {}
+        args = self.info.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            tags = _annotation_tags(arg.annotation) | _extra_annotation_tags(
+                arg.annotation
+            )
+            if not tags and arg.arg in {"rng", "random_state"}:
+                tags = frozenset({RNG})
+            if tags:
+                env[arg.arg] = tags
+        return env
+
+    def _transfer(
+        self, stmt: ast.stmt, env: dict[str, frozenset[str]]
+    ) -> dict[str, frozenset[str]]:
+        env = dict(env)
+        if isinstance(stmt, ast.Assign):
+            tags = self._tags(stmt.value, env)
+            for target in stmt.targets:
+                self._assign_target(target, stmt.value, tags, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            tags = _annotation_tags(stmt.annotation) | _extra_annotation_tags(
+                stmt.annotation
+            )
+            if stmt.value is not None:
+                tags = tags | self._tags(stmt.value, env)
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = tags
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                existing = env.get(stmt.target.id, _EMPTY)
+                env[stmt.target.id] = existing | self._tags(stmt.value, env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = _EMPTY
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    env[item.optional_vars.id] = self._tags(
+                        item.context_expr, env
+                    )
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.NamedExpr) and isinstance(
+                sub.target, ast.Name
+            ):
+                env[sub.target.id] = self._tags(sub.value, env)
+        return env
+
+    def _assign_target(
+        self,
+        target: ast.expr,
+        value: ast.expr,
+        tags: frozenset[str],
+        env: dict[str, frozenset[str]],
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = tags
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value, (ast.Tuple, ast.List)) and len(
+                value.elts
+            ) == len(target.elts):
+                for sub_target, sub_value in zip(target.elts, value.elts):
+                    self._assign_target(
+                        sub_target, sub_value, self._tags(sub_value, env), env
+                    )
+            else:
+                for sub_target in target.elts:
+                    if isinstance(sub_target, ast.Name):
+                        env[sub_target.id] = _EMPTY
+
+    def _compute(self) -> None:
+        blocks = self.cfg.blocks
+        block_out: dict[int, dict[str, frozenset[str]]] = {}
+        for _ in range(len(blocks) + 2):
+            changed = False
+            for block in blocks:
+                if block.index == self.cfg.entry:
+                    merged = dict(self._initial_env())
+                else:
+                    merged = {}
+                    for pred in block.predecessors:
+                        for name, tags in block_out.get(pred, {}).items():
+                            merged[name] = merged.get(name, _EMPTY) | tags
+                env = dict(merged)
+                for stmt in block.statements:
+                    self._env_in[id(stmt)] = dict(env)
+                    env = self._transfer(stmt, env)
+                if block_out.get(block.index) != env:
+                    block_out[block.index] = env
+                    changed = True
+            if not changed:
+                break
+
+
+def _extra_annotation_tags(annotation: ast.expr | None) -> frozenset[str]:
+    if annotation is None:
+        return _EMPTY
+    tags: set[str] = set()
+    for sub in ast.walk(annotation):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            for token, tag in _SUMMARY_ANNOTATION_TAGS.items():
+                if token in sub.value:
+                    tags.add(tag)
+        if name in _SUMMARY_ANNOTATION_TAGS:
+            tags.add(_SUMMARY_ANNOTATION_TAGS[name])
+    return frozenset(tags)
+
+
+def _param_index(info: FunctionInfo, name: str | None) -> int | None:
+    if name is None:
+        return None
+    try:
+        return info.param_names.index(name)
+    except ValueError:
+        return None
+
+
+def _compute_summary(
+    info: FunctionInfo,
+    program: Program,
+    table: dict[str, FunctionSummary],
+    crossers: set[str],
+) -> tuple[FunctionSummary, _FunctionEval]:
+    """One summary pass for ``info`` given the current ``table``."""
+    evaluator = _FunctionEval(info, program, table)
+    params = info.param_names
+    is_method = info.class_name is not None and params[:1] in (
+        ("self",),
+        ("cls",),
+    )
+    construction = (
+        info.class_name is not None and info.name in _CONSTRUCTION_METHODS
+    )
+
+    return_tags: frozenset[str] = _annotation_tags(
+        info.node.returns
+    ) | _extra_annotation_tags(info.node.returns)
+    if (
+        info.name == "_path"
+        and info.class_name is not None
+        and "Cache" in info.class_name
+    ):
+        return_tags = return_tags | {CACHE_PATH}
+    mutates_params: set[int] = set()
+    sites: set[MutationSite] = set()
+    consumes_rng = False
+    consumes_rng_params: set[int] = set()
+    crosses_process = info.key in crossers
+
+    def note_mutation(receiver: ast.expr, env, kind: str) -> None:
+        nonlocal sites, mutates_params
+        tags = evaluator._tags(receiver, env)
+        if tags & _FROZENISH and not construction:
+            sites.add(
+                MutationSite(
+                    lineno=receiver.lineno,
+                    col=receiver.col_offset,
+                    target=_render(receiver),
+                    kind=kind,
+                )
+            )
+        index = _param_index(info, root_name(receiver))
+        if index is not None:
+            mutates_params.add(index)
+
+    for stmt in evaluator.cfg.statement_order():
+        env = evaluator.env_before(stmt)
+
+        # In-place stores through subscripts: x[i] = v, x[i] += v.
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            queue = [target]
+            while queue:
+                node = queue.pop()
+                if isinstance(node, (ast.Tuple, ast.List)):
+                    queue.extend(node.elts)
+                elif isinstance(node, ast.Starred):
+                    queue.append(node.value)
+                elif isinstance(node, ast.Subscript):
+                    note_mutation(node.value, env, "subscript-store")
+
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            return_tags = return_tags | evaluator.tags(stmt.value, stmt)
+
+        for expr in _stmt_expressions(stmt):
+            for sub in ast.walk(expr):
+                if not isinstance(sub, ast.Call):
+                    continue
+                func = sub.func
+                if isinstance(func, ast.Attribute):
+                    if func.attr in _ALL_MUTATORS:
+                        note_mutation(func.value, env, f"method:{func.attr}")
+                    if func.attr in _RNG_CONSUMERS:
+                        receiver_tags = evaluator._tags(func.value, env)
+                        if RNG in receiver_tags:
+                            consumes_rng = True
+                            index = _param_index(
+                                info, root_name(func.value)
+                            )
+                            if index is not None:
+                                consumes_rng_params.add(index)
+                # Propagate callee effects onto our arguments.
+                callees = evaluator.call_targets(func)
+                if not callees:
+                    continue
+                bound = (
+                    isinstance(func, ast.Attribute)
+                    and not (
+                        isinstance(func.value, ast.Name)
+                        and func.value.id == "cls"
+                    )
+                )
+                for key in callees:
+                    callee_summary = table.get(key)
+                    callee_info = program.functions.get(key)
+                    if callee_summary is None or callee_info is None:
+                        continue
+                    if callee_summary.crosses_process:
+                        crosses_process = True
+                    if callee_summary.consumes_rng:
+                        consumes_rng = True
+                    offset = (
+                        1
+                        if bound
+                        and callee_info.class_name is not None
+                        and callee_info.param_names[:1]
+                        in (("self",), ("cls",))
+                        else 0
+                    )
+                    # Receiver occupies the self slot of a bound call.
+                    if offset == 1 and isinstance(func, ast.Attribute):
+                        if 0 in callee_summary.mutates_params:
+                            note_mutation(func.value, env, f"call:{key}")
+                    arg_slots: list[tuple[int, ast.expr]] = [
+                        (position + offset, arg)
+                        for position, arg in enumerate(sub.args)
+                        if not isinstance(arg, ast.Starred)
+                    ]
+                    for kw in sub.keywords:
+                        slot = (
+                            _param_index(callee_info, kw.arg)
+                            if kw.arg
+                            else None
+                        )
+                        if slot is not None:
+                            arg_slots.append((slot, kw.value))
+                    for slot, arg in arg_slots:
+                        if slot in callee_summary.mutates_params:
+                            note_mutation(arg, env, f"call:{key}")
+                        if slot in callee_summary.consumes_rng_params:
+                            arg_tags = evaluator._tags(arg, env)
+                            if RNG in arg_tags:
+                                consumes_rng = True
+                                index = _param_index(info, root_name(arg))
+                                if index is not None:
+                                    consumes_rng_params.add(index)
+
+    del is_method  # bound-call offsetting keys off the callee instead
+    summary = FunctionSummary(
+        key=info.key,
+        return_tags=return_tags,
+        mutates_params=frozenset(mutates_params),
+        frozen_mutation_sites=tuple(
+            sorted(sites, key=lambda s: (s.lineno, s.col, s.kind))
+        ),
+        consumes_rng=consumes_rng,
+        consumes_rng_params=frozenset(consumes_rng_params),
+        crosses_process=crosses_process,
+    )
+    return summary, evaluator
+
+
+class ProgramSummaries:
+    """The finished summary table plus per-function evaluators."""
+
+    def __init__(
+        self,
+        program: Program,
+        table: dict[str, FunctionSummary],
+        evaluators: dict[str, _FunctionEval],
+    ) -> None:
+        self.program = program
+        self.table = table
+        self._evaluators = evaluators
+
+    def summary(self, key: str) -> FunctionSummary:
+        return self.table.get(key, FunctionSummary(key=key))
+
+    def evaluator(self, key: str) -> _FunctionEval:
+        """Summary-aware environments for one function (lazily rebuilt)."""
+        cached = self._evaluators.get(key)
+        if cached is None:
+            cached = _FunctionEval(
+                self.program.functions[key], self.program, self.table
+            )
+            self._evaluators[key] = cached
+        return cached
+
+
+#: Finished tables keyed on the whole-program content hash.
+_TABLE_CACHE: "OrderedDict[str, dict[str, FunctionSummary]]" = OrderedDict()
+_TABLE_CACHE_MAX = 8
+
+
+def summarize(program: Program) -> ProgramSummaries:
+    """Compute (or fetch) effect summaries for every program function.
+
+    Bottom-up over the SCC condensation; mutually recursive components
+    iterate to a fixpoint (monotone union over finite lattices, so it
+    terminates).  Results are memoized on the program object and in a
+    content-hash keyed table shared across programs with identical
+    sources.
+    """
+    cached = getattr(program, "_repro_summaries", None)
+    if isinstance(cached, ProgramSummaries):
+        return cached
+
+    crossers = {site.caller for site in program.dispatch_sites}
+    program_hash = program.program_hash()
+    hit = _TABLE_CACHE.get(program_hash)
+    if hit is not None:
+        _TABLE_CACHE.move_to_end(program_hash)
+        result = ProgramSummaries(program, dict(hit), {})
+        program._repro_summaries = result
+        return result
+
+    table: dict[str, FunctionSummary] = {}
+    evaluators: dict[str, _FunctionEval] = {}
+    for component in program.condensation():
+        members = [
+            key for key in component if key in program.functions
+        ]
+        if not members:
+            continue
+        recursive = len(members) > 1 or any(
+            edge.callee in component
+            for key in members
+            for edge in program.edges_out(key)
+            if edge.kind == CALL
+        )
+        for key in members:
+            table.setdefault(key, FunctionSummary(key=key))
+        rounds = (2 * len(members) + 2) if recursive else 1
+        for _ in range(rounds):
+            changed = False
+            for key in sorted(members):
+                summary, evaluator = _compute_summary(
+                    program.functions[key], program, table, crossers
+                )
+                merged = table[key].merged_with(summary)
+                if merged != table[key]:
+                    table[key] = merged
+                    changed = True
+                evaluators[key] = evaluator
+            if not changed:
+                break
+        if recursive:
+            # Evaluators built mid-fixpoint saw stale callee summaries.
+            for key in members:
+                evaluators.pop(key, None)
+
+    _TABLE_CACHE[program_hash] = dict(table)
+    while len(_TABLE_CACHE) > _TABLE_CACHE_MAX:
+        _TABLE_CACHE.popitem(last=False)
+    result = ProgramSummaries(program, table, evaluators)
+    program._repro_summaries = result
+    return result

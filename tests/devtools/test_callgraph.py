@@ -1,0 +1,367 @@
+"""Edge-case tests for the whole-program call graph.
+
+The interprocedural rules are only as sound as the graph under them, so
+the resolution machinery is pinned here: decorated functions, indirect
+references (``functools.partial``), registry dispatch, method resolution
+through ``self``, process-boundary edges, and the SCC condensation's
+callee-first contract on mutual recursion.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools.callgraph import (
+    CALL,
+    PROCESS,
+    REF,
+    build_program,
+    module_name_for_path,
+)
+
+
+def make_program(sources: dict[str, str]):
+    items = [
+        (modname, f"src/{modname.replace('.', '/')}.py", textwrap.dedent(src))
+        for modname, src in sorted(sources.items())
+    ]
+    return build_program(items)
+
+
+def call_targets(program, caller: str) -> list[str]:
+    return program.callees(caller, frozenset({CALL}))
+
+
+# -- module naming ------------------------------------------------------------
+
+
+def test_module_name_for_path_strips_src_anchor():
+    assert module_name_for_path("src/repro/engine/cache.py") == (
+        "repro.engine.cache"
+    )
+
+
+def test_module_name_for_path_names_package_for_init():
+    assert module_name_for_path("src/repro/graph/__init__.py") == "repro.graph"
+
+
+def test_module_name_for_path_without_anchor_uses_components():
+    assert module_name_for_path("tests/devtools/helper.py") == (
+        "tests.devtools.helper"
+    )
+
+
+# -- direct calls and decoration ----------------------------------------------
+
+
+def test_direct_call_edge_resolved():
+    program = make_program(
+        {
+            "m": """
+                __all__ = ["f"]
+
+                def helper(x):
+                    return x + 1
+
+                def f(x):
+                    return helper(x)
+            """
+        }
+    )
+    assert call_targets(program, "m:f") == ["m:helper"]
+
+
+def test_decorated_function_still_indexed_and_callable():
+    program = make_program(
+        {
+            "m": """
+                import functools
+                __all__ = ["f"]
+
+                @functools.lru_cache(maxsize=None)
+                def helper(x):
+                    return x + 1
+
+                def f(x):
+                    return helper(x)
+            """
+        }
+    )
+    assert "m:helper" in program.functions
+    assert call_targets(program, "m:f") == ["m:helper"]
+
+
+def test_cross_module_call_through_from_import():
+    program = make_program(
+        {
+            "pkg.a": """
+                __all__ = ["helper"]
+
+                def helper(x):
+                    return x
+            """,
+            "pkg.b": """
+                from pkg.a import helper
+                __all__ = ["f"]
+
+                def f(x):
+                    return helper(x)
+            """,
+        }
+    )
+    assert call_targets(program, "pkg.b:f") == ["pkg.a:helper"]
+
+
+# -- functools.partial / bare references --------------------------------------
+
+
+def test_partial_argument_creates_ref_edge():
+    program = make_program(
+        {
+            "m": """
+                import functools
+                __all__ = ["f"]
+
+                def worker(x, y):
+                    return x + y
+
+                def f():
+                    return functools.partial(worker, 1)
+            """
+        }
+    )
+    refs = program.callees("m:f", frozenset({REF}))
+    assert refs == ["m:worker"]
+
+
+def test_ref_edges_participate_in_reachability_when_asked():
+    program = make_program(
+        {
+            "m": """
+                import functools
+                __all__ = ["f"]
+
+                def leaf():
+                    return 0
+
+                def worker():
+                    return leaf()
+
+                def f():
+                    return functools.partial(worker)
+            """
+        }
+    )
+    reached = program.reachable(["m:f"], kinds=frozenset({CALL, REF}))
+    assert "m:worker" in reached
+    assert "m:leaf" in reached
+    # Provenance points back at the root the function was reached from.
+    assert reached["m:leaf"] == "m:f"
+
+
+# -- registry dispatch --------------------------------------------------------
+
+
+def test_registry_subscript_dispatch_resolves_all_targets():
+    program = make_program(
+        {
+            "m": """
+                __all__ = ["dispatch"]
+
+                def fast(x):
+                    return x
+
+                def slow(x):
+                    return x * 2
+
+                HANDLERS = {"fast": fast, "slow": slow}
+
+                def dispatch(kind, x):
+                    return HANDLERS[kind](x)
+            """
+        }
+    )
+    assert call_targets(program, "m:dispatch") == ["m:fast", "m:slow"]
+
+
+def test_registry_bound_local_name_dispatch_resolves():
+    program = make_program(
+        {
+            "m": """
+                __all__ = ["dispatch"]
+
+                def fast(x):
+                    return x
+
+                HANDLERS = {"fast": fast}
+
+                def dispatch(kind, x):
+                    handler = HANDLERS[kind]
+                    return handler(x)
+            """
+        }
+    )
+    assert call_targets(program, "m:dispatch") == ["m:fast"]
+
+
+def test_registry_of_classes_resolves_methods_via_cha():
+    program = make_program(
+        {
+            "m": """
+                __all__ = ["run"]
+
+                class Fast:
+                    name = "fast"
+
+                    def __call__(self, x):
+                        return self.score(x)
+
+                    def score(self, x):
+                        return x
+
+                FACTORIES = {"fast": Fast}
+
+                def run(kind, x):
+                    fn = FACTORIES[kind]
+                    return fn()(x)
+            """
+        }
+    )
+    # Inside __call__, self.score resolves through the owning class.
+    assert "m:Fast.score" in call_targets(program, "m:Fast.__call__")
+
+
+# -- self/method resolution ---------------------------------------------------
+
+
+def test_self_method_call_resolves_through_base_class():
+    program = make_program(
+        {
+            "m": """
+                __all__ = ["Base", "Derived"]
+
+                class Base:
+                    def helper(self):
+                        return 1
+
+                class Derived(Base):
+                    def run(self):
+                        return self.helper()
+            """
+        }
+    )
+    assert "m:Base.helper" in call_targets(program, "m:Derived.run")
+
+
+# -- process boundaries -------------------------------------------------------
+
+
+def test_pool_submit_creates_process_edge_and_worker_entry():
+    program = make_program(
+        {
+            "m": """
+                from concurrent.futures import ProcessPoolExecutor
+                __all__ = ["run"]
+
+                def _shard(x):
+                    return x
+
+                def run(jobs, xs):
+                    with ProcessPoolExecutor(max_workers=jobs) as pool:
+                        futures = [pool.submit(_shard, x) for x in xs]
+                    return [f.result() for f in futures]
+            """
+        }
+    )
+    assert program.worker_entries() == ["m:_shard"]
+    process = program.callees("m:run", frozenset({PROCESS}))
+    assert process == ["m:_shard"]
+
+
+def test_executor_initializer_kwarg_is_worker_entry():
+    program = make_program(
+        {
+            "m": """
+                from concurrent.futures import ProcessPoolExecutor
+                __all__ = ["run"]
+
+                def _init():
+                    pass
+
+                def _shard(x):
+                    return x
+
+                def run(jobs, xs):
+                    with ProcessPoolExecutor(
+                        max_workers=jobs, initializer=_init
+                    ) as pool:
+                        return list(pool.map(_shard, xs))
+            """
+        }
+    )
+    assert program.worker_entries() == ["m:_init", "m:_shard"]
+
+
+# -- SCC condensation ---------------------------------------------------------
+
+
+def test_mutual_recursion_forms_one_scc():
+    program = make_program(
+        {
+            "m": """
+                __all__ = ["even"]
+
+                def even(n):
+                    return True if n == 0 else odd(n - 1)
+
+                def odd(n):
+                    return False if n == 0 else even(n - 1)
+            """
+        }
+    )
+    components = program.condensation()
+    recursive = [c for c in components if len(c) > 1]
+    assert recursive == [tuple(sorted(("m:even", "m:odd")))] or (
+        set(recursive[0]) == {"m:even", "m:odd"}
+    )
+
+
+def test_condensation_is_callee_first():
+    program = make_program(
+        {
+            "m": """
+                __all__ = ["top"]
+
+                def leaf(x):
+                    return x
+
+                def mid(x):
+                    return leaf(x)
+
+                def top(x):
+                    return mid(x)
+            """
+        }
+    )
+    components = program.condensation()
+    position = {
+        key: index
+        for index, component in enumerate(components)
+        for key in component
+    }
+    assert position["m:leaf"] < position["m:mid"] < position["m:top"]
+
+
+def test_self_recursion_is_singleton_component():
+    program = make_program(
+        {
+            "m": """
+                __all__ = ["fact"]
+
+                def fact(n):
+                    return 1 if n <= 1 else n * fact(n - 1)
+            """
+        }
+    )
+    components = program.condensation()
+    assert ("m:fact",) in components

@@ -1,0 +1,266 @@
+"""Property-style tests for the per-function effect summaries.
+
+Two meta-properties matter beyond individual facts: the bottom-up pass
+must reach a fixpoint on recursive components (effects propagate all the
+way around a cycle), and the finished table must not depend on module
+insertion order (the condensation, not input order, drives evaluation).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools.callgraph import build_program
+from repro.devtools.dataflow import FROZEN, RNG
+from repro.devtools.summaries import (
+    CACHE_PATH,
+    FROZEN_DERIVED,
+    _TABLE_CACHE,
+    summarize,
+)
+
+
+def make_program(sources: dict[str, str], order=None):
+    names = order if order is not None else sorted(sources)
+    items = [
+        (modname, f"src/{modname.replace('.', '/')}.py",
+         textwrap.dedent(sources[modname]))
+        for modname in names
+    ]
+    return build_program(items)
+
+
+def fresh_summaries(program):
+    """Summarize without the cross-program content-hash cache."""
+    _TABLE_CACHE.clear()
+    return summarize(program)
+
+
+# -- return-tag propagation ---------------------------------------------------
+
+
+def test_rng_return_tag_propagates_through_helper_chain():
+    program = make_program(
+        {
+            "m": """
+                import random
+                __all__ = ["outer"]
+
+                def make(seed):
+                    return random.Random(seed)
+
+                def wrap(seed):
+                    return make(seed)
+
+                def outer(seed):
+                    return wrap(seed)
+            """
+        }
+    )
+    summaries = fresh_summaries(program)
+    assert RNG in summaries.summary("m:make").return_tags
+    assert RNG in summaries.summary("m:wrap").return_tags
+    assert RNG in summaries.summary("m:outer").return_tags
+
+
+def test_frozen_return_tag_from_annotation():
+    program = make_program(
+        {
+            "m": """
+                __all__ = ["get"]
+
+                def get() -> "AnalysisContext":
+                    raise RuntimeError("stub")
+            """
+        }
+    )
+    summaries = fresh_summaries(program)
+    assert FROZEN in summaries.summary("m:get").return_tags
+
+
+def test_cache_path_tag_from_cache_class_path_method():
+    program = make_program(
+        {
+            "m": """
+                __all__ = ["ResultCache"]
+
+                class ResultCache:
+                    def __init__(self, root):
+                        self.root = root
+
+                    def _path(self, key):
+                        return self.root / key
+            """
+        }
+    )
+    summaries = fresh_summaries(program)
+    assert CACHE_PATH in summaries.summary("m:ResultCache._path").return_tags
+
+
+# -- frozen mutation sites ----------------------------------------------------
+
+
+def test_subscript_store_through_frozen_param_is_recorded():
+    program = make_program(
+        {
+            "m": """
+                __all__ = ["bad"]
+
+                def bad(context: "AnalysisContext"):
+                    context.csr.indices[0] = 7
+            """
+        }
+    )
+    summary = fresh_summaries(program).summary("m:bad")
+    assert summary.mutates_frozen
+    (site,) = summary.frozen_mutation_sites
+    assert site.kind == "subscript-store"
+    assert "indices" in site.target
+
+
+def test_copy_then_write_is_not_a_frozen_mutation():
+    program = make_program(
+        {
+            "m": """
+                __all__ = ["good"]
+
+                def good(context: "AnalysisContext"):
+                    order = context.csr.indices.copy()
+                    order[0] = 7
+                    return order
+            """
+        }
+    )
+    summary = fresh_summaries(program).summary("m:good")
+    assert not summary.mutates_frozen
+
+
+def test_frozen_derived_view_tag_flows_through_return():
+    program = make_program(
+        {
+            "m": """
+                __all__ = ["bad"]
+
+                def view(context: "AnalysisContext"):
+                    return context.csr.indices
+
+                def bad(context: "AnalysisContext"):
+                    buf = view(context)
+                    buf[0] = 7
+            """
+        }
+    )
+    summaries = fresh_summaries(program)
+    assert FROZEN_DERIVED in summaries.summary("m:view").return_tags
+    assert summaries.summary("m:bad").mutates_frozen
+
+
+# -- transitive effects and fixpoint ------------------------------------------
+
+
+def test_rng_consumption_propagates_to_callers():
+    program = make_program(
+        {
+            "m": """
+                __all__ = ["outer"]
+
+                def draw(rng, items):
+                    return rng.choice(items)
+
+                def outer(rng, items):
+                    return draw(rng, items)
+            """
+        }
+    )
+    summaries = fresh_summaries(program)
+    assert summaries.summary("m:draw").consumes_rng
+    assert summaries.summary("m:outer").consumes_rng
+
+
+def test_effects_reach_fixpoint_around_mutual_recursion():
+    program = make_program(
+        {
+            "m": """
+                __all__ = ["ping"]
+
+                def ping(rng, n):
+                    if n == 0:
+                        return rng.choice([0.0, 1.0])
+                    return pong(rng, n - 1)
+
+                def pong(rng, n):
+                    if n == 0:
+                        return 0.0
+                    return ping(rng, n - 1)
+            """
+        }
+    )
+    summaries = fresh_summaries(program)
+    # The RNG draw sits in ping; the cycle must carry it into pong too.
+    assert summaries.summary("m:ping").consumes_rng
+    assert summaries.summary("m:pong").consumes_rng
+
+
+def test_summaries_are_order_independent():
+    sources = {
+        "pkg.a": """
+            import random
+            __all__ = ["make"]
+
+            def make(seed):
+                return random.Random(seed)
+        """,
+        "pkg.b": """
+            from pkg.a import make
+            __all__ = ["wrap"]
+
+            def wrap(seed):
+                return make(seed)
+        """,
+        "pkg.c": """
+            from pkg.b import wrap
+            __all__ = ["outer"]
+
+            def outer(seed):
+                return wrap(seed)
+        """,
+    }
+    forward = fresh_summaries(make_program(sources, order=sorted(sources)))
+    backward = fresh_summaries(
+        make_program(sources, order=sorted(sources, reverse=True))
+    )
+    assert set(forward.table) == set(backward.table)
+    for key, summary in forward.table.items():
+        assert summary == backward.table[key], key
+
+
+def test_summarize_is_memoized_per_program():
+    program = make_program(
+        {
+            "m": """
+                __all__ = ["f"]
+
+                def f(x):
+                    return x
+            """
+        }
+    )
+    first = fresh_summaries(program)
+    second = summarize(program)
+    assert first is second
+
+
+def test_content_hash_cache_shares_tables_across_identical_programs():
+    sources = {
+        "m": """
+            __all__ = ["f"]
+
+            def f(x):
+                return x
+        """
+    }
+    first = fresh_summaries(make_program(sources))
+    # A second program built from identical sources hits the table cache;
+    # the table contents must match the freshly computed one.
+    second = summarize(make_program(sources))
+    assert first.table == second.table

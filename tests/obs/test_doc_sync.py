@@ -5,7 +5,7 @@ Two contracts:
 * every metric in the live registry has a row in the
   ``docs/OBSERVABILITY.md`` catalogue table (and no stale rows linger);
 * every lint rule in ``ALL_RULES`` (plus the REP000 meta diagnostic) has
-  a row in the README rule table, and vice versa.
+  a row in the ``docs/LINTING.md`` catalogue table, and vice versa.
 """
 
 from __future__ import annotations
@@ -35,12 +35,23 @@ def test_observability_doc_lists_every_registered_metric():
     assert not stale, f"stale metric rows in docs/OBSERVABILITY.md: {sorted(stale)}"
 
 
-def test_readme_rule_table_lists_every_lint_rule():
-    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
-    documented = set(re.findall(r"^\| (REP\d{3}) \|", readme, flags=re.MULTILINE))
+def test_linting_doc_lists_every_lint_rule():
+    doc = (REPO_ROOT / "docs" / "LINTING.md").read_text(encoding="utf-8")
+    documented = set(re.findall(r"^\| (REP\d{3}) \|", doc, flags=re.MULTILINE))
     registered = {rule.id for rule in ALL_RULES} | {"REP000"}
 
     missing = registered - documented
     stale = documented - registered
-    assert not missing, f"rules missing from the README table: {sorted(missing)}"
-    assert not stale, f"stale rule rows in the README table: {sorted(stale)}"
+    assert not missing, f"rules missing from docs/LINTING.md: {sorted(missing)}"
+    assert not stale, f"stale rule rows in docs/LINTING.md: {sorted(stale)}"
+
+
+def test_linting_doc_examples_match_rule_registry():
+    """The per-rule sections carry each rule's summary verbatim."""
+    doc = (REPO_ROOT / "docs" / "LINTING.md").read_text(encoding="utf-8")
+    headings = set(
+        re.findall(r"^### (REP\d{3}) —", doc, flags=re.MULTILINE)
+    )
+    registered = {rule.id for rule in ALL_RULES}
+    missing = registered - headings
+    assert not missing, f"rules without a detail section: {sorted(missing)}"
