@@ -9,10 +9,15 @@ call graph those rules and :mod:`repro.devtools.summaries` consume:
 * **direct calls** — ``f(...)`` resolved through each module's import
   table (including ``from m import f as g`` chains and relative imports);
 * **method calls** — ``self.m(...)`` resolved within the enclosing class
-  (and its program-local bases); other receivers via a lightweight
-  class-hierarchy analysis keyed on the attribute name (only methods
-  *defined by program classes* participate, so stdlib method names add no
-  spurious edges);
+  (and its program-local bases); receivers whose class is known locally
+  (annotated parameters, ``x: C`` declarations, ``x = C(...)``
+  constructor assignments) resolve precisely through that class; the
+  remaining receivers fall back to a lightweight class-hierarchy
+  analysis keyed on the attribute name — only methods *defined by
+  program classes* participate, and attribute names that common
+  builtin/stdlib objects also expose (``close``, ``get``, ``sort``, …)
+  are excluded, so an unknown receiver's ``obj.close()`` does not link
+  to every program class defining ``close``;
 * **registry dispatch** — module-level dict literals whose values are
   functions or classes (the scoring-function registry ``_FACTORIES``,
   the sampler tables ``SAMPLER_IDS``/``ENGINE_SAMPLERS``) induce edges
@@ -85,6 +90,38 @@ _PROCESS_CONSTRUCTORS = frozenset(
 )
 _PROCESS_CALLABLE_KWARGS = frozenset({"initializer", "target"})
 
+#: Attribute names that common builtin/stdlib objects also expose.  The
+#: by-name CHA fallback skips these: a call like ``obj.close()`` on a
+#: receiver of unknown type is far more likely a file/executor/socket
+#: than a program class, and linking it to every program ``close`` would
+#: inflate worker reachability (REP401 false positives).  Receivers whose
+#: program class is known locally resolve precisely and bypass this list.
+_UBIQUITOUS_ATTRS = frozenset(
+    {
+        # containers
+        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+        "index", "count", "sort", "reverse", "copy", "get", "items",
+        "keys", "values", "setdefault", "update", "add", "discard",
+        "union", "intersection", "difference",
+        # strings / bytes
+        "join", "split", "rsplit", "splitlines", "strip", "lstrip",
+        "rstrip", "startswith", "endswith", "replace", "format", "encode",
+        "decode", "lower", "upper", "title", "find", "rfind", "zfill",
+        # io / futures / queues / locks / processes
+        "open", "read", "write", "readline", "readlines", "close",
+        "flush", "seek", "tell", "submit", "map", "shutdown", "result",
+        "done", "cancel", "put", "get_nowait", "acquire", "release",
+        "start", "terminate", "wait", "notify", "set",
+        # ndarray
+        "fill", "partition", "itemset", "resize", "reshape", "astype",
+        "tolist", "sum", "mean", "min", "max", "item",
+        # pathlib / os.path
+        "exists", "mkdir", "unlink", "resolve", "absolute", "glob",
+        "rglob", "is_dir", "is_file", "read_text", "read_bytes",
+        "write_text", "write_bytes", "with_name", "with_suffix",
+    }
+)
+
 
 def _looks_like_executor(expr: ast.expr) -> bool:
     path = dotted_path(expr)
@@ -126,6 +163,8 @@ class ProgramModule:
     tree: ast.Module
     analysis: ModuleAnalysis
     content_hash: str
+    #: the file is a package ``__init__`` (anchors relative imports).
+    is_package: bool = False
     #: local name -> ("module", modname) | ("from", modname, objname)
     imports: dict[str, tuple[str, ...]] = field(default_factory=dict)
     #: module-level definitions: name -> ("func"|"class"|"registry", key)
@@ -143,6 +182,7 @@ class FunctionInfo:
     node: ast.FunctionDef | ast.AsyncFunctionDef
     module: ProgramModule
     class_name: str | None = None  #: immediate enclosing class, if a method
+    class_key: str | None = None  #: full key of that class (``mod:Outer.Inner``)
     nested: bool = False  #: defined inside another function (closure)
 
     @property
@@ -477,6 +517,7 @@ def _index_module(program: Program, module: ProgramModule) -> None:
         node: ast.FunctionDef | ast.AsyncFunctionDef,
         qual: tuple[str, ...],
         class_name: str | None,
+        class_key: str | None,
         nested: bool,
     ) -> FunctionInfo:
         qualname = ".".join((*qual, node.name))
@@ -489,6 +530,7 @@ def _index_module(program: Program, module: ProgramModule) -> None:
             node=node,
             module=module,
             class_name=class_name,
+            class_key=class_key,
             nested=nested,
         )
         program.functions[key] = info
@@ -498,34 +540,45 @@ def _index_module(program: Program, module: ProgramModule) -> None:
         body: list[ast.stmt],
         qual: tuple[str, ...],
         class_name: str | None,
+        class_key: str | None,
         in_function: bool,
     ) -> None:
+        # ``class_key`` is threaded (not re-derived from ``class_name``)
+        # so methods of nested classes register under the full qual path
+        # their ClassInfo was stored at (``mod:Outer.Inner``).
         for stmt in body:
             if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                info = add_function(stmt, qual, class_name, in_function)
-                if class_name is not None and not in_function:
-                    class_key = f"{modname}:{class_name}"
+                info = add_function(
+                    stmt, qual, class_name, class_key, in_function
+                )
+                if class_key is not None and not in_function:
                     program.classes[class_key].methods[stmt.name] = info.key
-                walk(stmt.body, (*qual, stmt.name), None, True)
+                walk(stmt.body, (*qual, stmt.name), None, None, True)
             elif isinstance(stmt, ast.ClassDef):
-                class_key = f"{modname}:{'.'.join((*qual, stmt.name))}"
+                inner_key = f"{modname}:{'.'.join((*qual, stmt.name))}"
                 bases = tuple(
                     base_path
                     for base in stmt.bases
                     if (base_path := dotted_path(base)) is not None
                 )
-                program.classes[class_key] = ClassInfo(
-                    key=class_key,
+                program.classes[inner_key] = ClassInfo(
+                    key=inner_key,
                     modname=modname,
                     name=stmt.name,
                     node=stmt,
                     base_names=bases,
                 )
                 if not in_function and not qual:
-                    module.defs[stmt.name] = ("class", class_key)
-                walk(stmt.body, (*qual, stmt.name), stmt.name, in_function)
+                    module.defs[stmt.name] = ("class", inner_key)
+                walk(
+                    stmt.body,
+                    (*qual, stmt.name),
+                    stmt.name,
+                    inner_key,
+                    in_function,
+                )
 
-    walk(list(module.tree.body), (), None, False)
+    walk(list(module.tree.body), (), None, None, False)
 
     for stmt in module.tree.body:
         if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -533,7 +586,11 @@ def _index_module(program: Program, module: ProgramModule) -> None:
                 stmt.name, ("func", f"{modname}:{stmt.name}")
             )
 
-    module.imports.update(_collect_imports(module.tree.body, modname))
+    module.imports.update(
+        _collect_imports(
+            module.tree.body, modname, is_package=module.is_package
+        )
+    )
 
     # Registry dicts: module-level NAME = { ...: func_or_class, ... }.
     for stmt in module.tree.body:
@@ -558,9 +615,15 @@ def _index_module(program: Program, module: ProgramModule) -> None:
 
 
 def _collect_imports(
-    body: list[ast.stmt], modname: str
+    body: list[ast.stmt], modname: str, *, is_package: bool = False
 ) -> dict[str, tuple[str, ...]]:
-    """Import table of one statement list (module or function body)."""
+    """Import table of one statement list (module or function body).
+
+    ``is_package`` marks a package ``__init__``: its ``modname`` *is* the
+    package, so a level-1 relative import anchors at the module itself
+    (drop ``level - 1`` trailing components), while a plain module drops
+    ``level`` (its own name first).
+    """
     table: dict[str, tuple[str, ...]] = {}
     package_parts = modname.split(".")
     for stmt in body:
@@ -574,7 +637,8 @@ def _collect_imports(
         elif isinstance(stmt, ast.ImportFrom):
             if stmt.level:
                 # Relative import: anchor at the current package.
-                base = package_parts[: len(package_parts) - stmt.level]
+                drop = stmt.level - 1 if is_package else stmt.level
+                base = package_parts[: max(0, len(package_parts) - drop)]
                 source = ".".join((*base, stmt.module or "")).rstrip(".")
             else:
                 source = stmt.module or ""
@@ -710,11 +774,69 @@ def _resolve_with_locals(
     return program.resolve(modname, dotted)
 
 
+def _receiver_classes(
+    program: Program,
+    modname: str,
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    local_imports: dict[str, tuple[str, ...]],
+) -> dict[str, str]:
+    """Local names whose program class is provable: annotated parameters,
+    ``x: C`` declarations and ``x = C(...)`` constructor assignments.
+    Method calls through these receivers resolve precisely instead of
+    fanning out through the by-name CHA fallback."""
+
+    def class_of(expr: ast.expr | None) -> str | None:
+        if expr is None:
+            return None
+        path = dotted_path(expr)
+        if path is None and isinstance(expr, ast.Constant) and isinstance(
+            expr.value, str
+        ):
+            path = expr.value  # string annotation
+        if path is None or not all(
+            part.isidentifier() for part in path.split(".")
+        ):
+            return None
+        hit = _resolve_with_locals(program, modname, path, local_imports)
+        if hit is not None and hit[0] == "class":
+            return hit[1]
+        return None
+
+    types: dict[str, str] = {}
+    args = fn.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        key = class_of(arg.annotation)
+        if key is not None:
+            types[arg.arg] = key
+    for stmt in _iter_own_statements(list(fn.body)):
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            key = class_of(stmt.annotation)
+            if key is not None:
+                types[stmt.target.id] = key
+        elif (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)
+        ):
+            key = class_of(stmt.value.func)
+            if key is not None:
+                types[stmt.targets[0].id] = key
+    return types
+
+
 def _extract_edges(program: Program, info: FunctionInfo) -> None:
     """Phase B: call / ref / process edges of one function."""
     modname = info.modname
     local_imports = _collect_imports(
-        list(_iter_own_statements(list(info.node.body))), modname
+        list(_iter_own_statements(list(info.node.body))),
+        modname,
+        is_package=info.module.is_package,
+    )
+    receiver_types = _receiver_classes(
+        program, modname, info.node, local_imports
     )
     # Names bound (anywhere in this function) from a registry subscript:
     # ``factory = _FACTORIES[name]`` makes ``factory(...)`` a dispatch.
@@ -812,17 +934,28 @@ def _extract_edges(program: Program, info: FunctionInfo) -> None:
             if (
                 isinstance(receiver, ast.Name)
                 and receiver.id in ("self", "cls")
-                and info.class_name is not None
+                and info.class_key is not None
             ):
-                method = program.method_of(
-                    f"{modname}:{info.class_name}", func.attr
-                )
+                method = program.method_of(info.class_key, func.attr)
                 if method is not None:
                     add_edge(CALL, method, call)
                     resolved = True
-            if not resolved:
+            elif (
+                isinstance(receiver, ast.Name)
+                and receiver.id in receiver_types
+            ):
+                # Receiver class is provable: resolve precisely (or not
+                # at all — never fan out through the by-name fallback).
+                method = program.method_of(
+                    receiver_types[receiver.id], func.attr
+                )
+                if method is not None:
+                    add_edge(CALL, method, call)
+                resolved = True
+            if not resolved and func.attr not in _UBIQUITOUS_ATTRS:
                 # Class-hierarchy analysis by attribute name: only
-                # methods defined by program classes participate.
+                # methods defined by program classes participate, and
+                # names common builtins also expose are excluded.
                 for class_key in sorted(program.classes):
                     method_key = program.classes[class_key].methods.get(
                         func.attr
@@ -877,6 +1010,7 @@ def build_program(items) -> Program:
             content_hash=hashlib.sha256(
                 source.encode("utf-8")
             ).hexdigest(),
+            is_package=Path(path).stem == "__init__",
         )
         program.modules[modname] = module
     for modname in sorted(program.modules):

@@ -860,10 +860,30 @@ def _run_program_rules(
         lines_by_path[path] = tuple(source.splitlines())
     if not items:
         return []
-    program = build_program(items)
+    # A single pathological file must degrade this pass, not crash the
+    # whole lint: the per-file rules have already run, so on an analysis
+    # failure we warn and skip the interprocedural findings only.
+    try:
+        program = build_program(items)
+    except Exception as exc:  # repro: noqa[REP006] - guard of last resort
+        print(
+            "repro lint: interprocedural analysis failed "
+            f"({type(exc).__name__}: {exc}); skipping REP4xx/REP5xx",
+            file=sys.stderr,
+        )
+        return []
     violations: list[Violation] = []
     for rule in program_rules:
-        for violation in rule.check_program(program):
+        try:
+            found = list(rule.check_program(program))
+        except Exception as exc:  # repro: noqa[REP006] - guard of last resort
+            print(
+                f"repro lint: rule {rule.id} failed "
+                f"({type(exc).__name__}: {exc}); skipping it",
+                file=sys.stderr,
+            )
+            continue
+        for violation in found:
             if violation.rule_id in config.path_ignored_rules(violation.path):
                 continue
             lines = lines_by_path.get(violation.path, ())

@@ -286,10 +286,17 @@ class CompletionOrderMerge(ProgramRule):
 
     ``as_completed(...)`` and ``imap_unordered(...)`` yield results in
     whatever order workers finish — scheduling order, not submission
-    order.  Appending (or ``+=``-reducing: float addition is not
-    associative) inside such a loop makes the merged result depend on
-    machine load.  Index the results by submission position (``results[i]
-    = ...``) or iterate the futures list in submission order instead.
+    order.  Appending a shard *result* (or ``+=``-reducing one: float
+    addition is not associative) inside such a loop makes the merged
+    value depend on machine load.  Index the results by submission
+    position (``results[i] = ...``) or iterate the futures list in
+    submission order instead.
+
+    Order-insensitive accumulations are exempt, keeping the rule
+    provable-only: bookkeeping that never touches a result (collecting
+    the finished futures themselves under ``as_completed``, counting
+    completions for progress) and accumulators that are re-sorted
+    (``acc.sort()`` / ``sorted(acc)``) before use.
     """
 
     id = "REP404"
@@ -306,14 +313,22 @@ class CompletionOrderMerge(ProgramRule):
     def check_program(self, program: Program) -> Iterator[Violation]:
         for key in sorted(program.functions):
             info = program.functions[key]
-            for stmt in _iter_own_statements(list(info.node.body)):
+            statements = list(_iter_own_statements(list(info.node.body)))
+            for stmt in statements:
                 if not isinstance(stmt, (ast.For, ast.AsyncFor)):
                     continue
-                if not self._completion_ordered(stmt.iter):
+                ordering = self._completion_ordered(stmt.iter)
+                if ordering is None:
                     continue
+                loop_names = self._target_names(stmt.target)
                 for inner in _iter_own_statements(stmt.body):
-                    offender = self._accumulation(inner)
-                    if offender is None:
+                    found = self._accumulation(inner, loop_names, ordering)
+                    if found is None:
+                        continue
+                    offender, accumulator = found
+                    if accumulator is not None and self._resorted(
+                        statements, accumulator
+                    ):
                         continue
                     yield _program_violation(
                         self,
@@ -329,28 +344,99 @@ class CompletionOrderMerge(ProgramRule):
                     break
 
     @staticmethod
-    def _completion_ordered(iterable: ast.expr) -> bool:
+    def _completion_ordered(iterable: ast.expr) -> str | None:
         if not isinstance(iterable, ast.Call):
-            return False
+            return None
         func = iterable.func
-        if isinstance(func, ast.Name):
-            return func.id == "as_completed"
-        if isinstance(func, ast.Attribute):
-            return func.attr in ("as_completed", "imap_unordered")
-        return False
+        if isinstance(func, ast.Name) and func.id == "as_completed":
+            return "as_completed"
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "as_completed",
+            "imap_unordered",
+        ):
+            return func.attr
+        return None
 
     @staticmethod
-    def _accumulation(stmt: ast.stmt) -> ast.AST | None:
+    def _target_names(target: ast.expr) -> frozenset[str]:
+        return frozenset(
+            sub.id for sub in ast.walk(target) if isinstance(sub, ast.Name)
+        )
+
+    @classmethod
+    def _merges_result(
+        cls, expr: ast.expr, loop_names: frozenset[str], ordering: str
+    ) -> bool:
+        """The accumulated value provably carries a shard result.
+
+        Under ``as_completed`` the loop variable is a *future*: only
+        ``future.result()`` extractions count (collecting the futures
+        themselves is order-insensitive bookkeeping).  Under
+        ``imap_unordered`` the loop variable *is* the result.
+        """
+        if ordering == "as_completed":
+            for sub in ast.walk(expr):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "result"
+                    and root_name(sub.func.value) in loop_names
+                ):
+                    return True
+            return False
+        return any(
+            isinstance(sub, ast.Name) and sub.id in loop_names
+            for sub in ast.walk(expr)
+        )
+
+    @classmethod
+    def _accumulation(
+        cls, stmt: ast.stmt, loop_names: frozenset[str], ordering: str
+    ) -> tuple[ast.AST, str | None] | None:
+        """An order-sensitive accumulation: ``(offending node, name of
+        the accumulator)`` — or ``None`` for bookkeeping."""
         if isinstance(stmt, ast.AugAssign):
-            return stmt
+            if cls._merges_result(stmt.value, loop_names, ordering):
+                return stmt, root_name(stmt.target)
+            return None
         if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
             call = stmt.value
             if isinstance(call.func, ast.Attribute) and call.func.attr in (
                 "append",
                 "extend",
             ):
-                return call
+                payload = [*call.args, *(kw.value for kw in call.keywords)]
+                if any(
+                    cls._merges_result(arg, loop_names, ordering)
+                    for arg in payload
+                ):
+                    return call, root_name(call.func.value)
         return None
+
+    @staticmethod
+    def _resorted(statements: list[ast.stmt], accumulator: str) -> bool:
+        """The accumulator is re-sorted somewhere in the function, so
+        completion order cannot leak into the final value."""
+        for stmt in statements:
+            for expr in _stmt_expressions(stmt):
+                for sub in ast.walk(expr):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    func = sub.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr == "sort"
+                        and root_name(func.value) == accumulator
+                    ):
+                        return True
+                    if (
+                        isinstance(func, ast.Name)
+                        and func.id == "sorted"
+                        and sub.args
+                        and root_name(sub.args[0]) == accumulator
+                    ):
+                        return True
+        return False
 
 
 class CacheKeyMissingInput(ProgramRule):
@@ -695,7 +781,7 @@ class ScoringStateTokenDrift(ProgramRule):
                 if method_name in self._CONSTRUCTION:
                     continue
                 method = program.functions[method_key]
-                if method.class_name != cls.name:
+                if method.class_key != cls.key:
                     continue
                 for stmt, target in self._self_stores(method):
                     yield _program_violation(

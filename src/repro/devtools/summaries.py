@@ -48,9 +48,11 @@ from repro.devtools.callgraph import (
     CALL,
     FunctionInfo,
     Program,
+    _UBIQUITOUS_ATTRS,
     _callable_target,
     _collect_imports,
     _iter_own_statements,
+    _receiver_classes,
     _stmt_expressions,
 )
 from repro.devtools.dataflow import (
@@ -178,7 +180,12 @@ class _FunctionEval:
         self.module_info = info.module.analysis.info
         self.cfg = ControlFlowGraph.from_function(info.node)
         own = list(_iter_own_statements(list(info.node.body)))
-        self.local_imports = _collect_imports(own, info.modname)
+        self.local_imports = _collect_imports(
+            own, info.modname, is_package=info.module.is_package
+        )
+        self.receiver_types = _receiver_classes(
+            program, info.modname, info.node, self.local_imports
+        )
         self._env_in: dict[int, dict[str, frozenset[str]]] = {}
         self._compute()
 
@@ -197,13 +204,23 @@ class _FunctionEval:
             if (
                 isinstance(receiver, ast.Name)
                 and receiver.id in ("self", "cls")
-                and info.class_name is not None
+                and info.class_key is not None
             ):
-                method = self.program.method_of(
-                    f"{info.modname}:{info.class_name}", func.attr
-                )
+                method = self.program.method_of(info.class_key, func.attr)
                 if method is not None:
                     return (method,)
+            if (
+                isinstance(receiver, ast.Name)
+                and receiver.id in self.receiver_types
+            ):
+                # Provable receiver class: resolve precisely, never fan
+                # out through the by-name fallback.
+                method = self.program.method_of(
+                    self.receiver_types[receiver.id], func.attr
+                )
+                return (method,) if method is not None else ()
+            if func.attr in _UBIQUITOUS_ATTRS:
+                return ()
             hits = []
             for class_key in sorted(self.program.classes):
                 method = self.program.classes[class_key].methods.get(

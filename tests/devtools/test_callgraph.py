@@ -231,6 +231,113 @@ def test_registry_of_classes_resolves_methods_via_cha():
     assert "m:Fast.score" in call_targets(program, "m:Fast.__call__")
 
 
+# -- nested classes -----------------------------------------------------------
+
+
+def test_nested_class_methods_register_under_full_qualname():
+    # Regression: methods of a class nested inside another class used to
+    # be registered under the *immediate* class name ("mod:Inner"), which
+    # raised KeyError because the ClassInfo lives at "mod:Outer.Inner".
+    program = make_program(
+        {
+            "m": """
+                __all__ = ["Outer"]
+
+                class Outer:
+                    class Inner:
+                        def helper(self):
+                            return 1
+
+                        def run(self):
+                            return self.helper()
+
+                    def outer_run(self):
+                        return 0
+            """
+        }
+    )
+    inner = program.classes["m:Outer.Inner"]
+    assert inner.methods["run"] == "m:Outer.Inner.run"
+    assert inner.methods["helper"] == "m:Outer.Inner.helper"
+    assert program.classes["m:Outer"].methods["outer_run"] == (
+        "m:Outer.outer_run"
+    )
+    # self.* inside the nested class resolves through its own table.
+    assert call_targets(program, "m:Outer.Inner.run") == [
+        "m:Outer.Inner.helper"
+    ]
+
+
+# -- relative imports in package __init__ -------------------------------------
+
+
+def test_relative_import_in_package_init_anchors_at_the_package():
+    # Regression: ``from .util import helper`` in pkg/__init__.py used to
+    # anchor at pkg's *parent* (modname "pkg" minus one level), silently
+    # dropping the pkg:entry -> pkg.util:helper edge.
+    items = [
+        (
+            "pkg",
+            "src/pkg/__init__.py",
+            textwrap.dedent(
+                """
+                from .util import helper
+                __all__ = ["entry"]
+
+                def entry(x):
+                    return helper(x)
+                """
+            ),
+        ),
+        (
+            "pkg.util",
+            "src/pkg/util.py",
+            textwrap.dedent(
+                """
+                __all__ = ["helper"]
+
+                def helper(x):
+                    return x
+                """
+            ),
+        ),
+    ]
+    program = build_program(items)
+    assert call_targets(program, "pkg:entry") == ["pkg.util:helper"]
+
+
+def test_relative_import_in_plain_module_still_drops_own_name():
+    items = [
+        (
+            "pkg.util",
+            "src/pkg/util.py",
+            textwrap.dedent(
+                """
+                __all__ = ["helper"]
+
+                def helper(x):
+                    return x
+                """
+            ),
+        ),
+        (
+            "pkg.work",
+            "src/pkg/work.py",
+            textwrap.dedent(
+                """
+                from .util import helper
+                __all__ = ["entry"]
+
+                def entry(x):
+                    return helper(x)
+                """
+            ),
+        ),
+    ]
+    program = build_program(items)
+    assert call_targets(program, "pkg.work:entry") == ["pkg.util:helper"]
+
+
 # -- self/method resolution ---------------------------------------------------
 
 
@@ -251,6 +358,93 @@ def test_self_method_call_resolves_through_base_class():
         }
     )
     assert "m:Base.helper" in call_targets(program, "m:Derived.run")
+
+
+def test_unknown_receiver_with_ubiquitous_attr_adds_no_cha_edges():
+    # ``obj.close()`` on an unknown receiver must not link to every
+    # program class that happens to define ``close``.
+    program = make_program(
+        {
+            "m": """
+                __all__ = ["run"]
+
+                class Writer:
+                    def close(self):
+                        return 0
+
+                def run(obj):
+                    obj.close()
+            """
+        }
+    )
+    assert call_targets(program, "m:run") == []
+
+
+def test_annotated_receiver_resolves_precisely_through_its_class():
+    program = make_program(
+        {
+            "m": """
+                __all__ = ["run"]
+
+                class Writer:
+                    def close(self):
+                        return 0
+
+                class Reader:
+                    def close(self):
+                        return 1
+
+                def run(w: Writer):
+                    w.close()
+            """
+        }
+    )
+    assert call_targets(program, "m:run") == ["m:Writer.close"]
+
+
+def test_constructor_assigned_receiver_resolves_precisely():
+    program = make_program(
+        {
+            "m": """
+                __all__ = ["run"]
+
+                class Writer:
+                    def finish_shard(self):
+                        return 0
+
+                class Reader:
+                    def finish_shard(self):
+                        return 1
+
+                def run():
+                    w = Writer()
+                    w.finish_shard()
+            """
+        }
+    )
+    targets = call_targets(program, "m:run")
+    assert "m:Writer.finish_shard" in targets
+    assert "m:Reader.finish_shard" not in targets
+
+
+def test_unknown_receiver_with_program_specific_attr_keeps_cha_fallback():
+    # Uncommon attribute names still fan out by name: the graph stays
+    # mildly over-approximate where the receiver is genuinely unknown.
+    program = make_program(
+        {
+            "m": """
+                __all__ = ["run"]
+
+                class Engine:
+                    def score_shard(self):
+                        return 0
+
+                def run(obj):
+                    obj.score_shard()
+            """
+        }
+    )
+    assert call_targets(program, "m:run") == ["m:Engine.score_shard"]
 
 
 # -- process boundaries -------------------------------------------------------

@@ -268,6 +268,92 @@ def test_rep404_quiet_on_indexed_store_under_as_completed():
     assert "REP404" not in program_rule_ids(sources)
 
 
+def test_rep404_quiet_on_bookkeeping_future_collection():
+    sources = {
+        "m": """
+            from concurrent.futures import ProcessPoolExecutor, as_completed
+            __all__ = ["run"]
+
+            def _work(x):
+                return x
+
+            def run(jobs, xs):
+                done = []
+                count = 0
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    futures = [pool.submit(_work, x) for x in xs]
+                    for future in as_completed(futures):
+                        done.append(future)
+                        count += 1
+                return [f.result() for f in futures]
+        """
+    }
+    # Collecting the finished futures (membership/progress bookkeeping)
+    # and counting completions never touch a result: order-insensitive.
+    assert "REP404" not in program_rule_ids(sources)
+
+
+def test_rep404_quiet_when_accumulator_is_resorted():
+    sources = {
+        "m": """
+            from concurrent.futures import ProcessPoolExecutor, as_completed
+            __all__ = ["run"]
+
+            def _work(x):
+                return x
+
+            def run(jobs, xs):
+                results = []
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    futures = [pool.submit(_work, x) for x in xs]
+                    for future in as_completed(futures):
+                        results.append(future.result())
+                results.sort()
+                return results
+        """
+    }
+    assert "REP404" not in program_rule_ids(sources)
+
+
+def test_rep404_fires_on_augassign_reduction_of_results():
+    sources = {
+        "m": """
+            from concurrent.futures import ProcessPoolExecutor, as_completed
+            __all__ = ["run"]
+
+            def _work(x):
+                return x * 0.5
+
+            def run(jobs, xs):
+                total = 0.0
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    futures = [pool.submit(_work, x) for x in xs]
+                    for future in as_completed(futures):
+                        total += future.result()
+                return total
+        """
+    }
+    assert "REP404" in program_rule_ids(sources)
+
+
+def test_rep404_fires_on_imap_unordered_loop_variable_append():
+    sources = {
+        "m": """
+            __all__ = ["run"]
+
+            def _work(x):
+                return x
+
+            def run(worker_pool, xs):
+                rows = []
+                for row in worker_pool.imap_unordered(_work, xs):
+                    rows.append(row)
+                return rows
+        """
+    }
+    assert "REP404" in program_rule_ids(sources)
+
+
 # -- REP501: cache key misses a payload input ---------------------------------
 
 _REP501_BAD = {
@@ -480,6 +566,45 @@ def test_lint_paths_jobs_output_identical_with_program_rules(tmp_path):
     assert serial == parallel
     assert any("REP401" in line for line in serial)
     assert any("REP501" in line for line in serial)
+
+
+def test_lint_paths_survives_nested_classes(tmp_path):
+    # Regression: a nested class used to crash build_program (KeyError on
+    # the immediate class name) and take the whole lint run with it.
+    tree = _write_tree(
+        tmp_path,
+        {
+            "src/m.py": """
+                __all__ = ["Outer"]
+
+                class Outer:
+                    class Inner:
+                        def run(self):
+                            return self.helper()
+
+                        def helper(self):
+                            return 1
+            """
+        },
+    )
+    config = LintConfig(select=("REP401", "REP501"))
+    assert lint_paths([tree], config) == []
+
+
+def test_lint_paths_survives_program_analysis_failure(tmp_path, monkeypatch, capsys):
+    # The per-file pass must still report even if the interprocedural
+    # layer dies on a pathological input.
+    import repro.devtools.lint as lint_mod
+
+    def boom(items):
+        raise RuntimeError("synthetic analysis failure")
+
+    monkeypatch.setattr(lint_mod, "build_program", boom)
+    tree = _write_tree(tmp_path, {"src/m.py": _REP401_BAD["m"]})
+    config = LintConfig(select=("REP401",))
+    violations = lint_paths([tree], config)
+    assert violations == []
+    assert "interprocedural analysis failed" in capsys.readouterr().err
 
 
 def test_program_findings_respect_noqa(tmp_path):
