@@ -22,6 +22,19 @@ verify identity, not throughput.  Emits a JSON report::
     python benchmarks/bench_parallel_scoring.py --smoke   # small corpus,
                                                           # identity only
                                                           # (check.sh)
+
+``--scale`` switches to the out-of-core perf trajectory instead: for
+each requested edge count a planted-partition stream
+(:func:`repro.synth.stream.benchmark_stream`) is frozen to an on-disk
+CSR store and then scored through ``AnalysisContext.open`` — each stage
+in its own subprocess so its **peak RSS** is measured in isolation
+(``ru_maxrss``).  The report (``BENCH_scale.json`` in check.sh/CI)
+records build/freeze/score wall times and peak RSS per scale;
+``--rss-budget-mb`` / ``--time-budget`` turn the smoke into an asserted
+gate::
+
+    python benchmarks/bench_parallel_scoring.py \
+        --scale 100000,1000000,10000000 -o BENCH_scale.json
 """
 
 from __future__ import annotations
@@ -30,7 +43,9 @@ import argparse
 import dataclasses
 import json
 import os
+import subprocess
 import sys
+import tempfile
 import time
 from collections.abc import Sequence
 from pathlib import Path
@@ -174,6 +189,140 @@ def run(
     }
 
 
+# -- out-of-core scale trajectory ---------------------------------------------
+
+#: Per-stage child: runs one stage of one scale and reports wall time +
+#: peak RSS as JSON on stdout.  A subprocess per stage keeps ru_maxrss
+#: honest — the freeze's spill buffers never inflate the score stage's
+#: reading, and vice versa.
+_STAGE_SCRIPT = r"""
+import json, resource, sys, time
+from pathlib import Path
+
+stage, store, edges, seed, jobs = (
+    sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4]),
+    int(sys.argv[5]),
+)
+chunk = 1 << 20
+start = time.perf_counter()
+if stage == "freeze":
+    from repro.data.groups import save_groups
+    from repro.synth.stream import benchmark_stream, freeze_stream
+
+    stream = benchmark_stream(edges, seed=seed, chunk_edges=chunk)
+    freeze_stream(stream, store, chunk_edges=chunk, overwrite=True)
+    save_groups(stream.groups(), Path(store) / "groups.json")
+    payload = {"groups": stream.num_communities}
+else:
+    from repro.data.groups import load_groups
+    from repro.engine import AnalysisContext
+    from repro.scoring.registry import score_groups
+
+    context = AnalysisContext.open(store)
+    groups = load_groups(Path(store) / "groups.json")
+    table = score_groups(context, groups, jobs=jobs if jobs > 1 else None)
+    payload = {
+        "groups": len(table),
+        "n": context.num_vertices,
+        "m": context.num_edges,
+    }
+payload["seconds"] = round(time.perf_counter() - start, 4)
+kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+payload["peak_rss_mb"] = round(kb / 1024.0, 1)
+print(json.dumps(payload))
+"""
+
+
+def _run_stage(stage: str, store: str, edges: int, seed: int, jobs: int) -> dict:
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _STAGE_SCRIPT,
+            stage,
+            store,
+            str(edges),
+            str(seed),
+            str(jobs),
+        ],
+        capture_output=True,
+        text=True,
+        env=os.environ.copy(),
+        check=False,
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"scale stage {stage!r} at {edges} edges failed:\n"
+            f"{completed.stderr}"
+        )
+    return json.loads(completed.stdout.splitlines()[-1])
+
+
+def run_scale(
+    scales: Sequence[int],
+    *,
+    seed: int = SEED,
+    jobs: int = 1,
+    store_root: str | None = None,
+) -> dict:
+    """Freeze + score each scale out-of-core; return the trajectory report."""
+    rows = []
+    for edges in scales:
+        with tempfile.TemporaryDirectory(
+            prefix="bench-scale-", dir=store_root
+        ) as tmp:
+            store = str(Path(tmp) / f"store-{edges}")
+            freeze = _run_stage("freeze", store, edges, seed, jobs)
+            score = _run_stage("score", store, edges, seed, jobs)
+            store_bytes = sum(
+                path.stat().st_size for path in Path(store).iterdir()
+            )
+        rows.append(
+            {
+                "edges_requested": edges,
+                "n": score["n"],
+                "m": score["m"],
+                "groups": score["groups"],
+                "store_bytes": store_bytes,
+                "freeze_seconds": freeze["seconds"],
+                "freeze_peak_rss_mb": freeze["peak_rss_mb"],
+                "score_seconds": score["seconds"],
+                "score_peak_rss_mb": score["peak_rss_mb"],
+            }
+        )
+    return {
+        "mode": "scale",
+        "seed": seed,
+        "jobs": jobs,
+        "cores": os.cpu_count() or 1,
+        "scales": rows,
+    }
+
+
+def _check_scale_budgets(
+    report: dict, rss_budget_mb: float | None, time_budget: float | None
+) -> list[str]:
+    """Budget violations of the trajectory (empty when within budget)."""
+    failures = []
+    for row in report["scales"]:
+        edges = row["edges_requested"]
+        if rss_budget_mb is not None:
+            peak = max(row["freeze_peak_rss_mb"], row["score_peak_rss_mb"])
+            if peak > rss_budget_mb:
+                failures.append(
+                    f"{edges} edges: peak RSS {peak} MB exceeds "
+                    f"budget {rss_budget_mb} MB"
+                )
+        if time_budget is not None:
+            total = row["freeze_seconds"] + row["score_seconds"]
+            if total > time_budget:
+                failures.append(
+                    f"{edges} edges: freeze+score {total:.1f}s exceeds "
+                    f"budget {time_budget:.1f}s"
+                )
+    return failures
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Benchmark parallel Fig. 5 scoring against the serial path"
@@ -203,7 +352,41 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "-o", "--output", default=None, help="write the JSON report here"
     )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        metavar="EDGES[,EDGES...]",
+        help="out-of-core perf trajectory instead: freeze + score a "
+        "planted-partition stream at each edge count (BENCH_scale.json)",
+    )
+    parser.add_argument(
+        "--rss-budget-mb",
+        type=float,
+        default=None,
+        help="fail if any --scale stage's peak RSS exceeds this (MB)",
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        help="fail if any --scale point's freeze+score exceeds this (s)",
+    )
     args = parser.parse_args(argv)
+
+    if args.scale is not None:
+        scales = [int(part) for part in args.scale.split(",") if part]
+        report = run_scale(scales, jobs=args.jobs)
+        serialized = json.dumps(report, indent=2, sort_keys=True)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(serialized + "\n")
+        print(serialized)
+        failures = _check_scale_budgets(
+            report, args.rss_budget_mb, args.time_budget
+        )
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
 
     report = run(
         smoke=args.smoke,

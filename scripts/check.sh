@@ -33,5 +33,9 @@ python benchmarks/bench_parallel_scoring.py --smoke --jobs 2 \
 echo "== observability overhead smoke (trace artifact: trace-sample.jsonl) =="
 python benchmarks/bench_obs_overhead.py --smoke --trace-out trace-sample.jsonl
 
+echo "== out-of-core smoke (1e6-edge freeze+score, RSS/time budgets) =="
+python benchmarks/bench_parallel_scoring.py --scale 1000000 \
+    --rss-budget-mb 900 --time-budget 120 --output BENCH_scale.json
+
 echo "== tier-1 tests =="
 python -m pytest -x -q

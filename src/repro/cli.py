@@ -13,6 +13,8 @@ corpora (see DESIGN.md for the experiment index):
 ``classify``       Fang-et-al. community/celebrity circle categorization
 ``ego-view``       §VI future work: local (ego) vs global circle scores
 ``detect``         detected-vs-declared: do algorithms recover the groups?
+``freeze``         stream a dataset into an on-disk CSR store (out-of-core)
+``delta``          incremental re-freeze + dirty-group rescore of a store
 ``lint``           repo-specific AST lint pass (repro.devtools.lint)
 ``check``          seed-determinism check of the stochastic pipelines
 ``trace``          run any other subcommand under the tracer (repro.obs)
@@ -30,9 +32,12 @@ records a JSONL trace plus a ``.manifest.json`` sidecar; ``repro trace
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 from pathlib import Path
+
+import numpy as np
 
 from repro import obs
 from repro.analysis.characterization import characterize, table2_comparison
@@ -42,7 +47,9 @@ from repro.analysis.overlap import analyze_overlap
 from repro.analysis.report import render_cdf_panel, render_kv, render_table
 from repro.analysis.robustness import directed_vs_undirected
 from repro.data.datasets import Dataset
+from repro.data.groups import load_groups, save_groups
 from repro.engine import AnalysisContext
+from repro.exceptions import GraphError
 from repro.obs import write_manifests
 from repro.synth.paper_datasets import (
     build_google_plus,
@@ -154,7 +161,32 @@ def _cache_arg(args: argparse.Namespace) -> "str | bool | None":
     return getattr(args, "cache_dir", None)
 
 
+def _mmap_dir(args: argparse.Namespace) -> str | None:
+    """Resolve ``--mmap-dir``, falling back to ``REPRO_MMAP_DIR``."""
+    explicit = getattr(args, "mmap_dir", None)
+    if explicit:
+        return explicit
+    return os.environ.get("REPRO_MMAP_DIR", "").strip() or None
+
+
+def _open_store(directory: str) -> "tuple[AnalysisContext, object]":
+    """Attach an on-disk CSR store plus its ``groups.json`` sidecar."""
+    try:
+        context = AnalysisContext.open(directory)
+    except GraphError as exc:
+        raise SystemExit(str(exc)) from None
+    groups_path = Path(directory) / "groups.json"
+    if not groups_path.exists():
+        raise SystemExit(
+            f"{directory} has no groups.json sidecar; re-run 'repro freeze'"
+        )
+    return context, load_groups(groups_path)
+
+
 def _cmd_score(args: argparse.Namespace) -> int:
+    mmap_dir = _mmap_dir(args)
+    if mmap_dir is not None:
+        return _score_store(args, mmap_dir)
     dataset = _build(_dataset_name(args), args.seed)
     context = AnalysisContext(dataset.graph)
     result = circles_vs_random(
@@ -179,6 +211,134 @@ def _cmd_score(args: argparse.Namespace) -> int:
         for name, values in result.separation_summary().items()
     ]
     print(render_table(rows, title="Separation summary"))
+    return 0
+
+
+def _score_store(args: argparse.Namespace, mmap_dir: str) -> int:
+    """Score a frozen on-disk store's groups without rebuilding anything.
+
+    The out-of-core path of ``repro score``: the CSR arrays stay
+    memmapped (O(1) resident set for the substrate), the stored groups
+    are scored through the normal batch/parallel/cache machinery, and
+    the output is byte-identical to scoring the same graph in RAM.
+    """
+    from repro.scoring.registry import score_groups
+
+    context, groups = _open_store(mmap_dir)
+    table = score_groups(
+        context, groups, jobs=args.jobs, cache=_cache_arg(args)
+    )
+    print(
+        render_kv(
+            {
+                "store": mmap_dir,
+                "dataset": context.display_name or "graph",
+                "vertices": context.num_vertices,
+                "edges": context.num_edges,
+                "groups scored": len(table),
+            },
+            title="Out-of-core scoring",
+        )
+    )
+    print()
+    rows = [
+        {"function": name, **values}
+        for name, values in table.summary().items()
+    ]
+    print(render_table(rows, title="Score summary (stored groups)"))
+    return 0
+
+
+def _cmd_freeze(args: argparse.Namespace) -> int:
+    """Stream-freeze a dataset (or a --scale benchmark) to a CSR store."""
+    from repro.synth.stream import (
+        GraphEdgeStream,
+        benchmark_stream,
+        freeze_stream,
+    )
+
+    out = args.out
+    if args.scale is not None:
+        stream = benchmark_stream(args.scale, seed=args.seed or 0)
+        groups = None
+    else:
+        dataset = _build(_dataset_name(args), args.seed)
+        stream = GraphEdgeStream(dataset.graph)
+        groups = dataset.groups
+    freeze_stream(
+        stream, out, chunk_edges=args.chunk_edges, overwrite=args.force
+    )
+    if groups is None:
+        groups = stream.groups()
+    save_groups(groups, Path(out) / "groups.json")
+    context = AnalysisContext.open(out)
+    print(
+        f"froze {context.display_name or 'graph'}: "
+        f"{context.num_vertices} vertices, {context.num_edges} edges, "
+        f"{len(groups)} groups -> {out}"
+    )
+    return 0
+
+
+def _sample_store_edges(
+    context: AnalysisContext, count: int, seed: int
+) -> list[tuple]:
+    """Draw ``count`` distinct existing edges of a frozen context.
+
+    Samples positions of the out (directed) or union (undirected) CSR
+    index array uniformly and maps them back to label pairs — no edge
+    list is ever materialized.
+    """
+    csr = context.csr_out if context.is_directed else context.csr
+    total = csr.indices.shape[0]
+    rng = np.random.default_rng(seed)
+    nodes = context.nodes
+    chosen: dict[tuple[int, int], None] = {}
+    attempts = 0
+    while len(chosen) < count and attempts < 100 * max(count, 1):
+        attempts += 1
+        position = int(rng.integers(0, total))
+        src = int(np.searchsorted(csr.indptr, position, side="right")) - 1
+        dst = int(csr.indices[position])
+        if not context.is_directed and src > dst:
+            src, dst = dst, src
+        if src != dst:
+            chosen.setdefault((src, dst), None)
+    return [(nodes[u], nodes[v]) for u, v in chosen]
+
+
+def _cmd_delta(args: argparse.Namespace) -> int:
+    """Apply a random edge-removal delta and rescore only dirty groups."""
+    from repro.engine import batch_group_stats
+    from repro.engine.delta import ContextDelta, rescore_groups
+
+    mmap_dir = _mmap_dir(args)
+    if mmap_dir is None:
+        raise SystemExit("delta: --mmap-dir (or REPRO_MMAP_DIR) is required")
+    context, groups = _open_store(mmap_dir)
+    removals = _sample_store_edges(context, args.drop_edges, args.seed or 0)
+    delta = ContextDelta(remove_edges=tuple(removals))
+    member_lists = [list(group.members) for group in groups]
+    baseline = {
+        group.name: stats
+        for group, stats in zip(groups, batch_group_stats(context, member_lists))
+    }
+    patched = delta.apply(context)
+    dirty = delta.dirty_names(groups)
+    rescore_groups(patched, groups, baseline, dirty)
+    print(
+        render_kv(
+            {
+                "store": mmap_dir,
+                "edges removed": len(removals),
+                "edges before/after": f"{context.num_edges}/{patched.num_edges}",
+                "groups total": len(groups),
+                "groups dirty (rescored)": len(dirty),
+                "groups patched (no kernel)": len(groups) - len(dirty),
+            },
+            title="Incremental re-freeze",
+        )
+    )
     return 0
 
 
@@ -479,7 +639,63 @@ def build_parser() -> argparse.ArgumentParser:
         default="random_walk",
         choices=["random_walk", "uniform", "bfs_ball", "forest_fire"],
     )
+    score_parser.add_argument(
+        "--mmap-dir",
+        metavar="DIR",
+        default=None,
+        help="score the groups of an on-disk CSR store (memmap-attached; "
+        "default: $REPRO_MMAP_DIR) instead of building a dataset",
+    )
     score_parser.set_defaults(handler=_cmd_score)
+
+    freeze_parser = commands.add_parser(
+        "freeze",
+        help="stream a dataset into an on-disk CSR store (docs/SCALING.md)",
+        parents=[trace_parent],
+    )
+    _add_dataset_argument(freeze_parser)
+    freeze_parser.add_argument(
+        "-o", "--out", required=True, metavar="DIR", help="store directory"
+    )
+    freeze_parser.add_argument(
+        "--scale",
+        type=int,
+        default=None,
+        metavar="EDGES",
+        help="freeze a planted-partition benchmark stream of this many "
+        "edge draws instead of a named dataset",
+    )
+    freeze_parser.add_argument(
+        "--chunk-edges",
+        type=int,
+        default=1 << 22,
+        metavar="N",
+        help="edges per streamed chunk (bounds the freeze's peak RSS)",
+    )
+    freeze_parser.add_argument(
+        "--force", action="store_true", help="overwrite an existing store"
+    )
+    freeze_parser.set_defaults(handler=_cmd_freeze)
+
+    delta_parser = commands.add_parser(
+        "delta",
+        help="incremental re-freeze: drop random edges, rescore dirty groups",
+        parents=[trace_parent],
+    )
+    delta_parser.add_argument(
+        "--mmap-dir",
+        metavar="DIR",
+        default=None,
+        help="on-disk CSR store to patch (default: $REPRO_MMAP_DIR)",
+    )
+    delta_parser.add_argument(
+        "--drop-edges",
+        type=int,
+        default=8,
+        metavar="K",
+        help="number of random existing edges to remove (default: 8)",
+    )
+    delta_parser.set_defaults(handler=_cmd_delta)
 
     compare_parser = commands.add_parser(
         "compare",

@@ -2,13 +2,22 @@
 
 from repro.data.datasets import MAGNO_REFERENCE, PAPER_DATASETS, Dataset, DatasetSpec
 from repro.data.ego import EgoNetwork, EgoNetworkCollection
-from repro.data.groups import Circle, Community, GroupSet, VertexGroup
+from repro.data.groups import (
+    Circle,
+    Community,
+    GroupSet,
+    VertexGroup,
+    load_groups,
+    save_groups,
+)
 
 __all__ = [
     "VertexGroup",
     "Circle",
     "Community",
     "GroupSet",
+    "save_groups",
+    "load_groups",
     "EgoNetwork",
     "EgoNetworkCollection",
     "Dataset",

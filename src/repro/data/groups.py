@@ -15,14 +15,24 @@ different construction processes.
 
 from __future__ import annotations
 
+import json
+import os
 from collections.abc import Hashable, Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
+from pathlib import Path
 
-from repro.exceptions import EmptyGroupError
+from repro.exceptions import EmptyGroupError, FormatError
 
 Node = Hashable
 
-__all__ = ["VertexGroup", "Circle", "Community", "GroupSet"]
+__all__ = [
+    "VertexGroup",
+    "Circle",
+    "Community",
+    "GroupSet",
+    "save_groups",
+    "load_groups",
+]
 
 
 @dataclass(frozen=True)
@@ -168,3 +178,76 @@ def _group_fields(group: VertexGroup) -> dict:
     if isinstance(group, Circle):
         fields["owner"] = group.owner
     return fields
+
+
+_GROUP_KINDS = {"group": VertexGroup, "circle": Circle, "community": Community}
+
+#: Format marker of the sidecar written next to on-disk CSR stores so
+#: ``repro score --mmap-dir`` can rescore stored groups without the
+#: generator that produced them.
+GROUPS_FORMAT = "repro-groups"
+GROUPS_VERSION = 1
+
+
+def save_groups(groups: GroupSet, path: str | Path) -> Path:
+    """Serialize a :class:`GroupSet` as a JSON sidecar file.
+
+    Members must be JSON-representable labels (int or str — the labels
+    an on-disk CSR store can carry).  The write is atomic (scratch file
+    + ``os.replace``) so a crashed freeze never leaves a torn sidecar.
+    """
+    path = Path(path)
+    records = []
+    for group in groups:
+        for member in group.members:
+            if not isinstance(member, (int, str)) or isinstance(member, bool):
+                raise FormatError(
+                    f"group {group.name!r} has non-JSON member "
+                    f"{member!r} ({type(member).__name__})"
+                )
+        record: dict = {
+            "kind": group.kind,
+            "name": group.name,
+            "members": sorted(group.members, key=lambda v: (str(type(v)), v)),
+        }
+        if isinstance(group, Circle) and group.owner is not None:
+            record["owner"] = group.owner
+        records.append(record)
+    payload = {
+        "format": GROUPS_FORMAT,
+        "version": GROUPS_VERSION,
+        "name": groups.name,
+        "groups": records,
+    }
+    scratch = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    with open(scratch, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, separators=(",", ":"))
+    os.replace(scratch, path)
+    return path
+
+
+def load_groups(path: str | Path) -> GroupSet:
+    """Load a :class:`GroupSet` written by :func:`save_groups`."""
+    path = Path(path)
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != GROUPS_FORMAT:
+        raise FormatError(f"{path}: not a {GROUPS_FORMAT} file")
+    if int(payload.get("version", 0)) > GROUPS_VERSION:
+        raise FormatError(
+            f"{path}: version {payload['version']} is newer than "
+            f"supported ({GROUPS_VERSION})"
+        )
+    groups = GroupSet(name=str(payload.get("name", "")))
+    for record in payload["groups"]:
+        kind = _GROUP_KINDS.get(record.get("kind", "group"))
+        if kind is None:
+            raise FormatError(f"{path}: unknown group kind {record['kind']!r}")
+        fields: dict = {
+            "name": record["name"],
+            "members": frozenset(record["members"]),
+        }
+        if kind is Circle:
+            fields["owner"] = record.get("owner")
+        groups.add(kind(**fields))
+    return groups

@@ -6,11 +6,14 @@ These rules consume the whole-program call graph
 (:mod:`repro.devtools.summaries`); the driver runs them once per lint
 batch, in the parent process, after the per-file rules.
 
-REP401–REP404 guard the shared-memory parallel engine: worker-reachable
-code must treat frozen context state as read-only (REP401), never receive
-live RNG objects — even through helper returns REP105's local view cannot
-see (REP402), only dispatch picklable top-level callables (REP403), and
-merge shard results in submission order, not completion order (REP404).
+REP401–REP405 guard the shared-memory parallel engine and the frozen
+substrate: worker-reachable code must treat frozen context state as
+read-only (REP401), never receive live RNG objects — even through helper
+returns REP105's local view cannot see (REP402), only dispatch picklable
+top-level callables (REP403), merge shard results in submission order,
+not completion order (REP404), and never reopen a finalized on-disk CSR
+store writable or force a frozen buffer's writeable flag back on
+(REP405).
 
 REP501–REP503 guard the on-disk result cache: every value that influences
 a cached payload must be represented in the cache key (REP501), cache
@@ -49,6 +52,7 @@ __all__ = [
     "RngReachesProcessBoundary",
     "UnpicklableWorkerCallable",
     "CompletionOrderMerge",
+    "WritableFrozenStore",
     "CacheKeyMissingInput",
     "NonAtomicCacheWrite",
     "ScoringStateTokenDrift",
@@ -437,6 +441,126 @@ class CompletionOrderMerge(ProgramRule):
                     ):
                         return True
         return False
+
+
+class WritableFrozenStore(ProgramRule):
+    """A frozen on-disk CSR buffer is opened writable or force-unfrozen.
+
+    The out-of-core substrate's correctness rests on store files being
+    immutable once finalized: fingerprints are computed from the bytes,
+    cache keys from the fingerprints, and every attached process shares
+    the same page-cache view (``docs/SCALING.md``).  A ``np.memmap``
+    opened in a writable mode (``r+``/``w+``, or numpy's *default* when
+    ``mode=`` is omitted) — or a ``np.load(..., mmap_mode="r+")`` — can
+    silently rewrite a finalized store under every other reader, and
+    flipping ``array.flags.writeable`` back to ``True`` re-arms exactly
+    the aliasing that frozen-array validation exists to reject.  The
+    sanctioned mutation path is :class:`repro.engine.delta.ContextDelta`
+    — ``apply`` builds **new** arrays and never reopens store files —
+    so its methods are the only allowlisted site.
+    """
+
+    id = "REP405"
+    summary = "frozen store memmap opened writable or flags force-unfrozen"
+    example_bad = (
+        "data = np.memmap(store / 'union.indices.bin', dtype=np.int64)\n"
+        "data[0] = -1  # default mode is 'r+': rewrites the store\n"
+    )
+    example_good = (
+        "data = np.memmap(\n"
+        "    store / 'union.indices.bin', dtype=np.int64, mode='r'\n"
+        ")\n"
+    )
+
+    #: Classes whose methods may produce patched substrate arrays.
+    _ALLOWED_CLASSES = frozenset({"ContextDelta"})
+
+    #: Read-only / copy-on-write memmap modes (never write to the file).
+    _SAFE_MODES = frozenset({"r", "c"})
+
+    def check_program(self, program: Program) -> Iterator[Violation]:
+        for key in sorted(program.functions):
+            info = program.functions[key]
+            if info.class_name in self._ALLOWED_CLASSES:
+                continue
+            for stmt in _iter_own_statements(list(info.node.body)):
+                yield from self._unfreeze_assignment(info, stmt)
+                for expr in _stmt_expressions(stmt):
+                    for sub in ast.walk(expr):
+                        if not isinstance(sub, ast.Call):
+                            continue
+                        found = self._writable_open(sub)
+                        if found is None:
+                            continue
+                        yield _program_violation(
+                            self,
+                            info,
+                            sub.lineno,
+                            sub.col_offset,
+                            f"{found} opens a file-backed array writable; "
+                            "frozen CSR stores are immutable once "
+                            "finalized — open with mode='r' (or 'c') and "
+                            "route mutations through ContextDelta.apply",
+                        )
+
+    def _unfreeze_assignment(
+        self, info: FunctionInfo, stmt: ast.stmt
+    ) -> Iterator[Violation]:
+        if not isinstance(stmt, ast.Assign):
+            return
+        if not (
+            isinstance(stmt.value, ast.Constant) and stmt.value.value is True
+        ):
+            return
+        for target in stmt.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr == "writeable"
+                and isinstance(target.value, ast.Attribute)
+                and target.value.attr == "flags"
+            ):
+                yield _program_violation(
+                    self,
+                    info,
+                    stmt.lineno,
+                    stmt.col_offset,
+                    f"`{dotted_path(target) or 'flags.writeable'}` is "
+                    "forced back to True; frozen buffers stay read-only "
+                    "— copy the array or go through ContextDelta.apply",
+                )
+
+    @classmethod
+    def _writable_open(cls, call: ast.Call) -> str | None:
+        """Name the writable file-backed-array open, or ``None``."""
+        func = call.func
+        attr = func.attr if isinstance(func, ast.Attribute) else None
+        name = func.id if isinstance(func, ast.Name) else None
+        target = attr or name
+        if target == "memmap":
+            mode = cls._keyword_value(call, "mode")
+            if mode is _MISSING:
+                return "np.memmap(...) without mode= (default 'r+')"
+            if isinstance(mode, str) and mode not in cls._SAFE_MODES:
+                return f"np.memmap(..., mode={mode!r})"
+            return None
+        if target == "load":
+            mode = cls._keyword_value(call, "mmap_mode")
+            if isinstance(mode, str) and mode not in cls._SAFE_MODES:
+                return f"np.load(..., mmap_mode={mode!r})"
+        return None
+
+    @staticmethod
+    def _keyword_value(call: ast.Call, keyword: str) -> object:
+        for kw in call.keywords:
+            if kw.arg == keyword:
+                if isinstance(kw.value, ast.Constant):
+                    return kw.value.value
+                return None  # non-constant: not provable, stay silent
+        return _MISSING
+
+
+#: Sentinel distinguishing "keyword omitted" from "non-constant value".
+_MISSING = object()
 
 
 class CacheKeyMissingInput(ProgramRule):
@@ -858,6 +982,7 @@ INTERPROC_RULES: tuple[type[ProgramRule], ...] = (
     RngReachesProcessBoundary,
     UnpicklableWorkerCallable,
     CompletionOrderMerge,
+    WritableFrozenStore,
     CacheKeyMissingInput,
     NonAtomicCacheWrite,
     ScoringStateTokenDrift,

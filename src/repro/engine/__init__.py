@@ -17,6 +17,7 @@ oracle; the engine is the production path.
 from repro.engine.batch import batch_group_stats, group_stats
 from repro.engine.cache import ResultCache
 from repro.engine.context import AnalysisContext, CSRBuffers
+from repro.engine.delta import ContextDelta, rescore_groups
 from repro.engine.parallel import ParallelExecutor, resolve_jobs
 from repro.engine.samplers import (
     ENGINE_SAMPLERS,
@@ -29,6 +30,8 @@ from repro.engine.samplers import (
 __all__ = [
     "AnalysisContext",
     "CSRBuffers",
+    "ContextDelta",
+    "rescore_groups",
     "ParallelExecutor",
     "ResultCache",
     "batch_group_stats",

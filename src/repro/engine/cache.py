@@ -49,8 +49,10 @@ Node = Hashable
 __all__ = ["ResultCache", "function_tokens"]
 
 #: Bump when the payload layout or key schema changes: old entries then
-#: miss instead of deserializing wrongly.
-_SCHEMA = "v1"
+#: miss instead of deserializing wrongly.  v2: context fingerprints went
+#: chunk-wise and identity-aware (repro.obs.manifest.fingerprint_context),
+#: so keys minted before the out-of-core substrate must not collide.
+_SCHEMA = "v2"
 
 _SCALARS = (type(None), bool, int, float, str)
 

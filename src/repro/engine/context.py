@@ -24,19 +24,35 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Sequence
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro import obs
 from repro.exceptions import GraphError, NodeNotFound
 from repro.obs import instruments
-from repro.graph.csr import CSRGraph, freeze_directed
+from repro.graph.csr import (
+    CSRDirWriter,
+    CSRGraph,
+    _check_frozen_array,
+    freeze_directed,
+    is_identity_nodes,
+    open_csr_dir,
+)
 from repro.graph.digraph import DiGraph
 from repro.graph.ugraph import Graph
 
 Node = Hashable
 
 __all__ = ["AnalysisContext", "CSRBuffers"]
+
+
+def _contiguous(array: np.ndarray) -> np.ndarray:
+    # Preserve already-contiguous arrays as-is: np.ascontiguousarray would
+    # re-wrap a memmap as a plain ndarray view and lose its file identity,
+    # which the shared-memory exporter needs to hand workers a path
+    # instead of a copy.
+    return array if array.flags.c_contiguous else np.ascontiguousarray(array)
 
 
 @dataclass(frozen=True)
@@ -87,6 +103,8 @@ class AnalysisContext:
         "num_vertices",
         "num_edges",
         "is_directed",
+        "name",
+        "mmap_dir",
         "_degree_array",
         "_median_degree",
         "_label_rank",
@@ -116,6 +134,8 @@ class AnalysisContext:
         instruments.CONTEXTS_FROZEN.inc()
         self.num_vertices = self.csr.num_vertices
         self.num_edges = graph.number_of_edges()
+        self.name = getattr(graph, "name", None)
+        self.mmap_dir: Path | None = None
         self._degree_array: np.ndarray | None = None
         self._median_degree: float | None = None
         self._label_rank: np.ndarray | None = None
@@ -134,14 +154,18 @@ class AnalysisContext:
         median_degree: float | None = None,
         label_rank: np.ndarray | None = None,
         graph: "Graph | DiGraph | None" = None,
+        name: str | None = None,
     ) -> "AnalysisContext":
         """Assemble a context directly from already-frozen parts.
 
         Trusted constructor for callers that rebuild a snapshot from
-        exported arrays (the shared-memory workers): no graph traversal,
-        no freeze span, no re-derivation of caches the parent already
-        computed.  ``graph`` may be ``None`` — such a context serves the
-        CSR kernels and samplers but not label-level protocols.
+        exported arrays (the shared-memory workers, :meth:`open`, the
+        delta path): no graph traversal, no freeze span, no re-derivation
+        of caches the parent already computed.  ``graph`` may be ``None``
+        — such a context serves the CSR kernels and samplers but not
+        label-level protocols; ``name`` then identifies it in manifests.
+        Provided arrays are validated like every frozen buffer (int64,
+        contiguous, no writable aliasing) but never copied.
         """
         self = object.__new__(cls)
         self.graph = graph  # type: ignore[assignment]
@@ -151,6 +175,12 @@ class AnalysisContext:
         self.num_vertices = csr.num_vertices
         self.num_edges = num_edges
         self.is_directed = is_directed
+        self.name = name if name is not None else getattr(graph, "name", None)
+        self.mmap_dir = None
+        if degree_array is not None:
+            degree_array = _check_frozen_array("degree_array", degree_array)
+        if label_rank is not None:
+            label_rank = _check_frozen_array("label_rank", label_rank)
         self._degree_array = degree_array
         self._median_degree = median_degree
         self._label_rank = label_rank
@@ -165,6 +195,101 @@ class AnalysisContext:
         if isinstance(source, AnalysisContext):
             return source
         return cls(source)
+
+    # -- on-disk persistence -------------------------------------------------
+
+    def save(
+        self, directory: str | Path, *, overwrite: bool = False
+    ) -> Path:
+        """Persist this frozen context as an on-disk CSR directory.
+
+        Writes every orientation's buffers plus the degree array chunk
+        by chunk (see :class:`repro.graph.csr.CSRDirWriter`), so saving
+        a memmap-backed context never loads it into RAM.  Identity
+        labellings (``0 .. n-1``) are stored as a marker, not a list.
+        Re-opening with :meth:`open` yields a context whose fingerprint,
+        scores and cache keys are byte-identical to this one.
+        """
+        with obs.span("engine.save"):
+            writer = CSRDirWriter(
+                directory,
+                n=self.num_vertices,
+                directed=self.is_directed,
+                name=self.display_name,
+                overwrite=overwrite,
+            )
+            try:
+                for orientation, buffers in self.csr_buffers().items():
+                    for array_name, array in buffers.arrays():
+                        writer.append(f"{orientation}.{array_name}", array)
+                writer.append("degree", self.degree_array)
+                nodes = None
+                if not is_identity_nodes(self.csr.nodes):
+                    nodes = list(self.csr.nodes)
+                return writer.finalize(
+                    m=self.num_edges,
+                    nodes=nodes,
+                    median_degree=self.median_degree,
+                )
+            finally:
+                writer.close()
+
+    @classmethod
+    def open(cls, directory: str | Path) -> "AnalysisContext":
+        """Attach an on-disk CSR store as a read-only frozen context.
+
+        Arrays come back as ``mode="r"`` memmaps: opening a 10^8-edge
+        store is O(1) in RAM, and page cache is shared across every
+        process that attaches the same store (the parallel executor
+        hands workers the file paths instead of shared-memory copies).
+        """
+        store = open_csr_dir(directory)
+        meta = store.meta
+        nodes, index_of = store.node_index()
+        union = CSRGraph.from_arrays(
+            store.array("union.indptr"),
+            store.array("union.indices"),
+            nodes,  # type: ignore[arg-type]
+            index_of,
+            orientation="union",
+        )
+        csr_out = csr_in = None
+        if meta["directed"]:
+            csr_out = CSRGraph.from_arrays(
+                store.array("out.indptr"),
+                store.array("out.indices"),
+                nodes,  # type: ignore[arg-type]
+                index_of,
+                orientation="out",
+            )
+            csr_in = CSRGraph.from_arrays(
+                store.array("in.indptr"),
+                store.array("in.indices"),
+                nodes,  # type: ignore[arg-type]
+                index_of,
+                orientation="in",
+            )
+        median = meta.get("median_degree")
+        context = cls.from_parts(
+            union,
+            csr_out,
+            csr_in,
+            num_edges=int(meta["m"]),
+            is_directed=bool(meta["directed"]),
+            degree_array=store.array("degree") if "degree" in store else None,
+            median_degree=float(median) if median is not None else None,
+            name=meta.get("name"),
+        )
+        context.mmap_dir = store.directory
+        instruments.CONTEXTS_OPENED.inc()
+        return context
+
+    @property
+    def display_name(self) -> str | None:
+        """Best human-readable identity: the graph's name, else our own."""
+        if self.graph is not None and getattr(self.graph, "name", None):
+            return self.graph.name
+        return self.name
 
     # -- label <-> integer boundary ------------------------------------------
 
@@ -212,21 +337,21 @@ class AnalysisContext:
         buffers = {
             "union": CSRBuffers(
                 orientation="union",
-                indptr=np.ascontiguousarray(self.csr.indptr),
-                indices=np.ascontiguousarray(self.csr.indices),
+                indptr=_contiguous(self.csr.indptr),
+                indices=_contiguous(self.csr.indices),
             )
         }
         if self.csr_out is not None:
             buffers["out"] = CSRBuffers(
                 orientation="out",
-                indptr=np.ascontiguousarray(self.csr_out.indptr),
-                indices=np.ascontiguousarray(self.csr_out.indices),
+                indptr=_contiguous(self.csr_out.indptr),
+                indices=_contiguous(self.csr_out.indices),
             )
         if self.csr_in is not None:
             buffers["in"] = CSRBuffers(
                 orientation="in",
-                indptr=np.ascontiguousarray(self.csr_in.indptr),
-                indices=np.ascontiguousarray(self.csr_in.indices),
+                indptr=_contiguous(self.csr_in.indptr),
+                indices=_contiguous(self.csr_in.indices),
             )
         return buffers
 
@@ -282,6 +407,12 @@ class AnalysisContext:
         """
         if self._label_rank is None:
             nodes = self.csr.nodes
+            if is_identity_nodes(nodes):
+                # Identity labels sort as themselves: rank == id.  This
+                # keeps 10^7-vertex on-disk contexts from paying an
+                # O(n log n) Python sort for an arange.
+                self._label_rank = np.arange(len(nodes), dtype=np.int64)
+                return self._label_rank
             order = list(range(len(nodes)))
             try:
                 order.sort(key=lambda i: nodes[i])

@@ -41,7 +41,12 @@ from multiprocessing import shared_memory
 
 from repro.engine.context import AnalysisContext
 from repro.exceptions import ParallelError
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import (
+    CSRGraph,
+    IdentityIndex,
+    IdentityNodes,
+    is_identity_nodes,
+)
 from repro.obs import instruments
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle-free)
@@ -100,7 +105,14 @@ def shard_ranges(count: int, shards: int) -> list[range]:
 
 
 class _SharedContext:
-    """Parent-side owner of one frozen context's shared-memory segments."""
+    """Parent-side owner of one frozen context's shared-memory segments.
+
+    Memmap-backed arrays (a context opened from an on-disk CSR store) are
+    exported as **file references** instead of shared-memory copies: every
+    worker re-maps the same file read-only, so a 10^8-edge store costs one
+    page-cache residency no matter how many workers attach.  RAM-resident
+    arrays still go through shared memory.
+    """
 
     def __init__(self, context: AnalysisContext) -> None:
         self._segments: list[shared_memory.SharedMemory] = []
@@ -113,13 +125,18 @@ class _SharedContext:
                 }
                 for name, buffers in context.csr_buffers().items()
             }
+            identity = is_identity_nodes(context.csr.nodes)
             self.spec = {
                 "n": context.num_vertices,
                 "m": context.num_edges,
                 "directed": context.is_directed,
                 "orientations": orientations,
                 "degree": self._export(context.degree_array),
-                "label_rank": self._export(context.label_rank),
+                # Identity labels rank as themselves: workers rebuild the
+                # arange locally instead of shipping n int64s.
+                "label_rank": (
+                    None if identity else self._export(context.label_rank)
+                ),
                 "median_degree": context.median_degree,
             }
             exported = True
@@ -129,6 +146,18 @@ class _SharedContext:
                 self.close()
 
     def _export(self, array: np.ndarray) -> dict[str, object]:
+        if (
+            isinstance(array, np.memmap)
+            and not array.flags.writeable
+            and array.flags.c_contiguous
+        ):
+            return {
+                "kind": "file",
+                "path": str(array.filename),
+                "dtype": array.dtype.str,
+                "shape": tuple(array.shape),
+                "offset": int(array.offset),
+            }
         array = np.ascontiguousarray(array)
         segment = shared_memory.SharedMemory(
             create=True, size=max(1, array.nbytes)
@@ -138,6 +167,7 @@ class _SharedContext:
         del view
         self._segments.append(segment)
         return {
+            "kind": "shm",
             "name": segment.name,
             "dtype": array.dtype.str,
             "shape": tuple(array.shape),
@@ -156,26 +186,27 @@ class _SharedContext:
 # -- worker side -------------------------------------------------------------
 
 
-class _IdentityIndex(dict):
-    """``index_of`` stand-in for label-free worker contexts.
-
-    Worker groups arrive as integer vertex ids, so the label->id mapping
-    is the identity; membership tests accept any in-range id.
-    """
-
-    def __missing__(self, key: object) -> int:
-        return int(key)  # type: ignore[call-overload]
-
-    def __contains__(self, key: object) -> bool:
-        return True
-
-
 #: Per-worker state: attached segments (kept alive for the process) and
 #: the rebuilt trusted context.  Set once by :func:`_worker_init`.
 _WORKER: dict[str, object] = {}
 
 
 def _attach(ref: dict[str, object]) -> np.ndarray:
+    """Materialize one exported buffer reference as a read-only array.
+
+    ``kind == "file"`` refs re-map the backing file (``mode="r"``);
+    shared-memory refs attach the segment and mark the view read-only —
+    frozen buffers must never be writable in a worker (``from_arrays``
+    rejects writable views outright).
+    """
+    if ref.get("kind") == "file":
+        return np.memmap(
+            str(ref["path"]),
+            dtype=np.dtype(ref["dtype"]),  # type: ignore[arg-type]
+            mode="r",
+            offset=int(ref["offset"]),  # type: ignore[arg-type]
+            shape=tuple(ref["shape"]),  # type: ignore[arg-type]
+        )
     # Attaching must not (re-)register the segment with the resource
     # tracker: the parent owns it, and a tracker that believes a worker
     # owns it would unlink it under the parent on worker exit (or choke
@@ -196,9 +227,11 @@ def _attach(ref: dict[str, object]) -> np.ndarray:
         resource_tracker.register = original_register
     segments = _WORKER.setdefault("segments", [])
     segments.append(segment)  # type: ignore[union-attr]
-    return np.ndarray(
+    view = np.ndarray(
         tuple(ref["shape"]), dtype=np.dtype(ref["dtype"]), buffer=segment.buf
     )
+    view.flags.writeable = False
+    return view
 
 
 def _worker_init(spec: dict[str, object]) -> None:
@@ -222,8 +255,8 @@ def _worker_init(spec: dict[str, object]) -> None:
         for name, refs in spec["orientations"].items()  # type: ignore[union-attr]
     }
     n = int(spec["n"])  # type: ignore[arg-type]
-    nodes = range(n)
-    index_of = _IdentityIndex()
+    nodes = IdentityNodes(n)
+    index_of = IdentityIndex(n)
     union = CSRGraph.from_arrays(
         orientations["union"]["indptr"],
         orientations["union"]["indices"],
@@ -256,7 +289,11 @@ def _worker_init(spec: dict[str, object]) -> None:
         is_directed=bool(spec["directed"]),
         degree_array=_attach(spec["degree"]),  # type: ignore[arg-type]
         median_degree=float(spec["median_degree"]),  # type: ignore[arg-type]
-        label_rank=_attach(spec["label_rank"]),  # type: ignore[arg-type]
+        label_rank=(
+            _attach(spec["label_rank"])  # type: ignore[arg-type]
+            if spec["label_rank"] is not None
+            else None
+        ),
     )
 
 

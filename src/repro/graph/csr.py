@@ -11,11 +11,21 @@ For a directed graph the CSR stores the *undirected skeleton* by default
 (every edge usable in both directions), which is what path-length and
 clustering measurements on social graphs conventionally use; the directed
 out/in structure is available via ``orientation``.
+
+This module also owns the **on-disk CSR directory format** (see
+``docs/SCALING.md``): a versioned ``meta.json`` plus one raw little-endian
+``int64`` ``.bin`` file per array, written incrementally by
+:class:`CSRDirWriter` and opened read-only through :func:`open_csr_dir`
+as ``numpy`` memmaps — the substrate that lets 10^7–10^8-edge graphs be
+frozen and scored without ever fitting in RAM.
 """
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Sequence
+import json
+import os
+from collections.abc import Hashable, Iterable, Sequence
+from pathlib import Path
 from typing import Literal
 
 import numpy as np
@@ -28,7 +38,18 @@ from repro.graph.ugraph import Graph
 Node = Hashable
 Orientation = Literal["union", "out", "in"]
 
-__all__ = ["CSRGraph", "freeze_directed"]
+__all__ = [
+    "CSRGraph",
+    "freeze_directed",
+    "IdentityNodes",
+    "IdentityIndex",
+    "is_identity_nodes",
+    "CSRDirWriter",
+    "CSRStore",
+    "open_csr_dir",
+    "CSR_DIR_FORMAT",
+    "CSR_DIR_VERSION",
+]
 
 #: Memory cap (bytes) for the cached dense bitset adjacency.  At one bit
 #: per vertex pair this admits graphs up to ~23k vertices — comfortably
@@ -38,6 +59,123 @@ _DENSE_BITS_LIMIT = 64 * 1024 * 1024
 
 #: Sentinel distinguishing "never computed" from "computed: over the cap".
 _UNSET = object()
+
+
+class IdentityNodes(Sequence):
+    """Virtual label list for graphs whose labels *are* the vertex ids.
+
+    On-disk contexts and worker-side rebuilds never materialize a label
+    list — their vertices are ``0 .. n-1`` by construction.  This stands
+    in for ``nodes`` without allocating ``n`` Python ints.
+    """
+
+    __slots__ = ("_range",)
+
+    def __init__(self, n: int) -> None:
+        self._range = range(int(n))
+
+    def __len__(self) -> int:
+        return len(self._range)
+
+    def __getitem__(self, index):  # int -> int, slice -> range
+        return self._range[index]
+
+    def __iter__(self):
+        return iter(self._range)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._range
+
+    def __repr__(self) -> str:
+        return f"IdentityNodes({len(self._range)})"
+
+
+class IdentityIndex(dict):
+    """``index_of`` stand-in when labels are the vertex ids themselves.
+
+    Bounded: only integers in ``[0, n)`` resolve, so out-of-range lookups
+    fail with :class:`KeyError` exactly like a real label dictionary.
+    """
+
+    __slots__ = ("_n",)
+
+    def __init__(self, n: int) -> None:
+        super().__init__()
+        self._n = int(n)
+
+    def __missing__(self, key: object) -> int:
+        if isinstance(key, (int, np.integer)) and 0 <= int(key) < self._n:
+            return int(key)
+        raise KeyError(key)
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, (int, np.integer)) and 0 <= int(key) < self._n
+
+
+def is_identity_nodes(nodes: Sequence[Node]) -> bool:
+    """Whether ``nodes`` is exactly the identity labelling ``0 .. n-1``.
+
+    Identity-labelled contexts hash and export their vertex set as a
+    compact marker instead of a materialized label list, so an in-RAM
+    freeze of an integer-labelled graph and an on-disk store of the same
+    graph agree byte-for-byte on fingerprints.
+    """
+    if isinstance(nodes, IdentityNodes):
+        return True
+    if isinstance(nodes, range):
+        return nodes.start == 0 and nodes.step == 1
+    n = len(nodes)
+    if n == 0:
+        return False
+    first, last = nodes[0], nodes[-1]
+    if isinstance(first, bool) or not isinstance(first, (int, np.integer)):
+        return False
+    if first != 0 or last != n - 1:
+        return False
+    try:
+        array = np.asarray(nodes, dtype=np.int64)
+    except (TypeError, ValueError, OverflowError):
+        return False
+    if array.ndim != 1 or array.shape[0] != n:
+        return False
+    return bool((array == np.arange(n, dtype=np.int64)).all())
+
+
+def _check_frozen_array(name: str, array: object) -> np.ndarray:
+    """Validate one frozen CSR array; adopt it without copying.
+
+    Frozen snapshots demand ``int64``, one-dimensional, C-contiguous
+    arrays — silently casting (the old behaviour) would copy a memmap
+    into RAM, defeating the out-of-core substrate.  Writable views of
+    other buffers are rejected outright: a frozen snapshot aliasing
+    memory someone else can mutate breaks the freeze-once contract.
+    Read-only views (memmaps, shared-memory attachments) pass through.
+    """
+    if not isinstance(array, np.ndarray):
+        return np.asarray(array, dtype=np.int64)
+    if array.dtype != np.int64:
+        raise GraphError(
+            f"frozen CSR array {name!r} must be int64, got {array.dtype}; "
+            f"cast with .astype(np.int64) before freezing"
+        )
+    if array.ndim != 1:
+        raise GraphError(
+            f"frozen CSR array {name!r} must be one-dimensional, got "
+            f"shape {array.shape}"
+        )
+    if not array.flags.c_contiguous:
+        raise GraphError(
+            f"frozen CSR array {name!r} must be C-contiguous; copy it "
+            f"into a contiguous buffer before freezing"
+        )
+    if array.base is not None and array.flags.writeable:
+        raise GraphError(
+            f"frozen CSR array {name!r} is a writable view of another "
+            f"buffer; pass the owning array, or mark the view read-only "
+            f"(view.flags.writeable = False) so the frozen snapshot "
+            f"cannot alias mutable memory"
+        )
+    return array
 
 
 def _edge_arrays(
@@ -193,15 +331,18 @@ class CSRGraph:
         """Assemble a snapshot directly from prebuilt CSR arrays.
 
         Trusted-input constructor for callers that derive several
-        orientations from one edge-array pass (the analysis engine).  The
-        arrays are adopted, not copied; rows must already be sorted.
+        orientations from one edge-array pass (the analysis engine) or
+        re-open arrays from disk.  The arrays are adopted, never copied
+        — read-only memmaps stay file-backed — and are validated for
+        dtype/contiguity; writable views of foreign buffers are rejected
+        (see :func:`_check_frozen_array`).  Rows must already be sorted.
         """
         self = object.__new__(cls)
         self._degree_array = None
         self._edge_keys = None
         self._adjacency_bits = _UNSET
-        self.indptr = np.asarray(indptr, dtype=np.int64)
-        self.indices = np.asarray(indices, dtype=np.int64)
+        self.indptr = _check_frozen_array("indptr", indptr)
+        self.indices = _check_frozen_array("indices", indices)
         self.nodes = nodes
         self.index_of = index_of
         self.orientation = orientation
@@ -349,3 +490,210 @@ def freeze_directed(graph: DiGraph) -> tuple[CSRGraph, CSRGraph, CSRGraph]:
             in_indptr, srcs[order], nodes, index_of, orientation="in"
         ),
     )
+
+
+# -- on-disk CSR directory format ---------------------------------------------
+
+#: Format marker written into every ``meta.json``.
+CSR_DIR_FORMAT = "repro-csr-dir"
+
+#: Current on-disk format version.  Bump on any layout change; readers
+#: refuse newer versions instead of misinterpreting them.
+CSR_DIR_VERSION = 1
+
+#: Elements per write when spooling an array to disk (32 MiB of int64).
+_WRITE_CHUNK = 1 << 22
+
+
+def _array_chunks(array: np.ndarray, chunk: int = _WRITE_CHUNK):
+    """Yield bounded contiguous slices of ``array`` (for chunked IO)."""
+    for start in range(0, array.size, chunk):
+        yield array[start : start + chunk]
+
+
+class CSRDirWriter:
+    """Incremental writer for one on-disk CSR directory.
+
+    Arrays are appended chunk by chunk as raw little-endian ``int64``
+    bytes — the natural sink for the external-merge freeze, which knows
+    an array's length only after the last chunk.  :meth:`finalize` then
+    records every array's shape in ``meta.json`` (written atomically via
+    scratch + ``os.replace``); a directory without ``meta.json`` is
+    unreadable, so a crashed write can never be mistaken for a store.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        n: int,
+        directed: bool,
+        name: str | None = None,
+        overwrite: bool = False,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        meta_path = self.directory / "meta.json"
+        if meta_path.exists() and not overwrite:
+            raise GraphError(
+                f"{self.directory} already holds a CSR store; pass "
+                f"overwrite=True (or choose a fresh directory) to replace it"
+            )
+        meta_path.unlink(missing_ok=True)
+        self._n = int(n)
+        self._directed = bool(directed)
+        self._name = name
+        self._counts: dict[str, int] = {}
+        self._handles: dict[str, object] = {}
+        self._finalized = False
+
+    def append(self, array_name: str, chunk: np.ndarray) -> None:
+        """Append one chunk of ``array_name`` (coerced to int64)."""
+        if self._finalized:
+            raise GraphError("CSRDirWriter already finalized")
+        handle = self._handles.get(array_name)
+        if handle is None:
+            handle = open(self.directory / f"{array_name}.bin", "wb")
+            self._handles[array_name] = handle
+            self._counts[array_name] = 0
+        data = np.ascontiguousarray(chunk, dtype=np.int64)
+        for piece in _array_chunks(data):
+            handle.write(piece.tobytes())  # type: ignore[union-attr]
+        self._counts[array_name] += int(data.size)
+
+    def close(self) -> None:
+        """Close open array handles (safe to call repeatedly)."""
+        for handle in self._handles.values():
+            handle.close()  # type: ignore[union-attr]
+        self._handles = {}
+
+    def finalize(
+        self,
+        *,
+        m: int,
+        nodes: Sequence[Node] | None = None,
+        median_degree: float | None = None,
+    ) -> Path:
+        """Close the arrays and write ``meta.json``; returns the directory.
+
+        ``nodes`` carries explicit labels (JSON scalars only) for graphs
+        whose labelling is not the identity; identity-labelled stores
+        omit it and re-open with :class:`IdentityNodes`.
+        """
+        self.close()
+        node_entry: str | None = None
+        if nodes is not None:
+            labels = list(nodes)
+            for label in labels:
+                if not isinstance(label, (str, int)) or isinstance(label, bool):
+                    raise GraphError(
+                        f"on-disk stores require str or int node labels "
+                        f"(JSON round-trip); got {type(label).__name__}"
+                    )
+            node_entry = "nodes.json"
+            (self.directory / node_entry).write_text(
+                json.dumps(labels), encoding="utf-8"
+            )
+        meta = {
+            "format": CSR_DIR_FORMAT,
+            "version": CSR_DIR_VERSION,
+            "n": self._n,
+            "m": int(m),
+            "directed": self._directed,
+            "name": self._name,
+            "nodes": node_entry,
+            "median_degree": median_degree,
+            "arrays": {
+                array_name: {"file": f"{array_name}.bin", "count": count}
+                for array_name, count in sorted(self._counts.items())
+            },
+        }
+        meta_path = self.directory / "meta.json"
+        scratch = meta_path.with_name(f".{meta_path.name}.{os.getpid()}.tmp")
+        scratch.write_text(
+            json.dumps(meta, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(scratch, meta_path)
+        self._finalized = True
+        return self.directory
+
+
+class CSRStore:
+    """Read-only handle over one on-disk CSR directory.
+
+    Arrays come back as ``mode="r"`` memmaps (never writable — lint rule
+    REP405 holds every opener to that), so attaching a 10^8-edge store
+    costs page-table entries, not RAM.
+    """
+
+    def __init__(self, directory: Path, meta: dict) -> None:
+        self.directory = directory
+        self.meta = meta
+
+    def __contains__(self, array_name: str) -> bool:
+        return array_name in self.meta["arrays"]
+
+    def array_names(self) -> list[str]:
+        """Names of the stored arrays, sorted."""
+        return sorted(self.meta["arrays"])
+
+    def array(self, array_name: str) -> np.ndarray:
+        """Open one stored array as a read-only int64 memmap."""
+        try:
+            entry = self.meta["arrays"][array_name]
+        except KeyError:
+            raise GraphError(
+                f"store {self.directory} has no array {array_name!r}; "
+                f"available: {', '.join(self.array_names())}"
+            ) from None
+        count = int(entry["count"])
+        path = self.directory / entry["file"]
+        actual = path.stat().st_size
+        if actual != count * 8:
+            raise GraphError(
+                f"corrupt CSR store: {path} holds {actual} bytes, "
+                f"meta.json promises {count * 8}"
+            )
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.memmap(path, dtype=np.int64, mode="r", shape=(count,))
+
+    def node_index(self) -> tuple[Sequence[Node], dict]:
+        """Rebuild ``(nodes, index_of)`` — virtual when labels are ids."""
+        n = int(self.meta["n"])
+        node_entry = self.meta.get("nodes")
+        if node_entry is None:
+            return IdentityNodes(n), IdentityIndex(n)
+        labels = json.loads(
+            (self.directory / node_entry).read_text(encoding="utf-8")
+        )
+        if len(labels) != n:
+            raise GraphError(
+                f"corrupt CSR store: {node_entry} lists {len(labels)} "
+                f"labels for {n} vertices"
+            )
+        return labels, {label: i for i, label in enumerate(labels)}
+
+
+def open_csr_dir(directory: str | Path) -> CSRStore:
+    """Open an on-disk CSR directory written by :class:`CSRDirWriter`."""
+    directory = Path(directory)
+    meta_path = directory / "meta.json"
+    if not meta_path.is_file():
+        raise GraphError(
+            f"{directory} is not a CSR store (no meta.json); write one "
+            f"with AnalysisContext.save or repro freeze"
+        )
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    if meta.get("format") != CSR_DIR_FORMAT:
+        raise GraphError(
+            f"{meta_path} is not a {CSR_DIR_FORMAT} store "
+            f"(format={meta.get('format')!r})"
+        )
+    version = int(meta.get("version", 0))
+    if version > CSR_DIR_VERSION:
+        raise GraphError(
+            f"CSR store {directory} has format version {version}, newer "
+            f"than this build supports ({CSR_DIR_VERSION}); upgrade repro"
+        )
+    return CSRStore(directory, meta)

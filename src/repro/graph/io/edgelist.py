@@ -12,11 +12,18 @@ from collections.abc import Callable, Iterator
 from pathlib import Path
 from typing import IO, Any
 
+import numpy as np
+
 from repro.exceptions import FormatError
 from repro.graph.digraph import DiGraph
 from repro.graph.ugraph import Graph
 
-__all__ = ["read_edgelist", "write_edgelist", "iter_edges"]
+__all__ = [
+    "read_edgelist",
+    "write_edgelist",
+    "iter_edges",
+    "iter_edge_chunks",
+]
 
 
 def _open_text(path: Path, mode: str) -> IO[str]:
@@ -48,6 +55,37 @@ def iter_edges(
                 yield node_type(parts[0]), node_type(parts[1])
             except ValueError as exc:
                 raise FormatError(f"{path}:{line_number}: {exc}") from exc
+
+
+def iter_edge_chunks(
+    path: str | Path, *, chunk_edges: int = 1 << 20
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(src, dst)`` int64 array chunks from an integer edge list.
+
+    The out-of-core counterpart of :func:`iter_edges` for SNAP-style
+    files whose node ids are already integers: chunks feed
+    :func:`repro.synth.stream.freeze_stream` directly, so an edge list
+    far larger than RAM can be frozen into an on-disk CSR store without
+    a dict graph in between (see ``docs/SCALING.md``).
+    """
+    if chunk_edges < 1:
+        raise ValueError("chunk_edges must be >= 1")
+    us: list[int] = []
+    vs: list[int] = []
+    for u, v in iter_edges(path, node_type=int):
+        us.append(u)
+        vs.append(v)
+        if len(us) >= chunk_edges:
+            yield (
+                np.asarray(us, dtype=np.int64),
+                np.asarray(vs, dtype=np.int64),
+            )
+            us, vs = [], []
+    if us:
+        yield (
+            np.asarray(us, dtype=np.int64),
+            np.asarray(vs, dtype=np.int64),
+        )
 
 
 def read_edgelist(

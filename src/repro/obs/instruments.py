@@ -20,6 +20,8 @@ from repro.obs.metrics import REGISTRY
 
 __all__ = [
     "CONTEXTS_FROZEN",
+    "CONTEXTS_OPENED",
+    "DELTAS_APPLIED",
     "KERNEL_SELECTED",
     "GROUPS_SCORED",
     "GROUP_SIZE",
@@ -46,6 +48,18 @@ CONTEXTS_FROZEN = REGISTRY.counter(
     "engine.contexts_frozen",
     "graphs frozen into an AnalysisContext",
     unit="freezes",
+)
+
+CONTEXTS_OPENED = REGISTRY.counter(
+    "engine.contexts_opened",
+    "on-disk CSR stores attached via AnalysisContext.open",
+    unit="opens",
+)
+
+DELTAS_APPLIED = REGISTRY.counter(
+    "engine.deltas_applied",
+    "ContextDelta applications (incremental re-freezes)",
+    unit="deltas",
 )
 
 KERNEL_SELECTED = REGISTRY.counter(

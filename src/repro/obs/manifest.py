@@ -37,6 +37,12 @@ __all__ = [
 ]
 
 
+#: Elements digested per update (16 MiB of int64): fingerprinting a
+#: memmap-backed context streams the file through the page cache in
+#: bounded slices instead of materializing one giant ``tobytes`` copy.
+_FINGERPRINT_CHUNK = 1 << 21
+
+
 def fingerprint_context(context: "AnalysisContext") -> str:
     """Hash a frozen context's content into a short stable fingerprint.
 
@@ -45,16 +51,28 @@ def fingerprint_context(context: "AnalysisContext") -> str:
     accessor the shared-memory exporter uses) plus the node labels in
     vertex order, so any change to the graph's structure or labeling
     changes the fingerprint, while re-freezing the same graph reproduces
-    it exactly.  The digest is memoized on the context — the result cache
-    keys every lookup on it, and a frozen context's bytes never change.
+    it exactly.  Arrays are digested in bounded chunks (byte-identical
+    to hashing them whole), and an identity labelling ``0 .. n-1`` is
+    hashed as a compact marker — which is how an in-RAM freeze of an
+    integer-labelled graph and the same graph re-opened from an on-disk
+    store produce the *same* fingerprint.  The digest is memoized on the
+    context — the result cache keys every lookup on it, and a frozen
+    context's bytes never change.
     """
+    from repro.graph.csr import is_identity_nodes
+
     cached = context._fingerprint  # noqa: SLF001 - memoized on the context
     if cached is not None:
         return cached
     digest = hashlib.sha256()
     for _, array in context.csr_buffers()["union"].arrays():
-        digest.update(array.tobytes())
-    digest.update(repr(context.csr.nodes).encode("utf-8"))
+        for start in range(0, array.size, _FINGERPRINT_CHUNK):
+            digest.update(array[start : start + _FINGERPRINT_CHUNK].tobytes())
+    nodes = context.csr.nodes
+    if is_identity_nodes(nodes):
+        digest.update(f"identity:{len(nodes)}".encode("utf-8"))
+    else:
+        digest.update(repr(list(nodes)).encode("utf-8"))
     digest.update(b"directed" if context.is_directed else b"undirected")
     value = digest.hexdigest()[:16]
     context._fingerprint = value  # noqa: SLF001
@@ -76,7 +94,11 @@ class DatasetManifest:
         cls, context: "AnalysisContext", *, name: str | None = None
     ) -> "DatasetManifest":
         """Capture a frozen :class:`~repro.engine.AnalysisContext`."""
-        graph_name = name if name is not None else (context.graph.name or "graph")
+        # display_name covers graph-less contexts (opened from an on-disk
+        # store, or rebuilt by a delta) via their stored name.
+        graph_name = (
+            name if name is not None else (context.display_name or "graph")
+        )
         return cls(
             name=graph_name,
             vertices=context.num_vertices,

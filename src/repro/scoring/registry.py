@@ -336,7 +336,7 @@ def _record_score_manifest(
     if not obs.enabled():
         return
     instruments.SCORE_GROUPS_CALLS.inc()
-    dataset_name = context.graph.name or "graph"
+    dataset_name = context.display_name or "graph"
     obs.record_manifest(
         capture_manifest(
             "score_groups",

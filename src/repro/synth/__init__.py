@@ -20,6 +20,15 @@ from repro.synth.paper_datasets import (
     build_twitter,
     load_all_paper_datasets,
 )
+from repro.synth.stream import (
+    BenchmarkStream,
+    CommunityStream,
+    EdgeStream,
+    GraphEdgeStream,
+    benchmark_stream,
+    freeze_stream,
+    stream_community_graph,
+)
 
 __all__ = [
     "EgoCollectionConfig",
@@ -38,4 +47,11 @@ __all__ = [
     "build_orkut",
     "build_magno_reference",
     "load_all_paper_datasets",
+    "EdgeStream",
+    "GraphEdgeStream",
+    "CommunityStream",
+    "BenchmarkStream",
+    "stream_community_graph",
+    "benchmark_stream",
+    "freeze_stream",
 ]

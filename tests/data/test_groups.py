@@ -115,3 +115,63 @@ class TestGroupSet:
 
     def test_member_universe(self):
         assert self._sample().member_universe() == frozenset(range(10))
+
+
+class TestGroupsJsonRoundTrip:
+    def _sample_set(self) -> GroupSet:
+        return GroupSet(
+            name="sidecar",
+            groups=[
+                VertexGroup(name="plain", members=frozenset({3, 1, 2})),
+                Circle(name="ring", members=frozenset({"a", "b"}), owner="me"),
+                Circle(name="anon", members=frozenset({"x"})),
+                Community(name="comm", members=frozenset({5, 6})),
+            ],
+        )
+
+    def test_round_trip_preserves_kinds_names_and_members(self, tmp_path):
+        from repro.data import load_groups, save_groups
+
+        path = save_groups(self._sample_set(), tmp_path / "groups.json")
+        loaded = load_groups(path)
+        assert loaded.name == "sidecar"
+        by_name = {group.name: group for group in loaded}
+        assert type(by_name["plain"]) is VertexGroup
+        assert type(by_name["ring"]) is Circle
+        assert type(by_name["comm"]) is Community
+        assert by_name["ring"].owner == "me"
+        assert by_name["anon"].owner is None
+        for original in self._sample_set():
+            assert by_name[original.name].members == original.members
+
+    def test_non_json_member_rejected(self, tmp_path):
+        from repro.data import save_groups
+        from repro.exceptions import FormatError
+
+        bad = GroupSet(
+            groups=[VertexGroup(name="g", members=frozenset({(1, 2)}))]
+        )
+        with pytest.raises(FormatError, match="non-JSON member"):
+            save_groups(bad, tmp_path / "groups.json")
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        from repro.data import load_groups
+        from repro.exceptions import FormatError
+
+        path = tmp_path / "groups.json"
+        path.write_text('{"format": "something-else"}', encoding="utf-8")
+        with pytest.raises(FormatError, match="not a repro-groups"):
+            load_groups(path)
+
+    def test_load_rejects_newer_versions(self, tmp_path):
+        import json
+
+        from repro.data import load_groups, save_groups
+        from repro.exceptions import FormatError
+
+        path = save_groups(self._sample_set(), tmp_path / "groups.json")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["version"] = 999
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(FormatError, match="newer"):
+            load_groups(path)

@@ -354,6 +354,111 @@ def test_rep404_fires_on_imap_unordered_loop_variable_append():
     assert "REP404" in program_rule_ids(sources)
 
 
+# -- REP405: frozen store memmap opened writable ------------------------------
+
+
+def test_rep405_fires_on_memmap_without_mode():
+    sources = {
+        "m": """
+            import numpy as np
+            __all__ = ["attach"]
+
+            def attach(path, count):
+                return np.memmap(path, dtype=np.int64, shape=(count,))
+        """
+    }
+    assert "REP405" in program_rule_ids(sources)
+
+
+def test_rep405_fires_on_writable_memmap_mode():
+    sources = {
+        "m": """
+            import numpy as np
+            __all__ = ["attach"]
+
+            def attach(path, count):
+                return np.memmap(path, dtype=np.int64, mode="r+", shape=(count,))
+        """
+    }
+    assert "REP405" in program_rule_ids(sources)
+
+
+def test_rep405_fires_on_writable_np_load_mmap():
+    sources = {
+        "m": """
+            import numpy as np
+            __all__ = ["attach"]
+
+            def attach(path):
+                return np.load(path, mmap_mode="w+")
+        """
+    }
+    assert "REP405" in program_rule_ids(sources)
+
+
+def test_rep405_fires_on_unfreezing_writeable_flag():
+    sources = {
+        "m": """
+            __all__ = ["unfreeze"]
+
+            def unfreeze(array):
+                array.flags.writeable = True
+                return array
+        """
+    }
+    assert "REP405" in program_rule_ids(sources)
+
+
+def test_rep405_quiet_on_read_only_modes():
+    sources = {
+        "m": """
+            import numpy as np
+            __all__ = ["attach", "copy_on_write", "load"]
+
+            def attach(path, count):
+                return np.memmap(path, dtype=np.int64, mode="r", shape=(count,))
+
+            def copy_on_write(path, count):
+                return np.memmap(path, dtype=np.int64, mode="c", shape=(count,))
+
+            def load(path):
+                return np.load(path, mmap_mode="r")
+        """
+    }
+    assert "REP405" not in program_rule_ids(sources)
+
+
+def test_rep405_quiet_on_plain_load_and_nonconstant_mode():
+    sources = {
+        "m": """
+            import numpy as np
+            __all__ = ["load", "attach"]
+
+            def load(path):
+                return np.load(path)
+
+            def attach(path, count, mode):
+                return np.memmap(path, dtype=np.int64, mode=mode, shape=(count,))
+        """
+    }
+    assert "REP405" not in program_rule_ids(sources)
+
+
+def test_rep405_allowlists_context_delta_row_patching():
+    sources = {
+        "m": """
+            import numpy as np
+            __all__ = ["ContextDelta"]
+
+            class ContextDelta:
+                def _patch_rows(self, array):
+                    array.flags.writeable = True
+                    return array
+        """
+    }
+    assert "REP405" not in program_rule_ids(sources)
+
+
 # -- REP501: cache key misses a payload input ---------------------------------
 
 _REP501_BAD = {

@@ -97,3 +97,76 @@ class TestFreezeSemantics:
         assert first is csr.degree_array()  # cached
         assert np.array_equal(first, csr.degrees())
         assert csr.degrees() is not csr.degrees()  # fresh each call
+
+
+class TestFrozenArrayValidation:
+    """`from_arrays` adopts frozen buffers without copying, so it must
+    reject anything that could alias mutable memory or silently copy a
+    memmap into RAM."""
+
+    def _parts(self):
+        indptr = np.array([0, 1, 2], dtype=np.int64)
+        indices = np.array([1, 0], dtype=np.int64)
+        nodes = [0, 1]
+        index_of = {0: 0, 1: 1}
+        return indptr, indices, nodes, index_of
+
+    def test_owning_int64_arrays_adopted_without_copy(self):
+        indptr, indices, nodes, index_of = self._parts()
+        csr = CSRGraph.from_arrays(indptr, indices, nodes, index_of)
+        assert csr.indptr is indptr
+        assert csr.indices is indices
+
+    def test_wrong_dtype_rejected(self):
+        from repro.exceptions import GraphError
+
+        indptr, indices, nodes, index_of = self._parts()
+        with pytest.raises(GraphError, match="int64"):
+            CSRGraph.from_arrays(
+                indptr.astype(np.int32), indices, nodes, index_of
+            )
+
+    def test_non_contiguous_rejected(self):
+        from repro.exceptions import GraphError
+
+        indptr, indices, nodes, index_of = self._parts()
+        strided = np.arange(4, dtype=np.int64)[::2]
+        with pytest.raises(GraphError, match="contiguous"):
+            CSRGraph.from_arrays(indptr, strided, nodes, index_of)
+
+    def test_two_dimensional_rejected(self):
+        from repro.exceptions import GraphError
+
+        indptr, indices, nodes, index_of = self._parts()
+        with pytest.raises(GraphError, match="one-dimensional"):
+            CSRGraph.from_arrays(
+                indptr, indices.reshape(1, 2), nodes, index_of
+            )
+
+    def test_writable_view_of_foreign_buffer_rejected(self):
+        from repro.exceptions import GraphError
+
+        indptr, indices, nodes, index_of = self._parts()
+        backing = np.zeros(8, dtype=np.int64)
+        view = backing[:2]
+        view[:] = indices
+        with pytest.raises(GraphError, match="writable view"):
+            CSRGraph.from_arrays(indptr, view, nodes, index_of)
+
+    def test_read_only_view_accepted(self):
+        indptr, indices, nodes, index_of = self._parts()
+        backing = np.zeros(2, dtype=np.int64)
+        view = backing[:]
+        view[:] = indices
+        view.flags.writeable = False
+        csr = CSRGraph.from_arrays(indptr, view, nodes, index_of)
+        assert csr.indices is view
+
+    def test_read_only_memmap_accepted(self, tmp_path):
+        indptr, indices, nodes, index_of = self._parts()
+        path = tmp_path / "indices.bin"
+        path.write_bytes(indices.tobytes())
+        mapped = np.memmap(path, dtype=np.int64, mode="r", shape=(2,))
+        csr = CSRGraph.from_arrays(indptr, mapped, nodes, index_of)
+        assert csr.indices is mapped
+        assert not csr.indices.flags.writeable

@@ -1,0 +1,171 @@
+"""Streaming generation — chunked emitters, external merge, RNG replay.
+
+The contract under test: `freeze_stream(stream)` writes a store whose
+fingerprint is identical to freezing the materialised graph, for every
+stream flavour (graph adapter, seed-replaying community generator,
+vectorised benchmark generator) and for any chunking.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import AnalysisContext
+from repro.exceptions import GraphError
+from repro.graph.io.edgelist import iter_edge_chunks, iter_edges
+from repro.obs.manifest import fingerprint_context
+from repro.synth import (
+    CommunityGraphConfig,
+    benchmark_stream,
+    freeze_stream,
+    generate_community_graph,
+    stream_community_graph,
+)
+from repro.synth.stream import GraphEdgeStream
+
+STREAM_CONFIG = CommunityGraphConfig(
+    num_nodes=400,
+    num_communities=12,
+    community_size_median=14.0,
+    community_size_sigma=0.5,
+    community_size_min=5,
+    community_size_max=60,
+    internal_degree_median=6.0,
+    internal_degree_sigma=0.5,
+    background_degree=4.0,
+    background_weight_sigma=0.6,
+)
+
+
+def store_fingerprint(stream, directory, **kwargs) -> str:
+    return fingerprint_context(
+        AnalysisContext.open(freeze_stream(stream, directory, **kwargs))
+    )
+
+
+class TestCommunityStreamReplay:
+    def test_streamed_freeze_matches_materialised_graph(self, tmp_path):
+        graph, _ = generate_community_graph(STREAM_CONFIG, seed=3)
+        oracle = fingerprint_context(AnalysisContext(graph))
+        stream = stream_community_graph(STREAM_CONFIG, seed=3)
+        assert store_fingerprint(stream, tmp_path / "store") == oracle
+
+    def test_recorded_groups_match_generator(self, tmp_path):
+        _, oracle_groups = generate_community_graph(STREAM_CONFIG, seed=3)
+        stream = stream_community_graph(STREAM_CONFIG, seed=3)
+        freeze_stream(stream, tmp_path / "store")
+        recorded = stream.groups()
+        assert sorted(g.name for g in recorded) == sorted(
+            g.name for g in oracle_groups
+        )
+        oracle_members = {g.name: set(g.members) for g in oracle_groups}
+        for group in recorded:
+            assert set(group.members) == oracle_members[group.name]
+
+    def test_groups_before_consumption_raises(self):
+        stream = stream_community_graph(STREAM_CONFIG, seed=3)
+        with pytest.raises(GraphError):
+            stream.groups()
+
+
+class TestGraphEdgeStream:
+    def test_undirected_adapter_matches_direct_freeze(
+        self, two_cliques_graph, tmp_path
+    ):
+        oracle = fingerprint_context(AnalysisContext(two_cliques_graph))
+        stream = GraphEdgeStream(two_cliques_graph)
+        assert store_fingerprint(stream, tmp_path / "store") == oracle
+
+    def test_directed_adapter_matches_direct_freeze(
+        self, small_digraph, tmp_path
+    ):
+        oracle = fingerprint_context(AnalysisContext(small_digraph))
+        stream = GraphEdgeStream(small_digraph)
+        assert store_fingerprint(stream, tmp_path / "store") == oracle
+
+    def test_chunking_does_not_change_the_store(
+        self, two_cliques_graph, tmp_path
+    ):
+        whole = store_fingerprint(
+            GraphEdgeStream(two_cliques_graph), tmp_path / "whole"
+        )
+        tiny_chunks = store_fingerprint(
+            GraphEdgeStream(two_cliques_graph, chunk_edges=3),
+            tmp_path / "tiny",
+            chunk_edges=3,
+        )
+        assert tiny_chunks == whole
+
+
+class TestBenchmarkStream:
+    def test_same_seed_same_store(self, tmp_path):
+        left = store_fingerprint(
+            benchmark_stream(5000, seed=7), tmp_path / "left"
+        )
+        right = store_fingerprint(
+            benchmark_stream(5000, seed=7), tmp_path / "right"
+        )
+        assert left == right
+
+    def test_different_seed_different_store(self, tmp_path):
+        left = store_fingerprint(
+            benchmark_stream(5000, seed=7), tmp_path / "left"
+        )
+        right = store_fingerprint(
+            benchmark_stream(5000, seed=8), tmp_path / "right"
+        )
+        assert left != right
+
+    def test_groups_partition_the_vertices(self, tmp_path):
+        stream = benchmark_stream(5000, seed=7)
+        directory = freeze_stream(stream, tmp_path / "store")
+        context = AnalysisContext.open(directory)
+        groups = stream.groups()
+        seen: set[int] = set()
+        for group in groups:
+            members = set(group.members)
+            assert not members & seen
+            seen |= members
+        assert len(seen) == context.num_vertices
+
+
+class TestIterEdgeChunks:
+    def edge_file(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text(
+            "# comment\n0 1\n1 2\n\n2 3\n3 0\n4 1\n", encoding="utf-8"
+        )
+        return path
+
+    def test_chunks_concatenate_to_iter_edges(self, tmp_path):
+        path = self.edge_file(tmp_path)
+        flat = list(iter_edges(path))
+        chunked = [
+            (int(u), int(v))
+            for us, vs in iter_edge_chunks(path, chunk_edges=2)
+            for u, v in zip(us, vs)
+        ]
+        assert chunked == flat
+
+    def test_chunks_are_int64_and_bounded(self, tmp_path):
+        path = self.edge_file(tmp_path)
+        for us, vs in iter_edge_chunks(path, chunk_edges=2):
+            assert us.dtype == np.int64 and vs.dtype == np.int64
+            assert len(us) == len(vs) <= 2
+
+    def test_rejects_nonpositive_chunk(self, tmp_path):
+        path = self.edge_file(tmp_path)
+        with pytest.raises(ValueError):
+            next(iter_edge_chunks(path, chunk_edges=0))
+
+
+class TestFreezeStreamGuards:
+    def test_refuses_existing_store_without_overwrite(
+        self, two_cliques_graph, tmp_path
+    ):
+        target = tmp_path / "store"
+        freeze_stream(GraphEdgeStream(two_cliques_graph), target)
+        with pytest.raises(GraphError):
+            freeze_stream(GraphEdgeStream(two_cliques_graph), target)
+        freeze_stream(
+            GraphEdgeStream(two_cliques_graph), target, overwrite=True
+        )

@@ -243,3 +243,49 @@ class TestTrace:
     def test_dataset_aliases_resolve(self, capsys):
         assert cli.main(["score", "--dataset", "gplus-synth"]) == 0
         assert "Separation summary" in capsys.readouterr().out
+
+
+class TestOutOfCoreCommands:
+    def test_freeze_score_delta_round_trip(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        assert cli.main(["freeze", "google_plus", "-o", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "froze" in out
+        assert (store / "meta.json").is_file()
+        assert (store / "groups.json").is_file()
+
+        assert cli.main(["score", "--mmap-dir", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "store" in out
+
+        assert (
+            cli.main(["delta", "--mmap-dir", str(store), "--drop-edges", "2"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "edges removed" in out
+
+    def test_freeze_scale_builds_benchmark_store(self, capsys, tmp_path):
+        store = tmp_path / "bench"
+        assert (
+            cli.main(["freeze", "--scale", "2000", "-o", str(store)]) == 0
+        )
+        assert (store / "meta.json").is_file()
+        assert cli.main(["score", "--mmap-dir", str(store)]) == 0
+
+    def test_mmap_dir_env_default(self, capsys, tmp_path, monkeypatch):
+        store = tmp_path / "store"
+        assert cli.main(["freeze", "google_plus", "-o", str(store)]) == 0
+        capsys.readouterr()
+        monkeypatch.setenv("REPRO_MMAP_DIR", str(store))
+        assert cli.main(["score"]) == 0
+        assert cli.main(["delta", "--drop-edges", "1"]) == 0
+
+    def test_score_missing_store_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli.main(["score", "--mmap-dir", str(tmp_path / "missing")])
+
+    def test_delta_without_store_exits(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MMAP_DIR", raising=False)
+        with pytest.raises(SystemExit, match="mmap-dir"):
+            cli.main(["delta"])
