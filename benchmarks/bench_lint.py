@@ -23,6 +23,13 @@ active::
 
     python benchmarks/bench_lint.py --interproc
     python benchmarks/bench_lint.py --interproc --warm-budget 5
+
+``--tier3`` does the same for the scale-soundness pass (dtype-interval
+analysis, resource lifetimes, streaming-memory contracts — REP601-606):
+cold run, warm cache re-runs under ``--warm-budget``, and serial vs
+parallel byte-identity::
+
+    python benchmarks/bench_lint.py --tier3 --repeat 2
 """
 
 from __future__ import annotations
@@ -48,6 +55,17 @@ INTERPROC_IDS = (
     "REP501",
     "REP502",
     "REP503",
+)
+
+#: Rule ids of the scale-soundness families (REP60x dtype intervals,
+#: resource lifetimes, streaming-memory contracts).
+TIER3_IDS = (
+    "REP601",
+    "REP602",
+    "REP603",
+    "REP604",
+    "REP605",
+    "REP606",
 )
 
 
@@ -93,12 +111,14 @@ def _bench_full(args: argparse.Namespace) -> int:
     return 0
 
 
-def _bench_interproc(args: argparse.Namespace) -> int:
+def _bench_program_pass(
+    args: argparse.Namespace, *, mode: str, ids: tuple[str, ...]
+) -> int:
     import dataclasses
 
     src = ROOT / "src"
     base = LintConfig.from_pyproject(ROOT / "pyproject.toml")
-    config = dataclasses.replace(base, select=INTERPROC_IDS, ignore=())
+    config = dataclasses.replace(base, select=ids, ignore=())
     files = list(iter_python_files([src]))
 
     # Cold: first whole-program run of this process pays parsing, call
@@ -123,9 +143,9 @@ def _bench_interproc(args: argparse.Namespace) -> int:
     )
     within_budget = warm_seconds <= args.warm_budget
     report = {
-        "mode": "interproc",
+        "mode": mode,
         "files": len(files),
-        "rules": list(INTERPROC_IDS),
+        "rules": list(ids),
         "cold_seconds": round(cold_seconds, 4),
         "warm_seconds": round(warm_seconds, 4),
         "warm_budget_seconds": args.warm_budget,
@@ -138,13 +158,13 @@ def _bench_interproc(args: argparse.Namespace) -> int:
     print(json.dumps(report, indent=2))
     if not identical:
         print(
-            "FAIL: interproc findings differ across cold/warm/parallel runs",
+            f"FAIL: {mode} findings differ across cold/warm/parallel runs",
             file=sys.stderr,
         )
         return 1
     if not within_budget:
         print(
-            f"FAIL: warm interproc lint took {warm_seconds:.2f}s "
+            f"FAIL: warm {mode} lint took {warm_seconds:.2f}s "
             f"(budget {args.warm_budget:.2f}s)",
             file=sys.stderr,
         )
@@ -169,15 +189,25 @@ def main(argv=None) -> int:
         help="benchmark the whole-program REP4xx/REP5xx pass in isolation",
     )
     parser.add_argument(
+        "--tier3",
+        action="store_true",
+        help="benchmark the scale-soundness REP601-606 pass in isolation",
+    )
+    parser.add_argument(
         "--warm-budget",
         type=float,
         default=10.0,
         metavar="SECONDS",
-        help="max allowed warm-cache wall time in --interproc mode",
+        help="max allowed warm-cache wall time in --interproc/--tier3 mode",
     )
     args = parser.parse_args(argv)
+    if args.interproc and args.tier3:
+        print("error: pick one of --interproc / --tier3", file=sys.stderr)
+        return 2
     if args.interproc:
-        return _bench_interproc(args)
+        return _bench_program_pass(args, mode="interproc", ids=INTERPROC_IDS)
+    if args.tier3:
+        return _bench_program_pass(args, mode="tier3", ids=TIER3_IDS)
     return _bench_full(args)
 
 

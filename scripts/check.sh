@@ -8,7 +8,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== repro lint (REP001-REP503, 2 jobs) =="
+echo "== repro lint (REP001-REP606, 2 jobs) =="
 python -m repro.devtools.lint src --jobs 2
 
 echo "== repro lint baseline ratchet (no stale entries) =="
@@ -19,6 +19,9 @@ python -m repro.devtools.lint src --format sarif --output lint.sarif
 
 echo "== interprocedural lint benchmark (warm cache, serial vs parallel) =="
 python benchmarks/bench_lint.py --interproc --repeat 2
+
+echo "== scale-soundness lint benchmark (REP601-606, warm cache) =="
+python benchmarks/bench_lint.py --tier3 --repeat 2
 
 echo "== determinism check (fast pipelines) =="
 python -m repro.devtools.determinism --fast

@@ -18,6 +18,15 @@ codebase grows:
   summaries bottom-up over it, and
   :mod:`repro.devtools.rules_interproc` expresses the parallel-safety
   (REP4xx) and cache-soundness (REP5xx) rule families on top.
+  The scale-soundness tier guards the out-of-core substrate:
+  :mod:`repro.devtools.numeric` runs an interval/dtype abstract domain
+  over the dataflow and call graph (REP601 edge-key dtype demotion,
+  REP602 narrow dtype into a frozen CSR contract),
+  :mod:`repro.devtools.lifetimes` is a resource-lifetime escape
+  analysis (REP603 leak on exceptional paths, REP604 memmap view
+  escaping its owning store), and :mod:`repro.devtools.rules_memory`
+  checks the :mod:`repro.devtools.contracts` ``@bounded_memory``
+  streaming-memory contracts (REP605/REP606).
   :mod:`repro.devtools.report` renders text/JSON/SARIF output and
   :mod:`repro.devtools.baseline` implements the
   ``.repro-lint-baseline.json`` ratchet.  Runnable as
@@ -33,8 +42,10 @@ codebase grows:
   catching order-dependent iteration and unseeded randomness at runtime.
 
 The library proper never imports :mod:`repro.devtools` (except for the
-lazy, opt-in invariant installation); the tooling depends on the library,
-not the other way around.
+lazy, opt-in invariant installation, and the dependency-free
+:mod:`repro.devtools.contracts` decorators that annotate streaming code
+with its memory contracts); the tooling depends on the library, not the
+other way around.
 """
 
 from __future__ import annotations
@@ -46,6 +57,10 @@ __all__ = [
     "summaries",
     "rules_flow",
     "rules_interproc",
+    "contracts",
+    "numeric",
+    "lifetimes",
+    "rules_memory",
     "report",
     "baseline",
     "invariants",

@@ -1,0 +1,63 @@
+"""Memory-contract markers checked by the streaming-memory lint tier.
+
+The out-of-core substrate (``synth/stream.py``, ``graph/io/edgelist.py``,
+``engine/delta.py``) documents O(chunk + n) memory bounds in prose; this
+module turns those bounds into machine-checkable annotations.  A function
+or class decorated with :func:`bounded_memory` promises that its peak
+memory is bounded by the stated contract (e.g. ``"chunk+n"``), and lint
+rules REP605/REP606 (:mod:`repro.devtools.rules_memory`) verify the
+promise statically: nothing reachable from a bounded function may
+materialize a whole stream, and every stream-consuming helper it calls
+must itself carry a contract.  Intentional in-RAM paths are annotated
+with :func:`audited_in_ram`, which records *why* the materialization is
+bounded in practice.
+
+Unlike the rest of :mod:`repro.devtools`, this module is imported by
+library code — it therefore has **zero dependencies** (not even numpy)
+and does nothing at runtime beyond attaching two attributes.  The
+decorators never wrap: the function object passes through unchanged, so
+annotated code has zero call overhead and pickles exactly as before.
+"""
+
+from __future__ import annotations
+
+__all__ = ["bounded_memory", "audited_in_ram"]
+
+
+def bounded_memory(contract: str):
+    """Declare that the decorated function/class has bounded peak memory.
+
+    ``contract`` names the bound in the substrate's vocabulary — e.g.
+    ``"chunk"`` (one emitted chunk), ``"chunk+n"`` (a chunk plus O(n)
+    per-vertex state), ``"run"`` (one spill run).  The string is
+    documentation plus a lint anchor; rule REP605 verifies that no
+    whole-stream materializer is reachable from here, and REP606 that
+    every stream-consuming callee is itself annotated.
+    """
+    if not isinstance(contract, str) or not contract:
+        raise TypeError("bounded_memory requires a non-empty contract string")
+
+    def mark(obj):
+        obj.__memory_contract__ = contract
+        return obj
+
+    return mark
+
+
+def audited_in_ram(reason: str):
+    """Mark an intentional, audited in-RAM path inside bounded code.
+
+    Some code reachable from a :func:`bounded_memory` function holds a
+    whole (small) collection in RAM on purpose — e.g. the planted
+    community list of :class:`repro.synth.stream.CommunityStream`, whose
+    size is O(communities), not O(m).  The decorator records the audit
+    rationale and tells REP605/REP606 to accept the function as bounded.
+    """
+    if not isinstance(reason, str) or not reason:
+        raise TypeError("audited_in_ram requires a non-empty reason string")
+
+    def mark(obj):
+        obj.__memory_audited__ = reason
+        return obj
+
+    return mark

@@ -1,0 +1,498 @@
+"""Resource-lifetime escape analysis and the REP603/REP604 rules.
+
+The out-of-core substrate is built on resources with explicit release
+obligations: ``SharedMemory`` segments must be ``unlink``-ed or they
+outlive the process in ``/dev/shm`` (the create/unlink pairing in
+:mod:`repro.engine.parallel` is the model), ``CSRDirWriter`` handles
+must be closed, ``_RunSpiller`` run files cleaned up, file handles
+closed, ``TemporaryDirectory`` trees removed.  A leak on the *happy*
+path shows up in code review; the ones that survive are leaks on
+**exceptional** paths — an early ``return``, a ``raise`` between
+acquire and release, a release that only runs when nothing above it
+throws.
+
+For every function this module tracks local resource-creation sites
+against their release obligations along the CFG (including the
+``try``-handler edges the CFG models), with escapes — returning the
+resource, storing it on an object, passing it to another call —
+transferring the obligation to the consumer rather than firing.  Two
+rules come out of it:
+
+* **REP603** — a locally-owned resource whose release is missing, or
+  skippable on some path, or not protected against exceptions raised
+  between acquire and release;
+* **REP604** — a memmap-backed view (``np.memmap``, ``CSRStore``
+  arrays) returned or yielded from inside the ``with`` block of the
+  owner whose lifetime backs it (``TemporaryDirectory``,
+  ``_RunSpiller``): the caller receives pages whose file is already
+  gone.
+
+Escapes are deliberately silent (zero-false-positive bias): the analysis
+only fires where the function provably owns the resource end to end.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.devtools._base import ProgramRule, Violation
+from repro.devtools.callgraph import (
+    FunctionInfo,
+    Program,
+    _iter_own_statements,
+    _stmt_expressions,
+)
+from repro.devtools.dataflow import ControlFlowGraph, dotted_path
+
+__all__ = [
+    "RESOURCE_TABLE",
+    "ResourceSite",
+    "function_resources",
+    "LIFETIME_RULES",
+]
+
+#: Resource constructors -> the method names that discharge the release
+#: obligation.  Matched on the callee's dotted-path leaf; ``open`` only
+#: as the builtin or a ``gzip``/``bz2``/``lzma`` module attribute, and
+#: ``SharedMemory`` only when called with ``create=True`` (attaching to
+#: an existing segment carries no unlink obligation — the creator owns
+#: it; see ``_attach`` in ``engine/parallel.py``).
+RESOURCE_TABLE: dict[str, frozenset[str]] = {
+    "SharedMemory": frozenset({"unlink"}),
+    "CSRDirWriter": frozenset({"close", "finalize"}),
+    "_RunSpiller": frozenset({"cleanup"}),
+    "TemporaryDirectory": frozenset({"cleanup"}),
+    "open": frozenset({"close"}),
+}
+
+_OPEN_MODULES = frozenset({"gzip", "bz2", "lzma"})
+
+#: Constructors whose ``with`` body owns memmap-backed views (REP604).
+_VIEW_OWNERS = frozenset({"TemporaryDirectory", "_RunSpiller"})
+
+#: Calls producing views backed by an owner's storage.
+_VIEW_PRODUCERS = frozenset({"memmap", "array", "open_csr_dir"})
+
+
+def _resource_kind(call: ast.Call) -> str | None:
+    """The resource-table key ``call`` constructs, or ``None``."""
+    path = dotted_path(call.func)
+    if path is None:
+        return None
+    parts = path.split(".")
+    leaf = parts[-1]
+    if leaf == "open":
+        if len(parts) == 1:
+            return "open"
+        if parts[-2] in _OPEN_MODULES:
+            return "open"
+        return None
+    if leaf not in RESOURCE_TABLE:
+        return None
+    if leaf == "SharedMemory":
+        for kw in call.keywords:
+            if (
+                kw.arg == "create"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+            ):
+                return leaf
+        return None
+    return leaf
+
+
+@dataclass
+class ResourceSite:
+    """One tracked acquisition: ``name = Ctor(...)`` in one function."""
+
+    name: str
+    kind: str
+    stmt: ast.stmt
+    call: ast.Call
+    releases: frozenset[str]
+    escaped: bool = False
+    release_stmts: tuple[ast.stmt, ...] = ()
+    protected: bool = False  #: some release sits in a finally block
+
+
+def _is_release(stmt: ast.stmt, site: ResourceSite) -> bool:
+    """``stmt`` is exactly ``site.name.<release>()``  (as an Expr)."""
+    if not isinstance(stmt, ast.Expr) or not isinstance(
+        stmt.value, ast.Call
+    ):
+        return False
+    func = stmt.value.func
+    return (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == site.name
+        and func.attr in site.releases
+    )
+
+
+def _mentions(expr: ast.expr | None, name: str) -> bool:
+    if expr is None:
+        return False
+    return any(
+        isinstance(sub, ast.Name) and sub.id == name
+        for sub in ast.walk(expr)
+    )
+
+
+def function_resources(info: FunctionInfo) -> list[ResourceSite]:
+    """Resource sites of one function, with escapes and releases marked."""
+    statements = list(_iter_own_statements(list(info.node.body)))
+    sites: list[ResourceSite] = []
+    for stmt in statements:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)
+        ):
+            kind = _resource_kind(stmt.value)
+            if kind is not None:
+                sites.append(
+                    ResourceSite(
+                        name=stmt.targets[0].id,
+                        kind=kind,
+                        stmt=stmt,
+                        call=stmt.value,
+                        releases=RESOURCE_TABLE[kind],
+                    )
+                )
+    if not sites:
+        return sites
+
+    for site in sites:
+        releases: list[ast.stmt] = []
+        for stmt in statements:
+            if stmt is site.stmt:
+                continue
+            if _is_release(stmt, site):
+                releases.append(stmt)
+                continue
+            # -- escapes: the obligation transfers to someone else -------
+            if isinstance(stmt, (ast.Return,)) and _mentions(
+                stmt.value, site.name
+            ):
+                site.escaped = True
+            elif isinstance(stmt, ast.Assign):
+                # stored on an attribute / into a container slot, or
+                # rebound wholesale to another name (aliasing).
+                if any(
+                    isinstance(target, (ast.Attribute, ast.Subscript))
+                    for target in stmt.targets
+                ) and _mentions(stmt.value, site.name):
+                    site.escaped = True
+                elif (
+                    _mentions(stmt.value, site.name)
+                    and not isinstance(stmt.value, ast.Call)
+                ):
+                    site.escaped = True
+            for expr in _stmt_expressions(stmt):
+                for sub in ast.walk(expr):
+                    if isinstance(sub, ast.Yield) and _mentions(
+                        sub.value, site.name
+                    ):
+                        site.escaped = True
+                    if isinstance(sub, ast.Call):
+                        func = sub.func
+                        own_method = (
+                            isinstance(func, ast.Attribute)
+                            and isinstance(func.value, ast.Name)
+                            and func.value.id == site.name
+                        )
+                        if own_method:
+                            continue
+                        if any(
+                            _mentions(arg, site.name) for arg in sub.args
+                        ) or any(
+                            _mentions(kw.value, site.name)
+                            for kw in sub.keywords
+                        ):
+                            site.escaped = True
+        site.release_stmts = tuple(releases)
+        # A release inside some finally block is exception-protected.
+        for stmt in statements:
+            if isinstance(stmt, ast.Try) and stmt.finalbody:
+                final_stmts = list(_iter_own_statements(stmt.finalbody))
+                if any(
+                    release in final_stmts
+                    for release in site.release_stmts
+                ):
+                    site.protected = True
+    return sites
+
+
+def _leaks_to_exit(
+    cfg: ControlFlowGraph, site: ResourceSite
+) -> bool:
+    """Can control reach a function exit from the acquisition without
+    passing any release statement?
+
+    The CFG encodes two exit shapes: falling off the end (an edge into
+    ``cfg.exit``) and ``return`` statements, whose blocks simply have no
+    successors — so a ``return`` encountered before any release *is* a
+    leaking exit.  One structural quirk matters here: when an ``if``
+    branch always terminates, the statements after the ``if`` stay in
+    the *same* block, with the branch's edge leaving mid-block; walking
+    a block therefore forks at each ``if`` header rather than only at
+    the block end.  ``raise`` is deliberately not an exit — exceptional
+    paths are covered by the finally-protection and risky-gap checks,
+    which know that ``finally`` bodies run on paths this graph does not
+    draw.
+    """
+    killed = {id(stmt) for stmt in site.release_stmts}
+    location = cfg.location.get(id(site.stmt))
+    if location is None:
+        return False
+    src_block, src_pos = location
+    frontier: list[tuple[int, int]] = [(src_block, src_pos + 1)]
+    seen: set[tuple[int, int]] = set()
+    while frontier:
+        index, start = frontier.pop()
+        if (index, start) in seen:
+            continue
+        seen.add((index, start))
+        if index == cfg.exit:
+            return True
+        blocked = False
+        for stmt in cfg.blocks[index].statements[start:]:
+            if id(stmt) in killed:
+                blocked = True
+                break
+            if isinstance(stmt, ast.Return):
+                return True
+            if isinstance(stmt, ast.If):
+                # The branch edge leaves at this header, before any
+                # trailing statements (and releases) of this block.
+                for successor in cfg.blocks[index].successors:
+                    frontier.append((successor, 0))
+        if not blocked:
+            for successor in cfg.blocks[index].successors:
+                frontier.append((successor, 0))
+    return False
+
+
+class ResourceLeakRule(ProgramRule):
+    """REP603: locally-owned resources need a provably-reached release.
+
+    A resource acquired and owned by one function (never returned,
+    stored, or handed to another call) must discharge its release
+    obligation on *every* path out of the function — the happy path,
+    early returns, and exceptions raised between acquire and release.
+    The gold-standard shapes are a ``with`` statement or release in a
+    ``finally``; a bare release call after statements that can raise
+    leaks exactly when things already went wrong (a worker crash mid-
+    freeze stranding a ``/dev/shm`` segment or a gigabyte of spill
+    files).
+    """
+
+    id = "REP603"
+    summary = "resource acquired without a provably-reached release"
+    example_bad = (
+        "shm = SharedMemory(create=True, size=nbytes)\n"
+        "fill(shm.buf)      # raises -> segment leaks in /dev/shm\n"
+        "shm.unlink()"
+    )
+    example_good = (
+        "shm = SharedMemory(create=True, size=nbytes)\n"
+        "try:\n"
+        "    fill(shm.buf)\n"
+        "finally:\n"
+        "    shm.unlink()"
+    )
+
+    def check_program(self, program: Program) -> Iterator[Violation]:
+        for key in sorted(program.functions):
+            info = program.functions[key]
+            sites = function_resources(info)
+            if not sites:
+                continue
+            cfg = ControlFlowGraph.from_function(info.node)
+            for site in sites:
+                if site.escaped:
+                    continue
+                if not site.release_stmts:
+                    release_names = "/".join(sorted(site.releases))
+                    yield Violation(
+                        rule_id=self.id,
+                        message=(
+                            f"{info.qualname} acquires a {site.kind} "
+                            f"and never releases it (no "
+                            f"{release_names}() call); use a with "
+                            f"statement or try/finally"
+                        ),
+                        path=info.module.path,
+                        line=site.stmt.lineno,
+                        col=site.stmt.col_offset,
+                    )
+                    continue
+                if site.protected:
+                    # A release in a finally body runs on every path,
+                    # including returns and raises the CFG does not
+                    # draw edges for; nothing below can fire.
+                    continue
+                if _leaks_to_exit(cfg, site):
+                    yield Violation(
+                        rule_id=self.id,
+                        message=(
+                            f"{info.qualname} can exit without releasing "
+                            f"the {site.kind} acquired here (a path "
+                            f"skips the release); move the release into "
+                            f"a finally block"
+                        ),
+                        path=info.module.path,
+                        line=site.stmt.lineno,
+                        col=site.stmt.col_offset,
+                    )
+                    continue
+                if self._risky_gap(info, site):
+                    yield Violation(
+                        rule_id=self.id,
+                        message=(
+                            f"{info.qualname} releases the {site.kind} "
+                            f"only on the no-exception path; statements "
+                            f"between acquire and release can raise — "
+                            f"wrap the release in try/finally"
+                        ),
+                        path=info.module.path,
+                        line=site.stmt.lineno,
+                        col=site.stmt.col_offset,
+                    )
+
+    @staticmethod
+    def _risky_gap(info: FunctionInfo, site: ResourceSite) -> bool:
+        """A statement between acquire and first release can raise."""
+        statements = list(_iter_own_statements(list(info.node.body)))
+        try:
+            start = statements.index(site.stmt)
+        except ValueError:  # pragma: no cover - sites come from this list
+            return False
+        for stmt in statements[start + 1 :]:
+            if stmt in site.release_stmts:
+                return False
+            if isinstance(stmt, (ast.Raise, ast.Assert)):
+                return True
+            for expr in _stmt_expressions(stmt):
+                for sub in ast.walk(expr):
+                    if isinstance(sub, ast.Call):
+                        func = sub.func
+                        own = (
+                            isinstance(func, ast.Attribute)
+                            and isinstance(func.value, ast.Name)
+                            and func.value.id == site.name
+                        )
+                        if not own:
+                            return True
+        return False
+
+
+class EscapingViewRule(ProgramRule):
+    """REP604: a memmap view must not outlive the store that backs it.
+
+    ``np.memmap`` arrays and ``CSRStore.array`` results are windows onto
+    files owned by something with a lifetime — commonly a
+    ``TemporaryDirectory``.  Returning (or yielding) such a view from
+    inside the owner's ``with`` block hands the caller pages whose
+    backing file is deleted the moment the block exits: reads then
+    crash with SIGBUS or, worse, silently see recycled storage.  Copy
+    the data out (``np.asarray(view).copy()``) or move the owner's
+    lifetime to the caller.
+    """
+
+    id = "REP604"
+    summary = "memmap-backed view escapes its owning store's lifetime"
+    example_bad = (
+        "with tempfile.TemporaryDirectory() as root:\n"
+        "    store = open_csr_dir(freeze(root))\n"
+        "    return store.array('union.indices')  # file dies at exit"
+    )
+    example_good = (
+        "with tempfile.TemporaryDirectory() as root:\n"
+        "    store = open_csr_dir(freeze(root))\n"
+        "    return store.array('union.indices').copy()  # own the data"
+    )
+
+    def check_program(self, program: Program) -> Iterator[Violation]:
+        for key in sorted(program.functions):
+            info = program.functions[key]
+            for with_stmt in _iter_own_statements(list(info.node.body)):
+                if not isinstance(
+                    with_stmt, (ast.With, ast.AsyncWith)
+                ):
+                    continue
+                if not self._owns_views(with_stmt):
+                    continue
+                view_names = set()
+                for stmt in _iter_own_statements(with_stmt.body):
+                    if (
+                        isinstance(stmt, ast.Assign)
+                        and len(stmt.targets) == 1
+                        and isinstance(stmt.targets[0], ast.Name)
+                        and self._produces_view(stmt.value)
+                    ):
+                        view_names.add(stmt.targets[0].id)
+                for stmt in _iter_own_statements(with_stmt.body):
+                    escaping: ast.expr | None = None
+                    if isinstance(stmt, ast.Return):
+                        escaping = stmt.value
+                    elif isinstance(stmt, ast.Expr) and isinstance(
+                        stmt.value, (ast.Yield, ast.YieldFrom)
+                    ):
+                        escaping = stmt.value.value
+                    if escaping is None:
+                        continue
+                    if self._produces_view(escaping) or (
+                        isinstance(escaping, ast.Name)
+                        and escaping.id in view_names
+                    ):
+                        yield Violation(
+                            rule_id=self.id,
+                            message=(
+                                f"{info.qualname} returns a memmap-"
+                                f"backed view from inside the with "
+                                f"block of the store that owns its "
+                                f"pages; the backing file is deleted "
+                                f"at block exit — copy the array out "
+                                f"or widen the owner's lifetime"
+                            ),
+                            path=info.module.path,
+                            line=stmt.lineno,
+                            col=stmt.col_offset,
+                        )
+
+    @staticmethod
+    def _owns_views(with_stmt: ast.With | ast.AsyncWith) -> bool:
+        for item in with_stmt.items:
+            if isinstance(item.context_expr, ast.Call):
+                path = dotted_path(item.context_expr.func)
+                if (
+                    path is not None
+                    and path.split(".")[-1] in _VIEW_OWNERS
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _produces_view(expr: ast.expr | None) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        path = dotted_path(expr.func)
+        if path is None:
+            return False
+        parts = path.split(".")
+        if parts[-1] == "array":
+            # ``store.array(...)`` is a view; ``np.array(...)`` (and a
+            # bare ``array(...)``) allocates fresh RAM and owns it.
+            return len(parts) > 1 and parts[0] not in ("np", "numpy")
+        return parts[-1] in _VIEW_PRODUCERS
+
+
+LIFETIME_RULES: tuple[type[ProgramRule], ...] = (
+    ResourceLeakRule,
+    EscapingViewRule,
+)

@@ -9,10 +9,15 @@ those rules: the stateless per-statement family (REP001–REP006) and the
 documentation family (REP301) live here, the flow-sensitive families
 (REP1xx RNG discipline, REP2xx freeze-once contracts) in
 :mod:`repro.devtools.rules_flow` on top of the
-:mod:`repro.devtools.dataflow` core, and the interprocedural families
+:mod:`repro.devtools.dataflow` core, the interprocedural families
 (REP4xx parallel safety, REP5xx cache soundness) in
 :mod:`repro.devtools.rules_interproc` on top of the
-:mod:`repro.devtools.callgraph` / :mod:`repro.devtools.summaries` layer.
+:mod:`repro.devtools.callgraph` / :mod:`repro.devtools.summaries` layer,
+and the scale-soundness families (REP601/REP602 dtype intervals in
+:mod:`repro.devtools.numeric`, REP603/REP604 resource lifetimes in
+:mod:`repro.devtools.lifetimes`, REP605/REP606 streaming-memory
+contracts in :mod:`repro.devtools.rules_memory`) on the same program
+layer.
 
 Usage::
 
@@ -80,8 +85,11 @@ from repro.devtools.baseline import (
 from repro.devtools.callgraph import build_program, module_name_for_path
 from repro.devtools.dataflow import analyze_source
 from repro.devtools.report import FORMATS, render
+from repro.devtools.lifetimes import LIFETIME_RULES
+from repro.devtools.numeric import NUMERIC_RULES
 from repro.devtools.rules_flow import FLOW_RULES
 from repro.devtools.rules_interproc import INTERPROC_RULES
+from repro.devtools.rules_memory import MEMORY_RULES
 
 try:
     import tomllib
@@ -102,6 +110,9 @@ __all__ = [
     "DocstringCoverageRule",
     "FLOW_RULES",
     "INTERPROC_RULES",
+    "NUMERIC_RULES",
+    "LIFETIME_RULES",
+    "MEMORY_RULES",
     "ALL_RULES",
     "lint_source",
     "lint_paths",
@@ -624,6 +635,9 @@ ALL_RULES: tuple[type[Rule], ...] = (
     *FLOW_RULES,
     DocstringCoverageRule,
     *INTERPROC_RULES,
+    *NUMERIC_RULES,
+    *LIFETIME_RULES,
+    *MEMORY_RULES,
 )
 
 _KNOWN_RULE_IDS = frozenset(rule.id for rule in ALL_RULES)
@@ -759,7 +773,7 @@ def _check_noqa_ids(lines: Sequence[str], path: str) -> list[Violation]:
                         rule_id="REP000",
                         message=(
                             f"unknown rule id '{rule_id}' in noqa comment; "
-                            "known ids: REP001..REP503 (see --list-rules)"
+                            "known ids: REP001..REP606 (see --list-rules)"
                         ),
                         path=path,
                         line=lineno,
@@ -827,7 +841,7 @@ def _lint_one_file(item: tuple[str, LintConfig]) -> list[Violation]:
 def _run_program_rules(
     files: Sequence[str], config: LintConfig
 ) -> list[Violation]:
-    """Run the interprocedural rules (REP4xx/REP5xx) over one batch.
+    """Run the interprocedural rules (REP4xx–REP6xx) over one batch.
 
     This always executes in the parent process, after the per-file pass:
     the whole-program rules need every module at once, and running them
@@ -868,7 +882,7 @@ def _run_program_rules(
     except Exception as exc:  # repro: noqa[REP006] - guard of last resort
         print(
             "repro lint: interprocedural analysis failed "
-            f"({type(exc).__name__}: {exc}); skipping REP4xx/REP5xx",
+            f"({type(exc).__name__}: {exc}); skipping REP4xx-REP6xx",
             file=sys.stderr,
         )
         return []
@@ -1001,7 +1015,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro.devtools.lint``."""
     parser = argparse.ArgumentParser(
         prog="repro.devtools.lint",
-        description="Repo-specific AST lint pass (rules REP001-REP503)",
+        description="Repo-specific AST lint pass (rules REP001-REP606)",
     )
     parser.add_argument("paths", nargs="*", default=["src"], help="files or dirs")
     parser.add_argument(

@@ -1,0 +1,620 @@
+"""Dtype/interval abstract domain and the REP60x numeric-soundness rules.
+
+The out-of-core substrate keys every edge as ``src * n + dst`` packed
+into int64 (:func:`repro.graph.csr.pack_edge_keys`) and freezes CSR
+arrays that must be int64 (:func:`CSRGraph.from_arrays` rejects anything
+else at runtime — but only after a multi-hour freeze has already run).
+At the 10^7–10^8-edge scale the substrate targets, two silent numeric
+hazards dominate:
+
+* NumPy's value-based casting keeps a *narrow* integer array narrow when
+  combined with Python-int scalars, so ``u32 * n + v`` wraps around long
+  before the int64 ceiling;
+* a narrowing ``astype`` (or a float dtype) flowing into a frozen CSR
+  array fails the freeze contract only at the very end of the pipeline.
+
+This module runs a small dtype abstraction over each function — seeded
+at ``np.int64`` / ``astype`` / array-constructor sites, joined
+flow-insensitively across assignments, and propagated interprocedurally
+through the PR-6 call graph (callee return kinds, tuple-return
+unpacking) — and expresses two rules on top:
+
+* **REP601** — edge-key arithmetic ``A * N + B`` over integer arrays
+  where some operand is provably narrow or ``N`` is a plain Python int
+  (i.e. the packing is not provably int64-promoted);
+* **REP602** — a provably narrow value flowing into a frozen CSR array
+  contract (``CSRGraph.from_arrays`` argument, ``CSRDirWriter.append``
+  chunk).
+
+Both rules fire only on *provable* kinds: an unknown dtype is silent, so
+the analysis is biased toward zero false positives like every other
+program rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools._base import ProgramRule, Violation
+from repro.devtools.callgraph import (
+    CALL,
+    FunctionInfo,
+    Program,
+    _collect_imports,
+    _iter_own_statements,
+    _receiver_classes,
+    _stmt_expressions,
+)
+from repro.devtools.dataflow import dotted_path
+
+__all__ = [
+    "KIND_INT64_ARRAY",
+    "KIND_INT64_SCALAR",
+    "KIND_NARROW_ARRAY",
+    "KIND_NARROW_SCALAR",
+    "KIND_PYINT",
+    "KIND_UNKNOWN",
+    "function_kinds",
+    "return_kinds",
+    "NUMERIC_RULES",
+]
+
+# -- the abstract domain -----------------------------------------------------
+#
+# One flat lattice of dtype kinds; ``unknown`` is top.  "narrow" covers
+# every concrete non-int64 numpy dtype (int32, uint64, float64, ...):
+# for the packing/freeze contracts the only distinction that matters is
+# "provably int64" vs "provably something else" vs "no idea".
+
+KIND_INT64_ARRAY = "int64-array"
+KIND_INT64_SCALAR = "int64-scalar"
+KIND_NARROW_ARRAY = "narrow-array"
+KIND_NARROW_SCALAR = "narrow-scalar"
+KIND_PYINT = "pyint"
+KIND_UNKNOWN = "unknown"
+
+_NARROW = frozenset({KIND_NARROW_ARRAY, KIND_NARROW_SCALAR})
+_ARRAYS = frozenset({KIND_INT64_ARRAY, KIND_NARROW_ARRAY})
+
+#: numpy scalar-type / dtype leaf names that are exactly int64.
+_INT64_DTYPE_NAMES = frozenset({"int64", "intp", "longlong"})
+
+#: numpy scalar-type / dtype leaf names that are provably *not* int64.
+_NARROW_DTYPE_NAMES = frozenset(
+    {
+        "int8", "int16", "int32", "uint8", "uint16", "uint32", "uint64",
+        "float16", "float32", "float64", "half", "single", "double",
+        "bool_", "intc", "short", "byte", "ubyte", "ushort", "uintc",
+    }
+)
+
+#: Array constructors that honour a ``dtype=`` keyword.
+_ARRAY_CTORS = frozenset(
+    {
+        "array", "asarray", "ascontiguousarray", "zeros", "empty", "full",
+        "ones", "arange", "fromiter", "frombuffer", "fromfile", "memmap",
+        "zeros_like", "empty_like", "full_like", "ones_like",
+    }
+)
+
+#: Shape-preserving transforms: result dtype is the first argument's.
+_PRESERVING = frozenset(
+    {"ascontiguousarray", "asarray", "sort", "unique", "repeat", "copy"}
+)
+
+_NUMPY_HEADS = frozenset({"np", "numpy"})
+
+
+def _join(a: str, b: str) -> str:
+    return a if a == b else KIND_UNKNOWN
+
+
+def _join_any(a, b):
+    """Join two kinds-or-tuples (tuple returns join elementwise)."""
+    if isinstance(a, tuple) and isinstance(b, tuple) and len(a) == len(b):
+        return tuple(_join(x, y) for x, y in zip(a, b))
+    if isinstance(a, tuple) or isinstance(b, tuple):
+        return KIND_UNKNOWN
+    return _join(a, b)
+
+
+def _dtype_kind(expr: ast.expr | None) -> str:
+    """Kind denoted by a ``dtype=`` argument: int64 / narrow / unknown."""
+    if expr is None:
+        return KIND_UNKNOWN
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        name = expr.value
+    else:
+        path = dotted_path(expr)
+        if path is None:
+            if (
+                isinstance(expr, ast.Call)
+                and dotted_path(expr.func) is not None
+                and dotted_path(expr.func).split(".")[-1] == "dtype"
+                and expr.args
+            ):
+                return _dtype_kind(expr.args[0])
+            return KIND_UNKNOWN
+        parts = path.split(".")
+        if len(parts) > 1 and parts[0] not in _NUMPY_HEADS:
+            return KIND_UNKNOWN
+        name = parts[-1]
+    if name in _INT64_DTYPE_NAMES:
+        return "int64"
+    if name in _NARROW_DTYPE_NAMES:
+        return "narrow"
+    return KIND_UNKNOWN
+
+
+def _combine(left: str, right: str) -> str:
+    """Result kind of an arithmetic BinOp under NumPy promotion.
+
+    Conservative: any pairing whose promoted dtype differs between the
+    legacy value-based rules and NEP 50 collapses to ``unknown``.
+    """
+    if left == right:
+        return left
+    pair = {left, right}
+    if KIND_UNKNOWN in pair:
+        return KIND_UNKNOWN
+    if pair == {KIND_INT64_ARRAY, KIND_INT64_SCALAR}:
+        return KIND_INT64_ARRAY
+    if pair == {KIND_INT64_ARRAY, KIND_PYINT}:
+        return KIND_INT64_ARRAY
+    if pair == {KIND_INT64_SCALAR, KIND_PYINT}:
+        return KIND_INT64_SCALAR
+    if pair == {KIND_NARROW_ARRAY, KIND_PYINT}:
+        # Value-based casting keeps the array narrow — the REP601 hazard.
+        return KIND_NARROW_ARRAY
+    if pair == {KIND_NARROW_SCALAR, KIND_PYINT}:
+        return KIND_NARROW_SCALAR
+    if pair == {KIND_NARROW_ARRAY, KIND_INT64_ARRAY}:
+        return KIND_INT64_ARRAY
+    # narrow-array x int64-scalar: legacy rules demote the scalar,
+    # NEP 50 promotes the array — unprovable either way.
+    return KIND_UNKNOWN
+
+
+class _KindEnv:
+    """Dtype kinds of one function's locals, interprocedurally seeded."""
+
+    def __init__(
+        self,
+        info: FunctionInfo,
+        returns: "dict[str, object]",
+    ) -> None:
+        self.info = info
+        self.returns = returns
+        self.env: dict[str, object] = {}
+        #: ``(lineno, col) -> callee keys`` for this function's call sites.
+        self.call_targets: dict[tuple[int, int], list[str]] = {}
+
+    def bind(self, name: str, kind) -> None:
+        if name in self.env:
+            self.env[name] = _join_any(self.env[name], kind)
+        else:
+            self.env[name] = kind
+
+    def kind_of(self, expr: ast.expr):
+        """Abstract kind of ``expr`` (a kind string, or tuple of kinds)."""
+        if isinstance(expr, ast.Name):
+            return self.env.get(expr.id, KIND_UNKNOWN)
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, bool):
+                return KIND_UNKNOWN
+            if isinstance(expr.value, int):
+                return KIND_PYINT
+            return KIND_UNKNOWN
+        if isinstance(expr, ast.Tuple):
+            return tuple(_scalarize(self.kind_of(e)) for e in expr.elts)
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op,
+            (
+                ast.Add, ast.Sub, ast.Mult, ast.FloorDiv, ast.Mod,
+                ast.LShift, ast.RShift, ast.BitAnd, ast.BitOr, ast.BitXor,
+            ),
+        ):
+            return _combine(
+                _scalarize(self.kind_of(expr.left)),
+                _scalarize(self.kind_of(expr.right)),
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return _scalarize(self.kind_of(expr.operand))
+        if isinstance(expr, ast.IfExp):
+            return _join_any(
+                self.kind_of(expr.body), self.kind_of(expr.orelse)
+            )
+        if isinstance(expr, ast.Subscript):
+            base = _scalarize(self.kind_of(expr.value))
+            if base not in _ARRAYS:
+                return KIND_UNKNOWN
+            dtype = "int64" if base == KIND_INT64_ARRAY else "narrow"
+            if isinstance(expr.slice, ast.Slice):
+                return f"{dtype}-array"
+            if isinstance(expr.slice, ast.Constant) and isinstance(
+                expr.slice.value, int
+            ):
+                return f"{dtype}-scalar"
+            # Fancy/boolean indexing keeps arrayness; a scalar Name index
+            # would produce a scalar of the same dtype — either way the
+            # dtype is preserved, and both REP60x rules only key on the
+            # dtype axis for subscripts, so keep the array form.
+            return f"{dtype}-array"
+        if isinstance(expr, ast.Call):
+            return self._call_kind(expr)
+        return KIND_UNKNOWN
+
+    def _call_kind(self, call: ast.Call):
+        func = call.func
+        # ``x.astype(dtype)`` — an explicit cast is the strongest seed.
+        if isinstance(func, ast.Attribute) and func.attr == "astype":
+            dtype = _dtype_kind(call.args[0] if call.args else None)
+            for kw in call.keywords:
+                if kw.arg == "dtype":
+                    dtype = _dtype_kind(kw.value)
+            if dtype != KIND_UNKNOWN:
+                return f"{dtype}-array"
+            return KIND_UNKNOWN
+        path = dotted_path(func)
+        if path is not None:
+            parts = path.split(".")
+            leaf = parts[0] if len(parts) == 1 else parts[-1]
+            head_ok = len(parts) == 1 or parts[0] in _NUMPY_HEADS
+            if head_ok and leaf in _INT64_DTYPE_NAMES and len(parts) > 1:
+                return KIND_INT64_SCALAR
+            if head_ok and leaf in _NARROW_DTYPE_NAMES and len(parts) > 1:
+                return KIND_NARROW_SCALAR
+            if leaf in ("int", "len", "ord", "round") and len(parts) == 1:
+                return KIND_PYINT
+            if leaf == "pack_edge_keys":
+                # The capacity-checked helper promotes to int64 by
+                # construction (repro.graph.csr.pack_edge_keys).
+                return KIND_INT64_ARRAY
+            if head_ok and leaf in _ARRAY_CTORS and len(parts) > 1:
+                dtype = KIND_UNKNOWN
+                for kw in call.keywords:
+                    if kw.arg == "dtype":
+                        dtype = _dtype_kind(kw.value)
+                if dtype != KIND_UNKNOWN:
+                    return f"{dtype}-array"
+                if leaf in _PRESERVING and call.args:
+                    inner = _scalarize(self.kind_of(call.args[0]))
+                    if inner in _ARRAYS:
+                        return inner
+                return KIND_UNKNOWN
+            if head_ok and leaf in _PRESERVING and len(parts) > 1 and call.args:
+                inner = _scalarize(self.kind_of(call.args[0]))
+                if inner in _ARRAYS:
+                    return inner
+                return KIND_UNKNOWN
+        # Interprocedural: a uniquely resolved program callee contributes
+        # its summarized return kind.
+        targets = self.call_targets.get(
+            (call.lineno, call.col_offset), []
+        )
+        if len(targets) == 1:
+            return self.returns.get(targets[0], KIND_UNKNOWN)
+        return KIND_UNKNOWN
+
+
+def _scalarize(kind):
+    """Collapse tuple kinds to ``unknown`` in scalar positions."""
+    return KIND_UNKNOWN if isinstance(kind, tuple) else kind
+
+
+def _analyze_function(
+    info: FunctionInfo,
+    program: Program,
+    returns: dict[str, object],
+) -> _KindEnv:
+    """Compute the kind environment and return kind of one function."""
+    env = _KindEnv(info, returns)
+    for edge in program.edges_out(info.key):
+        if edge.kind == CALL:
+            env.call_targets.setdefault(
+                (edge.lineno, edge.col), []
+            ).append(edge.callee)
+    statements = list(_iter_own_statements(list(info.node.body)))
+    # Assignment chains are short; a bounded pass count reaches the
+    # fixpoint of the flow-insensitive join in practice.
+    for _round in range(3):
+        before = dict(env.env)
+        for stmt in statements:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                value_kind = env.kind_of(stmt.value)
+                if isinstance(target, ast.Name):
+                    env.bind(target.id, value_kind)
+                elif isinstance(target, ast.Tuple) and all(
+                    isinstance(e, ast.Name) for e in target.elts
+                ):
+                    if isinstance(value_kind, tuple) and len(
+                        value_kind
+                    ) == len(target.elts):
+                        for element, kind in zip(target.elts, value_kind):
+                            env.bind(element.id, kind)
+                    else:
+                        for element in target.elts:
+                            env.bind(element.id, KIND_UNKNOWN)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                if stmt.value is not None:
+                    env.bind(stmt.target.id, env.kind_of(stmt.value))
+            elif isinstance(stmt, ast.AugAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                env.bind(stmt.target.id, KIND_UNKNOWN)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                for sub in ast.walk(stmt.target):
+                    if isinstance(sub, ast.Name):
+                        env.bind(sub.id, KIND_UNKNOWN)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        env.bind(item.optional_vars.id, KIND_UNKNOWN)
+        if env.env == before:
+            break
+    return env
+
+
+def _return_kind(env: _KindEnv) -> object:
+    kind: object | None = None
+    for stmt in _iter_own_statements(list(env.info.node.body)):
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            value = env.kind_of(stmt.value)
+            kind = value if kind is None else _join_any(kind, value)
+    return KIND_UNKNOWN if kind is None else kind
+
+
+def return_kinds(program: Program) -> dict[str, object]:
+    """Bottom-up return-kind table over the SCC condensation."""
+    table: dict[str, object] = {}
+    for component in program.condensation():
+        if len(component) > 1:
+            # Recursive cycles: settle for unknown rather than a fixpoint.
+            for key in component:
+                table[key] = KIND_UNKNOWN
+            continue
+        key = component[0]
+        info = program.functions[key]
+        env = _analyze_function(info, program, table)
+        table[key] = _return_kind(env)
+    return table
+
+
+def function_kinds(
+    program: Program, key: str, table: dict[str, object] | None = None
+) -> dict[str, object]:
+    """Public query: the kind environment of one function (for tests)."""
+    if table is None:
+        table = return_kinds(program)
+    return _analyze_function(program.functions[key], program, table).env
+
+
+# -- rules -------------------------------------------------------------------
+
+
+def _function_expressions(info: FunctionInfo):
+    for stmt in _iter_own_statements(list(info.node.body)):
+        for expr in _stmt_expressions(stmt):
+            yield from ast.walk(expr)
+
+
+class EdgeKeyDtypeRule(ProgramRule):
+    """REP601: edge-key packing must be provably int64-promoted.
+
+    The external sort keys every edge as ``src * n + dst``.  If any
+    operand is a narrow integer array, NumPy's value-based casting keeps
+    the product narrow and the key wraps silently around 2^31 (or
+    whatever the narrow bound is) — on a 10^8-edge graph that corrupts
+    the CSR without any exception.  A plain Python-int ``n`` is equally
+    unprovable: whether it promotes depends on the other operands'
+    dtypes and on the NumPy version's casting rules.  Route packing
+    through :func:`repro.graph.csr.pack_edge_keys`, which promotes ``n``
+    explicitly and enforces the ``n * n <= int64 max`` capacity bound.
+    """
+
+    id = "REP601"
+    summary = (
+        "edge-key arithmetic `u * n + v` is not provably int64-promoted"
+    )
+    example_bad = (
+        "us = ids.astype(np.int32)\n"
+        "keys = us * n + vs  # narrow array: wraps long before int64"
+    )
+    example_good = (
+        "from repro.graph.csr import pack_edge_keys\n"
+        "keys = pack_edge_keys(us, vs, n)  # checked int64 promotion"
+    )
+
+    def check_program(self, program: Program) -> Iterator[Violation]:
+        table = return_kinds(program)
+        for key in sorted(program.functions):
+            info = program.functions[key]
+            if info.name == "pack_edge_keys":
+                continue  # the helper is the one sanctioned packing site
+            env = _analyze_function(info, program, table)
+            for expr in _function_expressions(info):
+                if not (
+                    isinstance(expr, ast.BinOp)
+                    and isinstance(expr.op, ast.Add)
+                ):
+                    continue
+                mult = None
+                other = None
+                for side, opposite in (
+                    (expr.left, expr.right),
+                    (expr.right, expr.left),
+                ):
+                    if isinstance(side, ast.BinOp) and isinstance(
+                        side.op, ast.Mult
+                    ):
+                        mult, other = side, opposite
+                        break
+                if mult is None:
+                    continue
+                operands = (mult.left, mult.right, other)
+                kinds = [
+                    _scalarize(env.kind_of(operand)) for operand in operands
+                ]
+                # Only treat it as edge-key packing when some operand is
+                # a provable integer array (else it's scalar arithmetic).
+                if not any(kind in _ARRAYS for kind in kinds):
+                    continue
+                bad = [
+                    kind
+                    for kind in kinds
+                    if kind in _NARROW or kind == KIND_PYINT
+                ]
+                if not bad:
+                    continue
+                reason = (
+                    "a narrow-dtype operand"
+                    if any(kind in _NARROW for kind in bad)
+                    else "a plain Python-int scale operand"
+                )
+                yield Violation(
+                    rule_id=self.id,
+                    message=(
+                        f"edge-key packing `u * n + v` in "
+                        f"{info.qualname} has {reason}, so the int64 "
+                        f"promotion is not provable; route it through "
+                        f"pack_edge_keys(u, v, n)"
+                    ),
+                    path=info.module.path,
+                    line=expr.lineno,
+                    col=expr.col_offset,
+                )
+
+
+#: Writer classes whose chunk argument must be int64-clean.
+_FROZEN_SINKS = frozenset({"CSRDirWriter"})
+
+
+def _syntactic_sink_receivers(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Names bound to a frozen-sink constructor or annotated as one.
+
+    By-name fallback for when the sink class is imported from a module
+    outside the linted batch (single-file lints, tests): the program
+    resolver cannot prove the class then, but ``w = CSRDirWriter(...)``
+    or a ``writer: CSRDirWriter`` annotation is unambiguous enough.
+    """
+    names: set[str] = set()
+
+    def leaf_of(expr: ast.expr | None) -> str | None:
+        if expr is None:
+            return None
+        path = dotted_path(expr)
+        if path is None and isinstance(expr, ast.Constant) and isinstance(
+            expr.value, str
+        ):
+            path = expr.value
+        if path is None:
+            return None
+        return path.split(".")[-1]
+
+    args = fn.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        if leaf_of(arg.annotation) in _FROZEN_SINKS:
+            names.add(arg.arg)
+    for stmt in _iter_own_statements(list(fn.body)):
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)
+            and leaf_of(stmt.value.func) in _FROZEN_SINKS
+        ):
+            names.add(stmt.targets[0].id)
+        elif (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and leaf_of(stmt.annotation) in _FROZEN_SINKS
+        ):
+            names.add(stmt.target.id)
+    return names
+
+
+class FrozenDtypeRule(ProgramRule):
+    """REP602: no provably narrow dtype may enter a frozen CSR array.
+
+    ``CSRGraph.from_arrays`` and the on-disk ``CSRDirWriter`` adopt
+    int64 arrays; a narrowing cast upstream either raises at the very
+    end of an expensive freeze (``from_arrays``) or is silently
+    re-widened chunk-by-chunk after the damage — a truncated id — is
+    already baked in (``append`` coerces).  The dtype analysis follows
+    casts through locals and helper returns, so the narrow origin is
+    reported at the call that commits it to the frozen contract.
+    """
+
+    id = "REP602"
+    summary = "narrow dtype flows into a frozen CSR array contract"
+    example_bad = (
+        "ids = indices.astype(np.int32)  # saves RAM, breaks the freeze\n"
+        "CSRGraph.from_arrays(indptr, ids, nodes, index_of)"
+    )
+    example_good = (
+        "ids = indices.astype(np.int64)\n"
+        "CSRGraph.from_arrays(indptr, ids, nodes, index_of)"
+    )
+
+    def check_program(self, program: Program) -> Iterator[Violation]:
+        table = return_kinds(program)
+        for key in sorted(program.functions):
+            info = program.functions[key]
+            env = _analyze_function(info, program, table)
+            local_imports = _collect_imports(
+                list(_iter_own_statements(list(info.node.body))),
+                info.modname,
+                is_package=info.module.is_package,
+            )
+            receivers = _receiver_classes(
+                program, info.modname, info.node, local_imports
+            )
+            sink_names = _syntactic_sink_receivers(info.node)
+            for expr in _function_expressions(info):
+                if not isinstance(expr, ast.Call):
+                    continue
+                func = expr.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                checked: list[ast.expr] = []
+                if func.attr == "from_arrays":
+                    checked = list(expr.args)
+                elif func.attr == "append" and isinstance(
+                    func.value, ast.Name
+                ):
+                    class_key = receivers.get(func.value.id)
+                    is_sink = (
+                        class_key is not None
+                        and class_key.split(":")[-1].split(".")[-1]
+                        in _FROZEN_SINKS
+                    ) or func.value.id in sink_names
+                    if is_sink and len(expr.args) >= 2:
+                        checked = [expr.args[1]]
+                for arg in checked:
+                    kind = _scalarize(env.kind_of(arg))
+                    if kind in _NARROW:
+                        yield Violation(
+                            rule_id=self.id,
+                            message=(
+                                f"{info.qualname} passes a provably "
+                                f"narrow-dtype value into the frozen CSR "
+                                f"contract via .{func.attr}(); frozen "
+                                f"arrays must be int64 — cast with "
+                                f".astype(np.int64) at the source"
+                            ),
+                            path=info.module.path,
+                            line=arg.lineno,
+                            col=arg.col_offset,
+                        )
+
+
+NUMERIC_RULES: tuple[type[ProgramRule], ...] = (
+    EdgeKeyDtypeRule,
+    FrozenDtypeRule,
+)

@@ -12,13 +12,42 @@ from collections.abc import Iterable, Sequence
 
 from repro.devtools._base import Rule, Violation
 
-__all__ = ["FORMATS", "format_text", "format_json", "format_sarif", "render"]
+__all__ = [
+    "FORMATS",
+    "LINT_DOC_URI",
+    "rule_help_uri",
+    "format_text",
+    "format_json",
+    "format_sarif",
+    "render",
+]
 
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA = (
     "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
     "Schemata/sarif-schema-2.1.0.json"
 )
+
+#: Base the per-rule ``helpUri`` anchors into the in-repo catalogue.
+LINT_DOC_URI = "docs/LINTING.md"
+
+
+def rule_help_uri(rule: Rule) -> str:
+    """Anchor URI of ``rule``'s section in ``docs/LINTING.md``.
+
+    Mirrors GitHub's heading slugger over the ``### REPNNN — summary``
+    headings: lowercase, punctuation dropped, spaces become dashes (the
+    em-dash itself is dropped, leaving the double dash GitHub produces).
+    """
+    heading = f"{rule.id} — {rule.summary}"
+    slug = []
+    for char in heading.lower():
+        if char.isalnum() or char in "-_":
+            slug.append(char)
+        elif char == " ":
+            slug.append("-")
+        # All other punctuation is dropped, as GitHub's slugger does.
+    return f"{LINT_DOC_URI}#{''.join(slug)}"
 
 
 def format_text(violations: Sequence[Violation]) -> str:
@@ -51,6 +80,7 @@ def format_sarif(
             "fullDescription": {
                 "text": (rule.__doc__ or rule.summary).strip()
             },
+            "helpUri": rule_help_uri(rule),
         }
         for rule in sorted(rules, key=lambda rule: rule.id)
     ]

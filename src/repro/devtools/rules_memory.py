@@ -1,0 +1,528 @@
+"""Streaming-memory-contract checker: the REP605/REP606 rules.
+
+``docs/SCALING.md`` promises that a freeze of a 10^8-edge stream peaks
+at O(chunk + n) RAM.  That promise is carried by *annotations now*:
+:func:`repro.devtools.contracts.bounded_memory` marks the functions that
+state a bound (``freeze_stream``, ``iter_edge_chunks``, the
+``ContextDelta`` apply path, ...) and this module verifies it — nothing
+reachable from a bounded function through the call graph (including
+virtual dispatch through ``EdgeStream`` subclasses) may materialize a
+whole stream.
+
+The materialization detectors:
+
+* accumulation across a streaming loop — a ``.append``/``.add``/
+  ``.update``/... call whose receiver is bound *outside* a loop that
+  iterates an edge stream (or drives a generator), and never rebound
+  inside it: the container grows with m, not with the chunk.  Receivers
+  whose class carries its own ``bounded_memory``/``audited_in_ram``
+  marker (``CSRDirWriter``, ``_RunSpiller``) are trusted — their
+  contract was checked where it was stated;
+* whole-stream materializers — ``list``/``sorted``/``tuple``/``set``,
+  ``np.concatenate``/``hstack``/``vstack`` or ``.tolist()`` applied
+  directly to a stream iterator or to a comprehension draining one.
+
+Intentional in-RAM paths carry
+:func:`~repro.devtools.contracts.audited_in_ram` with the audit
+rationale (``CommunityStream.edge_chunks`` holds the planted
+communities — O(communities), not O(m)) and are skipped.  REP606 is the
+closure rule: a function reached from a bounded entry that consumes a
+stream but carries no marker at all cannot be bounded by the analysis
+and must be annotated either way.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools._base import ProgramRule, Violation
+from repro.devtools.callgraph import (
+    CALL,
+    FunctionInfo,
+    Program,
+    _collect_imports,
+    _iter_own_statements,
+    _receiver_classes,
+    _resolve_with_locals,
+    _stmt_expressions,
+)
+from repro.devtools.dataflow import dotted_path
+
+__all__ = [
+    "STREAM_ITERATORS",
+    "bounded_entries",
+    "bounded_closure",
+    "MEMORY_RULES",
+]
+
+#: Callables whose iteration walks a whole edge stream.
+STREAM_ITERATORS = frozenset(
+    {"edge_chunks", "iter_edge_chunks", "iter_edges", "_merge_runs"}
+)
+
+#: Container methods that grow their receiver.
+_GROW_MUTATORS = frozenset(
+    {"append", "extend", "add", "update", "insert", "setdefault"}
+)
+
+#: Whole-iterable materializers (builtins and numpy gatherers).
+_GATHER_BUILTINS = frozenset({"list", "sorted", "tuple", "set"})
+_GATHER_NUMPY = frozenset({"concatenate", "hstack", "vstack", "stack"})
+
+_BOUNDED_ATTR = "bounded_memory"
+_AUDITED_ATTR = "audited_in_ram"
+
+
+def _decorator_marker(node: ast.AST, marker: str) -> str | None:
+    """The constant argument of an ``@marker("...")`` decorator, if any."""
+    for decorator in getattr(node, "decorator_list", ()):
+        if not isinstance(decorator, ast.Call):
+            continue
+        path = dotted_path(decorator.func)
+        if path is None or path.split(".")[-1] != marker:
+            continue
+        if decorator.args and isinstance(decorator.args[0], ast.Constant):
+            value = decorator.args[0].value
+            if isinstance(value, str):
+                return value
+        return ""
+    return None
+
+
+def _own_marker(program: Program, key: str, marker: str) -> str | None:
+    """Marker on the function itself or its enclosing class."""
+    info = program.functions[key]
+    found = _decorator_marker(info.node, marker)
+    if found is not None:
+        return found
+    if info.class_key is not None:
+        class_info = program.classes.get(info.class_key)
+        if class_info is not None:
+            found = _decorator_marker(class_info.node, marker)
+            if found is not None:
+                return found
+    return None
+
+
+def _inherited_marker(
+    program: Program, key: str, marker: str
+) -> str | None:
+    """Marker on the function, its class, or an overridden base method."""
+    found = _own_marker(program, key, marker)
+    if found is not None:
+        return found
+    info = program.functions[key]
+    if info.class_key is None:
+        return None
+    seen: set[str] = set()
+    frontier = list(
+        program.classes.get(info.class_key).base_keys
+        if info.class_key in program.classes
+        else ()
+    )
+    while frontier:
+        base_key = frontier.pop(0)
+        if base_key in seen:
+            continue
+        seen.add(base_key)
+        base = program.classes.get(base_key)
+        if base is None:
+            continue
+        method_key = base.methods.get(info.name)
+        if method_key is not None and method_key in program.functions:
+            found = _own_marker(program, method_key, marker)
+            if found is not None:
+                return found
+        frontier.extend(base.base_keys)
+    return None
+
+
+def _class_marked(program: Program, class_key: str) -> bool:
+    """The class (or a base) carries either memory marker."""
+    seen: set[str] = set()
+    frontier = [class_key]
+    while frontier:
+        current = frontier.pop(0)
+        if current in seen:
+            continue
+        seen.add(current)
+        class_info = program.classes.get(current)
+        if class_info is None:
+            continue
+        if (
+            _decorator_marker(class_info.node, _BOUNDED_ATTR) is not None
+            or _decorator_marker(class_info.node, _AUDITED_ATTR)
+            is not None
+        ):
+            return True
+        frontier.extend(class_info.base_keys)
+    return False
+
+
+def bounded_entries(program: Program) -> dict[str, str]:
+    """``{function key: contract}`` for every ``@bounded_memory`` mark."""
+    entries: dict[str, str] = {}
+    for key in sorted(program.functions):
+        contract = _own_marker(program, key, _BOUNDED_ATTR)
+        if contract is not None:
+            entries[key] = contract
+    return entries
+
+
+def _subclass_map(program: Program) -> dict[str, list[str]]:
+    children: dict[str, list[str]] = {}
+    for class_key in sorted(program.classes):
+        for base_key in program.classes[class_key].base_keys:
+            children.setdefault(base_key, []).append(class_key)
+    return children
+
+
+def bounded_closure(program: Program) -> dict[str, str]:
+    """Functions reachable from bounded entries, with provenance.
+
+    BFS over CALL edges, plus virtual dispatch: reaching a method also
+    reaches every same-named override in program subclasses, so
+    ``stream.edge_chunks()`` resolved at ``EdgeStream.edge_chunks``
+    pulls ``GraphEdgeStream``/``CommunityStream``/... implementations
+    into the checked region.  Returns ``{reached key: entry key}``.
+    """
+    entries = bounded_entries(program)
+    children = _subclass_map(program)
+    origin: dict[str, str] = {}
+    frontier: list[str] = []
+
+    def visit(key: str, root: str) -> None:
+        if key in origin or key not in program.functions:
+            return
+        origin[key] = root
+        frontier.append(key)
+        info = program.functions[key]
+        if info.class_key is not None:
+            stack = list(children.get(info.class_key, ()))
+            seen: set[str] = set()
+            while stack:
+                sub_key = stack.pop(0)
+                if sub_key in seen:
+                    continue
+                seen.add(sub_key)
+                sub = program.classes.get(sub_key)
+                if sub is None:
+                    continue
+                override = sub.methods.get(info.name)
+                if override is not None:
+                    visit(override, root)
+                stack.extend(children.get(sub_key, ()))
+
+    for entry in sorted(entries):
+        visit(entry, entry)
+    while frontier:
+        current = frontier.pop(0)
+        for callee in program.callees(current, frozenset({CALL})):
+            visit(callee, origin[current])
+    return origin
+
+
+def _call_leaf(expr: ast.expr) -> str | None:
+    if not isinstance(expr, ast.Call):
+        return None
+    path = dotted_path(expr.func)
+    if path is None:
+        return None
+    return path.split(".")[-1]
+
+
+def _is_stream_iter(expr: ast.expr) -> bool:
+    leaf = _call_leaf(expr)
+    return leaf is not None and leaf in STREAM_ITERATORS
+
+
+def _comprehension_over_stream(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+        return bool(expr.generators) and _is_stream_iter(
+            expr.generators[0].iter
+        )
+    return False
+
+
+def _loop_rebinds(loop: ast.stmt, name: str) -> bool:
+    """``name`` is (re)bound by a statement inside the loop body."""
+    for stmt in _iter_own_statements(list(loop.body)):
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.Name) and sub.id == name:
+                    return True
+    return False
+
+
+def _streaming_loops(info: FunctionInfo) -> list[ast.stmt]:
+    """Loops that walk an edge stream or drive a generator's yields."""
+    loops: list[ast.stmt] = []
+    for stmt in _iter_own_statements(list(info.node.body)):
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            if _is_stream_iter(stmt.iter):
+                loops.append(stmt)
+                continue
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            has_yield = any(
+                isinstance(sub, (ast.Yield, ast.YieldFrom))
+                for inner in _iter_own_statements(list(stmt.body))
+                for sub in ast.walk(inner)
+            )
+            if has_yield:
+                loops.append(stmt)
+    return loops
+
+
+class UnboundedMaterializationRule(ProgramRule):
+    """REP605: bounded-memory code must not materialize a whole stream.
+
+    Reachable-from-``@bounded_memory`` code is the O(chunk + n) region:
+    a container that grows once per chunk across the stream loop, or a
+    ``list``/``sorted``/``np.concatenate`` draining a stream iterator,
+    silently turns the documented bound back into O(m) — precisely the
+    regression the out-of-core substrate exists to prevent.  Growth
+    into chunk-contract receivers (``CSRDirWriter.append``,
+    ``_RunSpiller.add``) is fine: those classes state and discharge
+    their own contracts.  Intentional in-RAM paths must say so with
+    ``@audited_in_ram("why this stays small")``.
+    """
+
+    id = "REP605"
+    summary = "whole-stream materialization inside bounded-memory code"
+    example_bad = (
+        "@bounded_memory('chunk+n')\n"
+        "def freeze(stream):\n"
+        "    chunks = []\n"
+        "    for u, v in stream.edge_chunks():\n"
+        "        chunks.append(u)          # grows with m, not chunk\n"
+        "    return np.concatenate(chunks)"
+    )
+    example_good = (
+        "@bounded_memory('chunk+n')\n"
+        "def freeze(stream):\n"
+        "    for u, v in stream.edge_chunks():\n"
+        "        spill.add(pack_edge_keys(u, v, n))  # bounded sink"
+    )
+
+    def check_program(self, program: Program) -> Iterator[Violation]:
+        closure = bounded_closure(program)
+        for key in sorted(closure):
+            info = program.functions[key]
+            if (
+                _inherited_marker(program, key, _AUDITED_ATTR)
+                is not None
+            ):
+                continue
+            local_imports = _collect_imports(
+                list(_iter_own_statements(list(info.node.body))),
+                info.modname,
+                is_package=info.module.is_package,
+            )
+            receivers = dict(
+                _receiver_classes(
+                    program, info.modname, info.node, local_imports
+                )
+            )
+            self._add_with_receivers(
+                program, info, local_imports, receivers
+            )
+            yield from self._loop_accumulation(
+                program, info, closure[key], receivers
+            )
+            yield from self._direct_materializers(info, closure[key])
+
+    @staticmethod
+    def _add_with_receivers(
+        program: Program,
+        info: FunctionInfo,
+        local_imports,
+        receivers: dict[str, str],
+    ) -> None:
+        """``with C(...) as x`` binds ``x`` to class ``C`` too."""
+        for stmt in _iter_own_statements(list(info.node.body)):
+            if not isinstance(stmt, (ast.With, ast.AsyncWith)):
+                continue
+            for item in stmt.items:
+                if not (
+                    isinstance(item.optional_vars, ast.Name)
+                    and isinstance(item.context_expr, ast.Call)
+                ):
+                    continue
+                path = dotted_path(item.context_expr.func)
+                if path is None:
+                    continue
+                hit = _resolve_with_locals(
+                    program, info.modname, path, local_imports
+                )
+                if hit is not None and hit[0] == "class":
+                    receivers[item.optional_vars.id] = hit[1]
+
+    def _loop_accumulation(
+        self,
+        program: Program,
+        info: FunctionInfo,
+        entry: str,
+        receivers: dict[str, str],
+    ) -> Iterator[Violation]:
+        for loop in _streaming_loops(info):
+            for stmt in _iter_own_statements(list(loop.body)):
+                for expr in _stmt_expressions(stmt):
+                    for sub in ast.walk(expr):
+                        if not isinstance(sub, ast.Call):
+                            continue
+                        func = sub.func
+                        if not (
+                            isinstance(func, ast.Attribute)
+                            and func.attr in _GROW_MUTATORS
+                            and isinstance(func.value, ast.Name)
+                        ):
+                            continue
+                        name = func.value.id
+                        if _loop_rebinds(loop, name):
+                            continue  # reset per chunk: bounded
+                        class_key = receivers.get(name)
+                        if class_key is not None and _class_marked(
+                            program, class_key
+                        ):
+                            continue  # contract-carrying sink
+                        yield Violation(
+                            rule_id=self.id,
+                            message=(
+                                f"{info.qualname} (reached from "
+                                f"@bounded_memory "
+                                f"{program.functions[entry].qualname}) "
+                                f"grows `{name}` across the stream "
+                                f"loop via .{func.attr}(); the "
+                                f"container scales with m — reset it "
+                                f"per chunk, stream into a bounded "
+                                f"sink, or mark the function "
+                                f"@audited_in_ram"
+                            ),
+                            path=info.module.path,
+                            line=sub.lineno,
+                            col=sub.col_offset,
+                        )
+
+    @staticmethod
+    def _gathered_operand(call: ast.Call) -> ast.expr | None:
+        """The iterable a materializer call drains, if it is one."""
+        path = dotted_path(call.func)
+        if path is not None:
+            parts = path.split(".")
+            leaf = parts[-1]
+            builtin = leaf in _GATHER_BUILTINS and len(parts) == 1
+            numpy_gather = (
+                leaf in _GATHER_NUMPY
+                and len(parts) > 1
+                and parts[0] in ("np", "numpy")
+            )
+            if (builtin or numpy_gather) and call.args:
+                return call.args[0]
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "tolist"
+        ):
+            return call.func.value
+        return None
+
+    def _direct_materializers(
+        self, info: FunctionInfo, entry: str
+    ) -> Iterator[Violation]:
+        for stmt in _iter_own_statements(list(info.node.body)):
+            for expr in _stmt_expressions(stmt):
+                for sub in ast.walk(expr):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    gathered = self._gathered_operand(sub)
+                    if gathered is None:
+                        continue
+                    if _is_stream_iter(
+                        gathered
+                    ) or _comprehension_over_stream(gathered):
+                        yield Violation(
+                            rule_id=self.id,
+                            message=(
+                                f"{info.qualname} materializes a "
+                                f"whole edge stream in one call; "
+                                f"this holds O(m) in RAM inside "
+                                f"bounded-memory code — consume the "
+                                f"stream chunk by chunk"
+                            ),
+                            path=info.module.path,
+                            line=sub.lineno,
+                            col=sub.col_offset,
+                        )
+
+
+class UnannotatedStreamConsumerRule(ProgramRule):
+    """REP606: stream consumers inside the bounded region need a marker.
+
+    The closure check can only bound what is annotated: a helper that
+    loops over an edge stream but carries neither ``@bounded_memory``
+    nor ``@audited_in_ram`` is a hole in the contract — the analysis
+    cannot tell a bounded per-chunk pass from an O(m) accumulator, and
+    the next refactor can silently turn one into the other.  State the
+    contract where the loop lives.
+    """
+
+    id = "REP606"
+    summary = "unannotated stream consumer reached from bounded code"
+    example_bad = (
+        "@bounded_memory('chunk+n')\n"
+        "def freeze(stream):\n"
+        "    return helper(stream)\n"
+        "def helper(stream):                 # no contract stated\n"
+        "    for u, v in stream.edge_chunks():\n"
+        "        ..."
+    )
+    example_good = (
+        "@bounded_memory('chunk')\n"
+        "def helper(stream):\n"
+        "    for u, v in stream.edge_chunks():\n"
+        "        ..."
+    )
+
+    def check_program(self, program: Program) -> Iterator[Violation]:
+        closure = bounded_closure(program)
+        for key in sorted(closure):
+            info = program.functions[key]
+            if (
+                _inherited_marker(program, key, _BOUNDED_ATTR)
+                is not None
+                or _inherited_marker(program, key, _AUDITED_ATTR)
+                is not None
+            ):
+                continue
+            consuming = [
+                stmt
+                for stmt in _iter_own_statements(list(info.node.body))
+                if isinstance(stmt, (ast.For, ast.AsyncFor))
+                and _is_stream_iter(stmt.iter)
+            ]
+            for stmt in consuming:
+                entry = program.functions[closure[key]].qualname
+                yield Violation(
+                    rule_id=self.id,
+                    message=(
+                        f"{info.qualname} consumes an edge stream but "
+                        f"states no memory contract, yet it is "
+                        f"reachable from @bounded_memory {entry}; "
+                        f"annotate it with @bounded_memory(...) or "
+                        f"@audited_in_ram(...)"
+                    ),
+                    path=info.module.path,
+                    line=stmt.lineno,
+                    col=stmt.col_offset,
+                )
+
+
+MEMORY_RULES: tuple[type[ProgramRule], ...] = (
+    UnboundedMaterializationRule,
+    UnannotatedStreamConsumerRule,
+)

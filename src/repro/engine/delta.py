@@ -44,6 +44,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.data.groups import GroupSet, VertexGroup, _group_fields
+from repro.devtools.contracts import bounded_memory
 from repro.engine.batch import batch_group_stats
 from repro.engine.context import AnalysisContext
 from repro.exceptions import GraphError, NodeNotFound
@@ -145,6 +146,7 @@ class ContextDelta:
 
     # -- context patching ----------------------------------------------------
 
+    @bounded_memory("changed-rows+n")
     def apply(self, context: AnalysisContext) -> AnalysisContext:
         """Return a new frozen context with this delta's edges applied.
 
@@ -172,6 +174,7 @@ class ContextDelta:
             return self._apply_directed(context, adds, removes)
         return self._apply_undirected(context, adds, removes)
 
+    @bounded_memory("changed-rows+n")
     def _apply_undirected(
         self,
         context: AnalysisContext,
@@ -195,6 +198,7 @@ class ContextDelta:
         m = context.num_edges + len(adds) - len(removes)
         return self._assemble(context, union, None, None, m, degree)
 
+    @bounded_memory("changed-rows+n")
     def _apply_directed(
         self,
         context: AnalysisContext,

@@ -17,6 +17,7 @@ __all__ = [
     "FormatError",
     "FitError",
     "SamplingError",
+    "ScaleError",
     "ParallelError",
     "InvariantViolation",
 ]
@@ -71,6 +72,15 @@ class FitError(ReproError, ValueError):
 
 class SamplingError(ReproError, RuntimeError):
     """A sampler could not produce a sample under the given constraints."""
+
+
+class ScaleError(ReproError, OverflowError):
+    """An input is too large for the library's numeric representation.
+
+    Raised where a documented scale ceiling would otherwise be crossed
+    silently — e.g. :func:`repro.graph.csr.pack_edge_keys` refuses vertex
+    counts whose packed ``src * n + dst`` keys no longer fit in int64.
+    """
 
 
 class ParallelError(ReproError, RuntimeError):

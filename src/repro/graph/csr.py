@@ -23,6 +23,7 @@ frozen and scored without ever fitting in RAM.
 from __future__ import annotations
 
 import json
+import math
 import os
 from collections.abc import Hashable, Iterable, Sequence
 from pathlib import Path
@@ -30,7 +31,8 @@ from typing import Literal
 
 import numpy as np
 
-from repro.exceptions import GraphError
+from repro.devtools.contracts import bounded_memory
+from repro.exceptions import GraphError, ScaleError
 from repro.graph.convert import integer_index
 from repro.graph.digraph import DiGraph
 from repro.graph.ugraph import Graph
@@ -44,6 +46,8 @@ __all__ = [
     "IdentityNodes",
     "IdentityIndex",
     "is_identity_nodes",
+    "pack_edge_keys",
+    "MAX_PACKED_VERTICES",
     "CSRDirWriter",
     "CSRStore",
     "open_csr_dir",
@@ -141,6 +145,35 @@ def is_identity_nodes(nodes: Sequence[Node]) -> bool:
     return bool((array == np.arange(n, dtype=np.int64)).all())
 
 
+#: Largest vertex count whose packed ``src * n + dst`` keys fit in int64:
+#: ``n * n <= np.iinfo(np.int64).max``, i.e. ``isqrt(2**63 - 1)``.
+MAX_PACKED_VERTICES = math.isqrt(np.iinfo(np.int64).max)
+
+
+def pack_edge_keys(u, v, n: int) -> np.ndarray:
+    """Pack endpoint ids into sortable int64 keys ``u * n + v``.
+
+    Every edge-key packing in the library routes through here so the
+    int64 capacity check lives in exactly one place: for ``n`` beyond
+    :data:`MAX_PACKED_VERTICES` (~3.04e9 vertices) the keys would wrap
+    silently, so a :class:`~repro.exceptions.ScaleError` is raised
+    instead.  ``n`` is promoted to ``np.int64`` before the multiply, so
+    the arithmetic is int64 regardless of NumPy's value-based casting
+    rules for Python-int operands (lint rule REP601 holds ad-hoc packing
+    sites to the same discipline).
+    """
+    n = int(n)
+    if n <= 0:
+        raise GraphError(f"edge-key packing requires n >= 1, got {n}")
+    if n > MAX_PACKED_VERTICES:
+        raise ScaleError(
+            f"cannot pack edge keys for n={n} vertices: n * n overflows "
+            f"int64 (limit {MAX_PACKED_VERTICES}); shard the graph or "
+            f"re-key with a wider representation"
+        )
+    return u * np.int64(n) + v
+
+
 def _check_frozen_array(name: str, array: object) -> np.ndarray:
     """Validate one frozen CSR array; adopt it without copying.
 
@@ -222,8 +255,8 @@ def _union_rows(
     plus neighbour-difference mask collapses reciprocal pairs and leaves
     rows sorted (faster than ``np.unique``'s hash path at this scale).
     """
-    keys = np.concatenate([srcs, dsts]) * np.int64(n) + np.concatenate(
-        [dsts, srcs]
+    keys = pack_edge_keys(
+        np.concatenate([srcs, dsts]), np.concatenate([dsts, srcs]), n
     )
     keys.sort()
     if keys.size:
@@ -393,10 +426,10 @@ class CSRGraph:
         """
         if self._edge_keys is None:
             n = self.num_vertices
-            self._edge_keys = (
-                np.repeat(np.arange(n, dtype=np.int64), self.degree_array())
-                * np.int64(n)
-                + self.indices
+            self._edge_keys = pack_edge_keys(
+                np.repeat(np.arange(n, dtype=np.int64), self.degree_array()),
+                self.indices,
+                n,
             )
         return self._edge_keys
 
@@ -511,6 +544,7 @@ def _array_chunks(array: np.ndarray, chunk: int = _WRITE_CHUNK):
         yield array[start : start + chunk]
 
 
+@bounded_memory("chunk")
 class CSRDirWriter:
     """Incremental writer for one on-disk CSR directory.
 

@@ -14,6 +14,7 @@ from typing import IO, Any
 
 import numpy as np
 
+from repro.devtools.contracts import bounded_memory
 from repro.exceptions import FormatError
 from repro.graph.digraph import DiGraph
 from repro.graph.ugraph import Graph
@@ -57,6 +58,7 @@ def iter_edges(
                 raise FormatError(f"{path}:{line_number}: {exc}") from exc
 
 
+@bounded_memory("chunk")
 def iter_edge_chunks(
     path: str | Path, *, chunk_edges: int = 1 << 20
 ) -> Iterator[tuple[np.ndarray, np.ndarray]]:

@@ -34,9 +34,10 @@ from pathlib import Path
 import numpy as np
 
 from repro.data.groups import Community, GroupSet
+from repro.devtools.contracts import audited_in_ram, bounded_memory
 from repro.exceptions import GraphError
 from repro.graph.convert import integer_index
-from repro.graph.csr import CSRDirWriter, is_identity_nodes
+from repro.graph.csr import CSRDirWriter, is_identity_nodes, pack_edge_keys
 from repro.graph.digraph import DiGraph
 from repro.graph.ugraph import Graph
 from repro.synth.community_graph import (
@@ -85,6 +86,7 @@ class EdgeStream:
     directed: bool = False
     nodes: list | None = None
 
+    @bounded_memory("chunk")
     def edge_chunks(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         """Yield ``(src_ids, dst_ids)`` int64 array pairs, any chunking."""
         raise NotImplementedError
@@ -163,6 +165,10 @@ class CommunityStream(EdgeStream):
         self.nodes = None
         self._groups: GroupSet | None = None
 
+    @audited_in_ram(
+        "the planted GroupSet holds O(num_communities) member frozensets, "
+        "bounded by config, not by the emitted edge count m"
+    )
     def edge_chunks(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         config = self.config
         rng = np.random.default_rng(self.seed)
@@ -312,8 +318,14 @@ def benchmark_stream(num_edges: int, *, seed: int = 0, **kwargs) -> BenchmarkStr
 # -- external sort / merge ----------------------------------------------------
 
 
+@bounded_memory("run")
 class _RunSpiller:
-    """Accumulates edge keys and spills them as sorted run files."""
+    """Accumulates edge keys and spills them as sorted run files.
+
+    Use as a context manager: on exit — normal or exceptional — the
+    buffered keys are dropped and every spilled run file is deleted, so
+    an aborted freeze never strands multi-gigabyte ``.run`` files.
+    """
 
     def __init__(self, spill_dir: Path, tag: str, run_keys: int) -> None:
         self._dir = spill_dir
@@ -322,6 +334,12 @@ class _RunSpiller:
         self._buffer: list[np.ndarray] = []
         self._buffered = 0
         self.paths: list[Path] = []
+
+    def __enter__(self) -> "_RunSpiller":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.cleanup()
 
     def add(self, keys: np.ndarray) -> None:
         if keys.size == 0:
@@ -344,7 +362,16 @@ class _RunSpiller:
             handle.write(run.tobytes())
         self.paths.append(path)
 
+    def cleanup(self) -> None:
+        """Drop buffered keys and delete every spilled run file."""
+        self._buffer = []
+        self._buffered = 0
+        for path in self.paths:
+            path.unlink(missing_ok=True)
+        self.paths = []
 
+
+@bounded_memory("chunk")
 def _merge_runs(
     paths: list[Path], *, block: int
 ) -> Iterator[np.ndarray]:
@@ -354,46 +381,58 @@ def _merge_runs(
     run, emit the prefix guaranteed complete (every key ≤ the smallest
     "last loaded key" of any unfinished run), advance each run past what
     was emitted.  Duplicate keys — reciprocal half-edges, re-emitted
-    edges — collapse here, within and across blocks.
+    edges — collapse here, within and across blocks.  The run memmaps
+    are unmapped on exit — including generator close and mid-merge
+    exceptions — so the spill files can be deleted promptly even on
+    platforms where open mappings pin them.
     """
     runs = [np.memmap(path, dtype=np.int64, mode="r") for path in paths]
-    positions = [0] * len(runs)
-    last_key: int | None = None
-    while True:
-        loaded: list[tuple[int, np.ndarray]] = []
-        limits: list[int] = []
-        for i, run in enumerate(runs):
-            if positions[i] >= run.shape[0]:
+    try:
+        positions = [0] * len(runs)
+        last_key: int | None = None
+        while True:
+            loaded: list[tuple[int, np.ndarray]] = []
+            limits: list[int] = []
+            for i, run in enumerate(runs):
+                if positions[i] >= run.shape[0]:
+                    continue
+                chunk = np.asarray(run[positions[i] : positions[i] + block])
+                loaded.append((i, chunk))
+                if positions[i] + block < run.shape[0]:
+                    limits.append(int(chunk[-1]))
+            if not loaded:
+                return
+            safe = min(limits) if limits else None
+            merged = np.sort(np.concatenate([chunk for _, chunk in loaded]))
+            if safe is None:
+                emit = merged
+                for i, chunk in loaded:
+                    positions[i] += chunk.shape[0]
+            else:
+                emit = merged[
+                    : int(np.searchsorted(merged, safe, side="right"))
+                ]
+                for i, chunk in loaded:
+                    positions[i] += int(
+                        np.searchsorted(chunk, safe, side="right")
+                    )
+            if emit.size == 0:  # pragma: no cover - safe key always emits
                 continue
-            chunk = np.asarray(run[positions[i] : positions[i] + block])
-            loaded.append((i, chunk))
-            if positions[i] + block < run.shape[0]:
-                limits.append(int(chunk[-1]))
-        if not loaded:
-            return
-        safe = min(limits) if limits else None
-        merged = np.sort(np.concatenate([chunk for _, chunk in loaded]))
-        if safe is None:
-            emit = merged
-            for i, chunk in loaded:
-                positions[i] += chunk.shape[0]
-        else:
-            emit = merged[: int(np.searchsorted(merged, safe, side="right"))]
-            for i, chunk in loaded:
-                positions[i] += int(
-                    np.searchsorted(chunk, safe, side="right")
-                )
-        if emit.size == 0:  # pragma: no cover - safe key always emits
-            continue
-        keep = np.empty(emit.size, dtype=bool)
-        keep[0] = last_key is None or int(emit[0]) != last_key
-        np.not_equal(emit[1:], emit[:-1], out=keep[1:])
-        emit = emit[keep]
-        if emit.size:
-            last_key = int(emit[-1])
-            yield emit
+            keep = np.empty(emit.size, dtype=bool)
+            keep[0] = last_key is None or int(emit[0]) != last_key
+            np.not_equal(emit[1:], emit[:-1], out=keep[1:])
+            emit = emit[keep]
+            if emit.size:
+                last_key = int(emit[-1])
+                yield emit
+    finally:
+        for run in runs:
+            mapping = getattr(run, "_mmap", None)
+            if mapping is not None:
+                mapping.close()
 
 
+@bounded_memory("chunk+n")
 def _merge_into(
     writer: CSRDirWriter,
     array_name: str,
@@ -441,6 +480,7 @@ def _validated_ids(
     return u, v
 
 
+@bounded_memory("chunk+n")
 def freeze_stream(
     stream: EdgeStream,
     directory: str | Path,
@@ -465,6 +505,7 @@ def freeze_stream(
     n = int(stream.num_vertices)
     if n <= 0:
         raise GraphError("cannot freeze a stream with no vertices")
+    block = max(1, int(chunk_edges))
     writer = CSRDirWriter(
         directory,
         n=n,
@@ -472,49 +513,50 @@ def freeze_stream(
         name=stream.name,
         overwrite=overwrite,
     )
-    block = max(1, int(chunk_edges))
     try:
         with tempfile.TemporaryDirectory(
             prefix=".spill-", dir=str(writer.directory)
         ) as spill_root:
             spill_dir = Path(spill_root)
             if stream.directed:
-                out_spill = _RunSpiller(spill_dir, "out", _RUN_KEYS)
-                in_spill = _RunSpiller(spill_dir, "in", _RUN_KEYS)
-                for u, v in stream.edge_chunks():
-                    u, v = _validated_ids(u, v, n)
-                    out_spill.add(u * np.int64(n) + v)
-                    in_spill.add(v * np.int64(n) + u)
-                out_spill.flush()
-                in_spill.flush()
-                out_counts, out_total, _ = _merge_into(
-                    writer, "out", out_spill.paths, n=n, block=block
-                )
-                in_counts, _, _ = _merge_into(
-                    writer, "in", in_spill.paths, n=n, block=block
-                )
-                # The union skeleton is the dedup of both key families.
-                _merge_into(
-                    writer,
-                    "union",
-                    out_spill.paths + in_spill.paths,
-                    n=n,
-                    block=block,
-                )
+                with (
+                    _RunSpiller(spill_dir, "out", _RUN_KEYS) as out_spill,
+                    _RunSpiller(spill_dir, "in", _RUN_KEYS) as in_spill,
+                ):
+                    for u, v in stream.edge_chunks():
+                        u, v = _validated_ids(u, v, n)
+                        out_spill.add(pack_edge_keys(u, v, n))
+                        in_spill.add(pack_edge_keys(v, u, n))
+                    out_spill.flush()
+                    in_spill.flush()
+                    out_counts, out_total, _ = _merge_into(
+                        writer, "out", out_spill.paths, n=n, block=block
+                    )
+                    in_counts, _, _ = _merge_into(
+                        writer, "in", in_spill.paths, n=n, block=block
+                    )
+                    # The union skeleton is the dedup of both key families.
+                    _merge_into(
+                        writer,
+                        "union",
+                        out_spill.paths + in_spill.paths,
+                        n=n,
+                        block=block,
+                    )
                 degree = out_counts + in_counts
                 m = out_total
             else:
-                spill = _RunSpiller(spill_dir, "union", _RUN_KEYS)
-                for u, v in stream.edge_chunks():
-                    u, v = _validated_ids(u, v, n)
-                    # Symmetrize at spill time; the merge collapses
-                    # reciprocal duplicates exactly like dict adjacency.
-                    spill.add(u * np.int64(n) + v)
-                    spill.add(v * np.int64(n) + u)
-                spill.flush()
-                degree, total, loops = _merge_into(
-                    writer, "union", spill.paths, n=n, block=block
-                )
+                with _RunSpiller(spill_dir, "union", _RUN_KEYS) as spill:
+                    for u, v in stream.edge_chunks():
+                        u, v = _validated_ids(u, v, n)
+                        # Symmetrize at spill time; the merge collapses
+                        # reciprocal duplicates exactly like dict adjacency.
+                        spill.add(pack_edge_keys(u, v, n))
+                        spill.add(pack_edge_keys(v, u, n))
+                    spill.flush()
+                    degree, total, loops = _merge_into(
+                        writer, "union", spill.paths, n=n, block=block
+                    )
                 m = (total + loops) // 2
             writer.append("degree", degree)
             return writer.finalize(

@@ -1,0 +1,243 @@
+"""True/false-positive tests for the resource-lifetime rules (REP603/604).
+
+The firing tests seed the leak classes the out-of-core substrate is
+exposed to (an unlinked SharedMemory segment, a release skippable by an
+early return, a close that only runs on the no-exception path, a memmap
+view returned from inside its owner's ``with`` block).  The quiet tests
+pin the legitimate shapes the real code uses: try/finally protection,
+``with`` management, escape-by-return/store/argument (ownership
+transfer), and ``np.array`` copies crossing the owner boundary.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools.callgraph import build_program
+from repro.devtools.lifetimes import function_resources
+from repro.devtools.lint import LIFETIME_RULES
+
+
+def _program(sources: dict[str, str]):
+    items = [
+        (modname, f"src/{modname.replace('.', '/')}.py",
+         textwrap.dedent(src))
+        for modname, src in sorted(sources.items())
+    ]
+    return build_program(items)
+
+
+def rule_ids(sources: dict[str, str]) -> list[str]:
+    found: list[str] = []
+    for rule_cls in LIFETIME_RULES:
+        for violation in rule_cls().check_program(_program(sources)):
+            found.append(violation.rule_id)
+    return found
+
+
+# -- the site model -----------------------------------------------------------
+
+
+def test_function_resources_marks_releases_and_escapes():
+    program = _program(
+        {
+            "m": """
+                __all__ = ["a", "b"]
+
+                def a(path):
+                    handle = open(path)
+                    handle.close()
+
+                def b(path):
+                    handle = open(path)
+                    return handle
+            """
+        }
+    )
+    (site_a,) = function_resources(program.functions["m:a"])
+    assert site_a.kind == "open"
+    assert site_a.release_stmts and not site_a.escaped
+    (site_b,) = function_resources(program.functions["m:b"])
+    assert site_b.escaped and not site_b.release_stmts
+
+
+# -- REP603: missing / skippable / unprotected release ------------------------
+
+
+def test_rep603_fires_on_never_released_shared_memory():
+    assert "REP603" in rule_ids(
+        {
+            "m": """
+                from multiprocessing.shared_memory import SharedMemory
+                __all__ = ["leak"]
+
+                def leak(nbytes):
+                    shm = SharedMemory(create=True, size=nbytes)
+                    shm.buf[0] = 1
+            """
+        }
+    )
+
+
+def test_rep603_quiet_on_shared_memory_attach():
+    # Attaching to an existing segment carries no unlink obligation.
+    assert "REP603" not in rule_ids(
+        {
+            "m": """
+                from multiprocessing.shared_memory import SharedMemory
+                __all__ = ["read"]
+
+                def read(name):
+                    shm = SharedMemory(name=name)
+                    return bytes(shm.buf[:8])
+            """
+        }
+    )
+
+
+def test_rep603_fires_on_release_skipped_by_early_return():
+    assert "REP603" in rule_ids(
+        {
+            "m": """
+                __all__ = ["skippy"]
+
+                def skippy(path, flag):
+                    handle = open(path)
+                    if flag:
+                        return None
+                    handle.close()
+                    return True
+            """
+        }
+    )
+
+
+def test_rep603_fires_on_unprotected_risky_gap():
+    assert "REP603" in rule_ids(
+        {
+            "m": """
+                __all__ = ["gap"]
+
+                def gap(path, other, process):
+                    handle = open(path)
+                    process(other)
+                    handle.close()
+            """
+        }
+    )
+
+
+def test_rep603_quiet_on_try_finally_protection():
+    assert "REP603" not in rule_ids(
+        {
+            "m": """
+                from multiprocessing.shared_memory import SharedMemory
+                __all__ = ["safe"]
+
+                def safe(nbytes, work):
+                    shm = SharedMemory(create=True, size=nbytes)
+                    try:
+                        work(shm.buf)
+                    finally:
+                        shm.unlink()
+            """
+        }
+    )
+
+
+def test_rep603_quiet_on_ownership_transfer():
+    # Returning, storing, or passing the resource transfers the
+    # obligation; the function no longer provably owns it.
+    assert "REP603" not in rule_ids(
+        {
+            "m": """
+                __all__ = ["give", "stash", "hand_off"]
+
+                def give(path):
+                    handle = open(path)
+                    return handle
+
+                class Holder:
+                    def stash(self, path):
+                        handle = open(path)
+                        self._handle = handle
+
+                def hand_off(path, consumer):
+                    handle = open(path)
+                    consumer(handle)
+            """
+        }
+    )
+
+
+def test_rep603_quiet_on_calls_on_the_resource_itself():
+    # `handle.read()` between open and close is the resource's own
+    # surface, not a risky third-party gap.
+    assert "REP603" not in rule_ids(
+        {
+            "m": """
+                __all__ = ["fine"]
+
+                def fine(path):
+                    handle = open(path)
+                    data = handle.read()
+                    handle.close()
+                    return data
+            """
+        }
+    )
+
+
+# -- REP604: memmap view escaping its owner -----------------------------------
+
+
+def test_rep604_fires_on_view_returned_from_owner_block():
+    assert "REP604" in rule_ids(
+        {
+            "m": """
+                import numpy as np
+                from tempfile import TemporaryDirectory
+                __all__ = ["bad"]
+
+                def bad():
+                    with TemporaryDirectory() as tmp:
+                        view = np.memmap(tmp + "/x", dtype=np.int64, mode="r")
+                        return view
+            """
+        }
+    )
+
+
+def test_rep604_quiet_on_copy_out():
+    assert "REP604" not in rule_ids(
+        {
+            "m": """
+                import numpy as np
+                from tempfile import TemporaryDirectory
+                __all__ = ["good"]
+
+                def good():
+                    with TemporaryDirectory() as tmp:
+                        view = np.memmap(tmp + "/x", dtype=np.int64, mode="r")
+                        return np.array(view)
+            """
+        }
+    )
+
+
+def test_rep604_quiet_on_return_after_block():
+    assert "REP604" not in rule_ids(
+        {
+            "m": """
+                import numpy as np
+                from tempfile import TemporaryDirectory
+                __all__ = ["good"]
+
+                def good(consume):
+                    with TemporaryDirectory() as tmp:
+                        view = np.memmap(tmp + "/x", dtype=np.int64, mode="r")
+                        total = consume(view)
+                    return total
+            """
+        }
+    )

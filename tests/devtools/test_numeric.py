@@ -1,0 +1,259 @@
+"""True/false-positive tests for the dtype-interval analysis (REP601/602).
+
+Both rules fire only on *provable* narrow/pyint kinds: every quiet test
+here pins an exploitable false-positive source (unknown operands, int64
+promotion through ``np.int64(n)``, the sanctioned ``pack_edge_keys``
+helper, helper returns) and every firing test seeds the exact bug class
+the out-of-core freeze is exposed to — a wrapped edge key or a narrow
+chunk entering the frozen CSR contract.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools.callgraph import build_program
+from repro.devtools.lint import NUMERIC_RULES
+from repro.devtools.numeric import (
+    KIND_INT64_ARRAY,
+    KIND_NARROW_ARRAY,
+    KIND_PYINT,
+    function_kinds,
+)
+
+
+def _program(sources: dict[str, str]):
+    items = [
+        (modname, f"src/{modname.replace('.', '/')}.py",
+         textwrap.dedent(src))
+        for modname, src in sorted(sources.items())
+    ]
+    return build_program(items)
+
+
+def rule_ids(sources: dict[str, str]) -> list[str]:
+    found: list[str] = []
+    for rule_cls in NUMERIC_RULES:
+        for violation in rule_cls().check_program(_program(sources)):
+            found.append(violation.rule_id)
+    return found
+
+
+# -- the abstract domain ------------------------------------------------------
+
+
+def test_kind_environment_tracks_casts_and_constructors():
+    program = _program(
+        {
+            "m": """
+                import numpy as np
+                __all__ = ["f"]
+
+                def f(raw):
+                    a = np.zeros(4, dtype=np.int64)
+                    b = raw.astype(np.int32)
+                    c = len(raw)
+                    d = np.asarray(b)
+                    return a, b, c, d
+            """
+        }
+    )
+    env = function_kinds(program, "m:f")
+    assert env["a"] == KIND_INT64_ARRAY
+    assert env["b"] == KIND_NARROW_ARRAY
+    assert env["c"] == KIND_PYINT
+    # dtype-preserving constructors keep the operand's kind.
+    assert env["d"] == KIND_NARROW_ARRAY
+
+
+def test_return_kinds_propagate_through_helpers():
+    program = _program(
+        {
+            "m": """
+                import numpy as np
+                __all__ = ["f"]
+
+                def _ids(raw):
+                    return raw.astype(np.int16)
+
+                def f(raw):
+                    x = _ids(raw)
+                    return x
+            """
+        }
+    )
+    env = function_kinds(program, "m:f")
+    assert env["x"] == KIND_NARROW_ARRAY
+
+
+# -- REP601: unprovable edge-key packing --------------------------------------
+
+
+def test_rep601_fires_on_narrow_array_packing():
+    assert "REP601" in rule_ids(
+        {
+            "m": """
+                import numpy as np
+                __all__ = ["pack"]
+
+                def pack(us, vs, n):
+                    small = us.astype(np.int32)
+                    return small * n + vs
+            """
+        }
+    )
+
+
+def test_rep601_fires_when_narrowing_happens_in_a_helper():
+    assert "REP601" in rule_ids(
+        {
+            "m": """
+                import numpy as np
+                __all__ = ["pack"]
+
+                def _shrink(us):
+                    return us.astype(np.uint32)
+
+                def pack(us, vs, n):
+                    small = _shrink(us)
+                    return small * n + vs
+            """
+        }
+    )
+
+
+def test_rep601_fires_on_pyint_scalar_with_int64_array():
+    # A bare Python-int multiplier over an int64 array *is* safe at
+    # runtime, but `len(...)` next to an unconverted operand is exactly
+    # the pattern pack_edge_keys exists to make explicit; the rule fires
+    # when the other side is a provably-known array and one operand is a
+    # plain Python int.
+    assert "REP601" in rule_ids(
+        {
+            "m": """
+                import numpy as np
+                __all__ = ["pack"]
+
+                def pack(vs, raw):
+                    us = np.zeros(4, dtype=np.int64)
+                    n = len(raw)
+                    return us * n + vs
+            """
+        }
+    )
+
+
+def test_rep601_quiet_on_np_int64_promoted_packing():
+    assert "REP601" not in rule_ids(
+        {
+            "m": """
+                import numpy as np
+                __all__ = ["pack"]
+
+                def pack(us, vs, n):
+                    return us * np.int64(n) + vs
+            """
+        }
+    )
+
+
+def test_rep601_quiet_on_unknown_operands():
+    # Unprovable operands stay silent — the zero-false-positive bias.
+    assert "REP601" not in rule_ids(
+        {
+            "m": """
+                __all__ = ["pack"]
+
+                def pack(us, vs, n):
+                    return us * n + vs
+            """
+        }
+    )
+
+
+def test_rep601_quiet_inside_pack_edge_keys_itself():
+    assert "REP601" not in rule_ids(
+        {
+            "m": """
+                import numpy as np
+                __all__ = ["pack_edge_keys"]
+
+                def pack_edge_keys(u, v, n):
+                    n = int(n)
+                    return u * np.int64(n) + v
+            """
+        }
+    )
+
+
+# -- REP602: narrow dtype into the frozen contract ----------------------------
+
+
+def test_rep602_fires_on_narrow_from_arrays_argument():
+    assert "REP602" in rule_ids(
+        {
+            "m": """
+                import numpy as np
+                from repro.graph.csr import CSRGraph
+                __all__ = ["freeze"]
+
+                def freeze(indptr, indices, nodes, index_of):
+                    ids = indices.astype(np.int32)
+                    return CSRGraph.from_arrays(indptr, ids, nodes, index_of)
+            """
+        }
+    )
+
+
+def test_rep602_fires_on_narrow_writer_append_chunk():
+    assert "REP602" in rule_ids(
+        {
+            "m": """
+                import numpy as np
+                from repro.graph.csr import CSRDirWriter
+                __all__ = ["write"]
+
+                def write(directory, n):
+                    writer = CSRDirWriter(directory, n=n)
+                    chunk = np.zeros(8, dtype=np.int16)
+                    writer.append("union.indices", chunk)
+                    writer.close()
+            """
+        }
+    )
+
+
+def test_rep602_quiet_on_int64_chunks():
+    assert "REP602" not in rule_ids(
+        {
+            "m": """
+                import numpy as np
+                from repro.graph.csr import CSRDirWriter
+                __all__ = ["write"]
+
+                def write(directory, n):
+                    writer = CSRDirWriter(directory, n=n)
+                    chunk = np.zeros(8, dtype=np.int64)
+                    writer.append("union.indices", chunk)
+                    writer.close()
+            """
+        }
+    )
+
+
+def test_rep602_quiet_on_list_append():
+    # `.append` on a plain list receiver is not the frozen contract.
+    assert "REP602" not in rule_ids(
+        {
+            "m": """
+                import numpy as np
+                __all__ = ["collect"]
+
+                def collect():
+                    out = []
+                    chunk = np.zeros(8, dtype=np.int16)
+                    out.append(chunk)
+                    return out
+            """
+        }
+    )

@@ -1,0 +1,353 @@
+"""True/false-positive tests for the memory-contract rules (REP605/606).
+
+The headline firing test seeds the exact regression class the contract
+layer exists to catch: a ``@bounded_memory`` freeze that accumulates
+every chunk and ``np.concatenate``'s them — O(m) RAM behind an
+O(chunk + n) promise.  The quiet tests pin the legitimate shapes the
+real freeze path uses (per-chunk resets, contract-carrying sinks bound
+via ``with``, audited in-RAM paths) so the rules stay adoptable.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.devtools.callgraph import build_program
+from repro.devtools.lint import MEMORY_RULES, main
+from repro.devtools.rules_memory import bounded_closure, bounded_entries
+
+
+def _program(sources: dict[str, str]):
+    items = [
+        (modname, f"src/{modname.replace('.', '/')}.py",
+         textwrap.dedent(src))
+        for modname, src in sorted(sources.items())
+    ]
+    return build_program(items)
+
+
+def rule_ids(sources: dict[str, str]) -> list[str]:
+    found: list[str] = []
+    for rule_cls in MEMORY_RULES:
+        for violation in rule_cls().check_program(_program(sources)):
+            found.append(violation.rule_id)
+    return found
+
+
+# -- the closure --------------------------------------------------------------
+
+
+def test_bounded_entries_carry_their_contract_strings():
+    program = _program(
+        {
+            "m": """
+                from repro.devtools.contracts import bounded_memory
+                __all__ = ["freeze"]
+
+                @bounded_memory("chunk+n")
+                def freeze(stream):
+                    return None
+            """
+        }
+    )
+    assert bounded_entries(program) == {"m:freeze": "chunk+n"}
+
+
+def test_bounded_closure_reaches_helpers_and_overrides():
+    program = _program(
+        {
+            "m": """
+                from repro.devtools.contracts import bounded_memory
+                __all__ = ["Base", "Sub", "freeze"]
+
+                class Base:
+                    def chunks(self):
+                        return []
+
+                class Sub(Base):
+                    def chunks(self):
+                        return [1]
+
+                def _helper(stream):
+                    return stream
+
+                @bounded_memory("chunk")
+                def freeze(stream: Base):
+                    _helper(stream)
+                    return stream.chunks()
+            """
+        }
+    )
+    closure = bounded_closure(program)
+    assert closure["m:freeze"] == "m:freeze"
+    assert "m:_helper" in closure
+    # Virtual dispatch: reaching Base.chunks pulls in the Sub override.
+    assert "m:Base.chunks" in closure
+    assert "m:Sub.chunks" in closure
+
+
+# -- REP605: whole-stream materialization -------------------------------------
+
+
+SEEDED_FAULT = {
+    "m": """
+        import numpy as np
+        from repro.devtools.contracts import bounded_memory
+        from repro.graph.io.edgelist import iter_edge_chunks
+        __all__ = ["freeze"]
+
+        @bounded_memory("chunk+n")
+        def freeze(path):
+            chunks = []
+            for us, vs in iter_edge_chunks(path):
+                chunks.append(us)
+            return np.concatenate(chunks)
+    """
+}
+
+
+def test_rep605_fires_on_the_seeded_concatenate_fault():
+    assert "REP605" in rule_ids(SEEDED_FAULT)
+
+
+def test_rep605_fires_in_a_helper_reached_from_the_entry():
+    assert "REP605" in rule_ids(
+        {
+            "m": """
+                from repro.devtools.contracts import bounded_memory
+                from repro.graph.io.edgelist import iter_edge_chunks
+                __all__ = ["freeze"]
+
+                def _collect(path):
+                    out = []
+                    for us, vs in iter_edge_chunks(path):
+                        out.extend(us)
+                    return out
+
+                @bounded_memory("chunk+n")
+                def freeze(path):
+                    return _collect(path)
+            """
+        }
+    )
+
+
+def test_rep605_fires_on_list_over_a_stream_iterator():
+    assert "REP605" in rule_ids(
+        {
+            "m": """
+                from repro.devtools.contracts import bounded_memory
+                from repro.graph.io.edgelist import iter_edge_chunks
+                __all__ = ["freeze"]
+
+                @bounded_memory("chunk")
+                def freeze(path):
+                    return list(iter_edge_chunks(path))
+            """
+        }
+    )
+
+
+def test_rep605_fires_on_concatenate_over_a_stream_comprehension():
+    assert "REP605" in rule_ids(
+        {
+            "m": """
+                import numpy as np
+                from repro.devtools.contracts import bounded_memory
+                from repro.graph.io.edgelist import iter_edge_chunks
+                __all__ = ["freeze"]
+
+                @bounded_memory("chunk")
+                def freeze(path):
+                    return np.concatenate(
+                        [us for us, vs in iter_edge_chunks(path)]
+                    )
+            """
+        }
+    )
+
+
+def test_rep605_quiet_when_the_accumulator_resets_per_chunk():
+    assert "REP605" not in rule_ids(
+        {
+            "m": """
+                from repro.devtools.contracts import bounded_memory
+                from repro.graph.io.edgelist import iter_edge_chunks
+                __all__ = ["freeze"]
+
+                @bounded_memory("chunk")
+                def freeze(path, emit):
+                    batch = []
+                    for us, vs in iter_edge_chunks(path):
+                        batch.append(us)
+                        emit(batch)
+                        batch = []
+            """
+        }
+    )
+
+
+def test_rep605_quiet_on_contract_carrying_with_sink():
+    # `with Spiller(...) as spill` binds the receiver to a class whose
+    # own @bounded_memory contract covers the growth.
+    assert "REP605" not in rule_ids(
+        {
+            "m": """
+                from repro.devtools.contracts import bounded_memory
+                from repro.graph.io.edgelist import iter_edge_chunks
+                __all__ = ["Spiller", "freeze"]
+
+                @bounded_memory("run")
+                class Spiller:
+                    def __enter__(self):
+                        return self
+
+                    def __exit__(self, *exc_info):
+                        return None
+
+                    def add(self, keys):
+                        return None
+
+                @bounded_memory("chunk+n")
+                def freeze(path):
+                    with Spiller() as spill:
+                        for us, vs in iter_edge_chunks(path):
+                            spill.add(us)
+            """
+        }
+    )
+
+
+def test_rep605_quiet_on_audited_in_ram_functions():
+    sources = {
+        "m": SEEDED_FAULT["m"].replace(
+            "from repro.devtools.contracts import bounded_memory",
+            "from repro.devtools.contracts import audited_in_ram, "
+            "bounded_memory",
+        ).replace(
+            '@bounded_memory("chunk+n")',
+            '@audited_in_ram("fixture: bounded by the test harness")',
+        )
+    }
+    assert "REP605" not in rule_ids(sources)
+
+
+# -- REP606: unannotated stream consumers -------------------------------------
+
+
+def test_rep606_fires_on_unannotated_reached_consumer():
+    assert "REP606" in rule_ids(
+        {
+            "m": """
+                from repro.devtools.contracts import bounded_memory
+                from repro.graph.io.edgelist import iter_edge_chunks
+                __all__ = ["freeze"]
+
+                def _walk(path, sink):
+                    for us, vs in iter_edge_chunks(path):
+                        sink(us, vs)
+
+                @bounded_memory("chunk")
+                def freeze(path, sink):
+                    _walk(path, sink)
+            """
+        }
+    )
+
+
+def test_rep606_fires_on_an_unannotated_subclass_override():
+    assert "REP606" in rule_ids(
+        {
+            "m": """
+                from repro.devtools.contracts import bounded_memory
+                from repro.graph.io.edgelist import iter_edges
+                __all__ = ["Base", "Sub", "freeze"]
+
+                class Base:
+                    def walk(self, path, sink):
+                        return None
+
+                class Sub(Base):
+                    def walk(self, path, sink):
+                        for u, v in iter_edges(path):
+                            sink(u, v)
+
+                @bounded_memory("chunk")
+                def freeze(stream: Base, path, sink):
+                    stream.walk(path, sink)
+            """
+        }
+    )
+
+
+def test_rep606_quiet_when_the_consumer_states_a_contract():
+    assert "REP606" not in rule_ids(
+        {
+            "m": """
+                from repro.devtools.contracts import bounded_memory
+                from repro.graph.io.edgelist import iter_edge_chunks
+                __all__ = ["freeze"]
+
+                @bounded_memory("chunk")
+                def _walk(path, sink):
+                    for us, vs in iter_edge_chunks(path):
+                        sink(us, vs)
+
+                @bounded_memory("chunk")
+                def freeze(path, sink):
+                    _walk(path, sink)
+            """
+        }
+    )
+
+
+def test_rep606_quiet_outside_the_bounded_closure():
+    # An unannotated stream consumer nothing bounded calls is REP606's
+    # business only once it enters the closure.
+    assert "REP606" not in rule_ids(
+        {
+            "m": """
+                from repro.graph.io.edgelist import iter_edge_chunks
+                __all__ = ["walk"]
+
+                def walk(path, sink):
+                    for us, vs in iter_edge_chunks(path):
+                        sink(us, vs)
+            """
+        }
+    )
+
+
+# -- command-line surface -----------------------------------------------------
+
+
+def test_rep605_jobs_output_is_byte_identical(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(
+        textwrap.dedent(SEEDED_FAULT["m"]), encoding="utf-8"
+    )
+    (tmp_path / "clean.py").write_text(
+        '"""Clean."""\n__all__ = []\n', encoding="utf-8"
+    )
+    base = [
+        str(tmp_path),
+        "--no-config",
+        "--select",
+        "REP605",
+        "--baseline",
+        str(tmp_path / "bl"),
+    ]
+    code_serial = main(base)
+    serial = capsys.readouterr().out
+    code_parallel = main([*base, "--jobs", "2"])
+    parallel = capsys.readouterr().out
+    assert code_serial == code_parallel == 1
+    assert serial == parallel
+    assert "REP605" in serial
+
+
+def test_main_explain_rep605_prints_examples(capsys):
+    assert main(["--explain", "REP605"]) == 0
+    out = capsys.readouterr().out
+    assert "REP605" in out
+    assert "Bad:" in out and "Good:" in out
+    assert "bounded_memory" in out

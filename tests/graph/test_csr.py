@@ -170,3 +170,41 @@ class TestFrozenArrayValidation:
         csr = CSRGraph.from_arrays(indptr, mapped, nodes, index_of)
         assert csr.indices is mapped
         assert not csr.indices.flags.writeable
+
+
+class TestEdgeKeyPacking:
+    def test_packs_int64_keys(self):
+        from repro.graph.csr import pack_edge_keys
+
+        u = np.asarray([0, 1, 2], dtype=np.int64)
+        v = np.asarray([1, 2, 0], dtype=np.int64)
+        keys = pack_edge_keys(u, v, 3)
+        assert keys.dtype == np.int64
+        assert keys.tolist() == [1, 5, 6]
+
+    def test_python_int_n_is_promoted_not_wrapped(self):
+        from repro.graph.csr import pack_edge_keys
+
+        # A value-based-cast multiply would wrap here; the helper must
+        # promote n to int64 before the arithmetic.
+        n = 1 << 31
+        u = np.asarray([n - 1], dtype=np.int64)
+        keys = pack_edge_keys(u, np.asarray([0], dtype=np.int64), n)
+        assert int(keys[0]) == (n - 1) * n
+
+    def test_rejects_nonpositive_n(self):
+        from repro.exceptions import GraphError
+        from repro.graph.csr import pack_edge_keys
+
+        with pytest.raises(GraphError, match="n >= 1"):
+            pack_edge_keys(np.zeros(1, dtype=np.int64), np.zeros(1, dtype=np.int64), 0)
+
+    def test_overflowing_n_raises_scale_error(self):
+        from repro.exceptions import ScaleError
+        from repro.graph.csr import MAX_PACKED_VERTICES, pack_edge_keys
+
+        u = np.zeros(1, dtype=np.int64)
+        # The limit itself is fine; one past it must refuse loudly.
+        pack_edge_keys(u, u, MAX_PACKED_VERTICES)
+        with pytest.raises(ScaleError, match="overflows"):
+            pack_edge_keys(u, u, MAX_PACKED_VERTICES + 1)

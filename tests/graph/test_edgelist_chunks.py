@@ -1,0 +1,102 @@
+"""Edge cases for the out-of-core edge-list reader (`iter_edge_chunks`).
+
+These are the shapes a terabyte-scale ingest actually hits: empty and
+comment-only files, a final chunk that lands exactly on EOF, truncated
+downloads with a malformed trailing line, and — as a property — the
+guarantee that chunking never changes the edge sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FormatError
+from repro.graph.io.edgelist import iter_edge_chunks, iter_edges
+
+
+def write_edges(tmp_path, edges, *, trailer: str = ""):
+    path = tmp_path / "edges.txt"
+    body = "".join(f"{u} {v}\n" for u, v in edges)
+    path.write_text(body + trailer, encoding="utf-8")
+    return path
+
+
+def collect(path, **kwargs) -> list[tuple[int, int]]:
+    return [
+        (int(u), int(v))
+        for us, vs in iter_edge_chunks(path, **kwargs)
+        for u, v in zip(us, vs)
+    ]
+
+
+def test_empty_file_yields_no_chunks(tmp_path):
+    path = write_edges(tmp_path, [])
+    assert list(iter_edge_chunks(path)) == []
+
+
+def test_comment_and_blank_only_file_yields_no_chunks(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text("# header\n\n# trailer\n", encoding="utf-8")
+    assert list(iter_edge_chunks(path)) == []
+
+
+def test_chunk_boundary_exactly_at_eof(tmp_path):
+    # 4 edges, chunk_edges=2: the last chunk fills completely and the
+    # final-flush branch must not emit an empty trailing chunk.
+    edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+    path = write_edges(tmp_path, edges)
+    chunks = list(iter_edge_chunks(path, chunk_edges=2))
+    assert [len(us) for us, _ in chunks] == [2, 2]
+    assert collect(path, chunk_edges=2) == edges
+
+
+def test_partial_final_chunk_is_emitted(tmp_path):
+    edges = [(0, 1), (1, 2), (2, 3)]
+    path = write_edges(tmp_path, edges)
+    chunks = list(iter_edge_chunks(path, chunk_edges=2))
+    assert [len(us) for us, _ in chunks] == [2, 1]
+    assert collect(path, chunk_edges=2) == edges
+
+
+def test_malformed_trailing_line_raises_format_error(tmp_path):
+    # A truncated download must fail loudly, not silently drop the tail.
+    path = write_edges(tmp_path, [(0, 1), (1, 2)], trailer="2\n")
+    with pytest.raises(FormatError, match="expected two fields"):
+        list(iter_edge_chunks(path))
+
+
+def test_non_integer_line_raises_format_error_with_location(tmp_path):
+    path = write_edges(tmp_path, [(0, 1)], trailer="a b\n")
+    with pytest.raises(FormatError, match=r"edges\.txt:2"):
+        list(iter_edge_chunks(path))
+
+
+def test_chunks_are_contiguous_int64(tmp_path):
+    path = write_edges(tmp_path, [(10, 11), (11, 12), (12, 10)])
+    for us, vs in iter_edge_chunks(path, chunk_edges=2):
+        for array in (us, vs):
+            assert array.dtype == np.int64
+            assert array.flags["C_CONTIGUOUS"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10**6),
+            st.integers(min_value=0, max_value=10**6),
+        ),
+        max_size=40,
+    ),
+    chunk_edges=st.integers(min_value=1, max_value=8),
+)
+def test_chunked_equals_one_shot_for_any_chunking(
+    tmp_path_factory, edges, chunk_edges
+):
+    tmp_path = tmp_path_factory.mktemp("chunks")
+    path = write_edges(tmp_path, edges)
+    assert collect(path, chunk_edges=chunk_edges) == list(iter_edges(path))
+    assert collect(path, chunk_edges=chunk_edges) == edges

@@ -55,3 +55,33 @@ def test_linting_doc_examples_match_rule_registry():
     registered = {rule.id for rule in ALL_RULES}
     missing = registered - headings
     assert not missing, f"rules without a detail section: {sorted(missing)}"
+
+
+def test_sarif_help_uris_anchor_into_linting_doc():
+    """Every SARIF helpUri must land on a real LINTING.md heading.
+
+    ``rule_help_uri`` slugs ``### REPNNN — summary``; the anchor only
+    resolves if the doc heading carries the rule's summary *verbatim*,
+    so that stronger property is what this asserts.
+    """
+    from repro.devtools.report import LINT_DOC_URI, rule_help_uri
+
+    doc = (REPO_ROOT / "docs" / "LINTING.md").read_text(encoding="utf-8")
+    for rule_cls in ALL_RULES:
+        rule = rule_cls()
+        heading = f"### {rule.id} — {rule.summary}"
+        assert heading in doc, (
+            f"docs/LINTING.md heading for {rule.id} does not match the "
+            f"rule summary verbatim; expected {heading!r}"
+        )
+        uri = rule_help_uri(rule)
+        assert uri.startswith(f"{LINT_DOC_URI}#rep"), uri
+
+
+def test_linting_doc_describes_memory_contracts():
+    """REP605/REP606 lean on the decorator protocol; the doc must keep
+    the 'Memory contracts' section that defines it."""
+    doc = (REPO_ROOT / "docs" / "LINTING.md").read_text(encoding="utf-8")
+    assert "## Memory contracts" in doc
+    for token in ("@bounded_memory", "@audited_in_ram", "O(chunk + n)"):
+        assert token in doc, f"memory-contracts section lost {token!r}"

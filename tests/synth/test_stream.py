@@ -10,7 +10,8 @@ import numpy as np
 import pytest
 
 from repro.engine import AnalysisContext
-from repro.exceptions import GraphError
+from repro.exceptions import GraphError, ScaleError
+from repro.graph.csr import MAX_PACKED_VERTICES
 from repro.graph.io.edgelist import iter_edge_chunks, iter_edges
 from repro.obs.manifest import fingerprint_context
 from repro.synth import (
@@ -20,7 +21,8 @@ from repro.synth import (
     generate_community_graph,
     stream_community_graph,
 )
-from repro.synth.stream import GraphEdgeStream
+from repro.synth import stream as stream_module
+from repro.synth.stream import _RUN_KEYS, GraphEdgeStream, _RunSpiller
 
 STREAM_CONFIG = CommunityGraphConfig(
     num_nodes=400,
@@ -169,3 +171,73 @@ class TestFreezeStreamGuards:
         freeze_stream(
             GraphEdgeStream(two_cliques_graph), target, overwrite=True
         )
+
+    def test_oversized_vertex_count_raises_scale_error(self, tmp_path):
+        # Beyond MAX_PACKED_VERTICES the u*n+v keys would wrap int64;
+        # the packing helper must refuse before any key is spilled.
+        class HugeStream:
+            num_vertices = MAX_PACKED_VERTICES + 1
+            directed = False
+            name = "huge"
+            nodes = None
+
+            def edge_chunks(self):
+                yield (
+                    np.asarray([0], dtype=np.int64),
+                    np.asarray([1], dtype=np.int64),
+                )
+
+        with pytest.raises(ScaleError, match="overflows"):
+            freeze_stream(HugeStream(), tmp_path / "store")
+        assert not list((tmp_path / "store").glob("**/*.run"))
+
+
+class TestRunSpillerCleanup:
+    def test_cleanup_removes_run_files_and_buffer(self, tmp_path):
+        spiller = _RunSpiller(tmp_path, "t", run_keys=4)
+        spiller.add(np.arange(6, dtype=np.int64))  # auto-flushes one run
+        spiller.add(np.arange(2, dtype=np.int64))  # stays buffered
+        assert spiller.paths and all(p.exists() for p in spiller.paths)
+        spiller.cleanup()
+        assert spiller.paths == []
+        assert not list(tmp_path.glob("*.run"))
+
+    def test_context_exit_cleans_up_on_exception(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            with _RunSpiller(tmp_path, "t", run_keys=2) as spiller:
+                spiller.add(np.arange(4, dtype=np.int64))
+                assert list(tmp_path.glob("*.run"))
+                raise RuntimeError("mid-spill abort")
+        assert not list(tmp_path.glob("*.run"))
+
+    def test_mid_merge_exception_leaves_no_spill_files(
+        self, two_cliques_graph, tmp_path, monkeypatch
+    ):
+        # An exception between spill and merge must tear down every run
+        # file and the spill directory itself — an aborted terabyte
+        # freeze may not strand its external-sort scratch space.
+        cleanups: list[int] = []
+        original_cleanup = _RunSpiller.cleanup
+
+        def spying_cleanup(self):
+            cleanups.append(len(self.paths))
+            original_cleanup(self)
+
+        def exploding_merge(*args, **kwargs):
+            raise RuntimeError("merge aborted")
+
+        monkeypatch.setattr(_RunSpiller, "cleanup", spying_cleanup)
+        monkeypatch.setattr(stream_module, "_merge_into", exploding_merge)
+        target = tmp_path / "store"
+        with pytest.raises(RuntimeError, match="merge aborted"):
+            freeze_stream(GraphEdgeStream(two_cliques_graph), target)
+        assert cleanups, "spiller cleanup never ran"
+        assert not list(tmp_path.glob("**/*.run"))
+        assert not list(target.glob(".spill-*"))
+        # The aborted store has no meta.json, so it cannot be opened.
+        assert not (target / "meta.json").exists()
+        with pytest.raises(GraphError):
+            AnalysisContext.open(target)
+
+    def test_run_keys_constant_is_positive(self):
+        assert _RUN_KEYS >= 1
