@@ -40,5 +40,9 @@ echo "== out-of-core smoke (1e6-edge freeze+score, RSS/time budgets) =="
 python benchmarks/bench_parallel_scoring.py --scale 1000000 \
     --rss-budget-mb 900 --time-budget 120 --output BENCH_scale.json
 
+echo "== service smoke (ephemeral port, query burst: 2xx + warm 304s, >=5x warm p50) =="
+python benchmarks/bench_service_qps.py --smoke --time-budget 120 \
+    --output BENCH_service.json
+
 echo "== tier-1 tests =="
 python -m pytest -x -q

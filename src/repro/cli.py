@@ -15,6 +15,7 @@ corpora (see DESIGN.md for the experiment index):
 ``detect``         detected-vs-declared: do algorithms recover the groups?
 ``freeze``         stream a dataset into an on-disk CSR store (out-of-core)
 ``delta``          incremental re-freeze + dirty-group rescore of a store
+``serve``          async HTTP score service over frozen stores (SERVICE.md)
 ``lint``           repo-specific AST lint pass (repro.devtools.lint)
 ``check``          seed-determinism check of the stochastic pipelines
 ``trace``          run any other subcommand under the tracer (repro.obs)
@@ -246,6 +247,86 @@ def _score_store(args: argparse.Namespace, mmap_dir: str) -> int:
         for name, values in table.summary().items()
     ]
     print(render_table(rows, title="Score summary (stored groups)"))
+    return 0
+
+
+def _env_int(name: str, fallback: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return fallback
+    try:
+        return int(raw)
+    except ValueError:
+        raise SystemExit(f"{name} must be an integer, got {raw!r}") from None
+
+
+def _env_float(name: str, fallback: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return fallback
+    try:
+        return float(raw)
+    except ValueError:
+        raise SystemExit(f"{name} must be a number, got {raw!r}") from None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve score queries over a directory of frozen CSR stores.
+
+    Flags default to the ``REPRO_SERVE_*`` environment variables (see
+    README), which default in turn to the documented constants, so a
+    supervisor can configure a fleet without rewriting unit files.  The
+    server drains gracefully on SIGINT/SIGTERM: queued micro-batches
+    still get responses before executors and stores are released.
+    """
+    import asyncio
+    import signal
+
+    from repro.service import CircleService, ServiceConfig
+
+    config = ServiceConfig(
+        root=args.root,
+        host=args.host
+        or os.environ.get("REPRO_SERVE_HOST", "").strip()
+        or "127.0.0.1",
+        port=args.port
+        if args.port is not None
+        else _env_int("REPRO_SERVE_PORT", 8734),
+        jobs=args.jobs,
+        cache=_cache_arg(args),
+        max_resident=args.max_resident
+        if args.max_resident is not None
+        else _env_int("REPRO_SERVE_MAX_RESIDENT", 4),
+        batch_window=args.batch_window
+        if args.batch_window is not None
+        else _env_float("REPRO_SERVE_WINDOW", 0.005),
+        max_batch=args.max_batch
+        if args.max_batch is not None
+        else _env_int("REPRO_SERVE_MAX_BATCH", 64),
+    )
+    service = CircleService(config)
+
+    async def run() -> None:
+        await service.start()
+        assert service.address is not None
+        host, port = service.address
+        datasets = service.registry.available()
+        print(
+            f"serving {len(datasets)} dataset(s) from {config.root} "
+            f"on http://{host}:{port}"
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loop
+                pass
+        await stop.wait()
+        print("draining in-flight batches ...")
+        await service.shutdown()
+
+    asyncio.run(run())
     return 0
 
 
@@ -696,6 +777,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of random existing edges to remove (default: 8)",
     )
     delta_parser.set_defaults(handler=_cmd_delta)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="async HTTP score service over frozen stores (docs/SERVICE.md)",
+        parents=[perf_parent],
+    )
+    serve_parser.add_argument(
+        "root",
+        metavar="DIR",
+        help="directory holding one repro-csr-dir store per dataset",
+    )
+    serve_parser.add_argument(
+        "--host",
+        default=None,
+        help="bind address (default: $REPRO_SERVE_HOST or 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port, 0 for ephemeral (default: $REPRO_SERVE_PORT or 8734)",
+    )
+    serve_parser.add_argument(
+        "--max-resident",
+        type=int,
+        default=None,
+        metavar="N",
+        help="datasets kept warm before LRU eviction "
+        "(default: $REPRO_SERVE_MAX_RESIDENT or 4)",
+    )
+    serve_parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="micro-batch coalescing window "
+        "(default: $REPRO_SERVE_WINDOW or 0.005)",
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="groups per micro-batch before an early flush "
+        "(default: $REPRO_SERVE_MAX_BATCH or 64)",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     compare_parser = commands.add_parser(
         "compare",

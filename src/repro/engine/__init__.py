@@ -15,7 +15,7 @@ oracle; the engine is the production path.
 """
 
 from repro.engine.batch import batch_group_stats, group_stats
-from repro.engine.cache import ResultCache
+from repro.engine.cache import ResultCache, function_tokens, query_key
 from repro.engine.context import AnalysisContext, CSRBuffers
 from repro.engine.delta import ContextDelta, rescore_groups
 from repro.engine.parallel import ParallelExecutor, resolve_jobs
@@ -34,6 +34,8 @@ __all__ = [
     "rescore_groups",
     "ParallelExecutor",
     "ResultCache",
+    "function_tokens",
+    "query_key",
     "batch_group_stats",
     "group_stats",
     "random_walk_set",

@@ -46,7 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports (cycle-free)
 
 Node = Hashable
 
-__all__ = ["ResultCache", "function_tokens"]
+__all__ = ["ResultCache", "function_tokens", "query_key"]
 
 #: Bump when the payload layout or key schema changes: old entries then
 #: miss instead of deserializing wrongly.  v2: context fingerprints went
@@ -103,6 +103,41 @@ def _digest(parts: dict[str, object]) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def query_key(
+    context: "AnalysisContext",
+    *,
+    tokens: list[dict[str, object]],
+    group_names: Sequence[str],
+    id_lists: Sequence[np.ndarray],
+    include_internal_adjacency: bool,
+) -> str:
+    """Content address of one score query over a frozen context.
+
+    The single derivation shared by :meth:`ResultCache.score_groups_key`
+    (on-disk cache entries) and the service layer's ETags
+    (:mod:`repro.service`): a query is the CSR fingerprint, the scoring
+    functions' configuration tokens, the named group vertex-id sets, and
+    the TPR/adjacency flag.  Two callers asking the same question about
+    the same frozen bytes get the same key — which is what makes a
+    ``repro score`` run and an HTTP request share one cache entry and
+    one ETag universe.
+    """
+    groups = hashlib.sha256()
+    for name, ids in zip(group_names, id_lists):
+        groups.update(repr(name).encode("utf-8"))
+        groups.update(np.sort(np.asarray(ids, dtype=np.int64)).tobytes())
+    return _digest(
+        {
+            "schema": _SCHEMA,
+            "kind": "score_groups",
+            "fingerprint": fingerprint_context(context),
+            "functions": tokens,
+            "groups": groups.hexdigest(),
+            "tpr": bool(include_internal_adjacency),
+        }
+    )
+
+
 class ResultCache:
     """Content-addressed ``.npz`` store under one cache directory."""
 
@@ -143,20 +178,17 @@ class ResultCache:
         id_lists: Sequence[np.ndarray],
         include_internal_adjacency: bool,
     ) -> str:
-        """Key for one ``score_groups`` batch over a frozen context."""
-        groups = hashlib.sha256()
-        for name, ids in zip(group_names, id_lists):
-            groups.update(repr(name).encode("utf-8"))
-            groups.update(np.sort(np.asarray(ids, dtype=np.int64)).tobytes())
-        return _digest(
-            {
-                "schema": _SCHEMA,
-                "kind": "score_groups",
-                "fingerprint": fingerprint_context(context),
-                "functions": tokens,
-                "groups": groups.hexdigest(),
-                "tpr": bool(include_internal_adjacency),
-            }
+        """Key for one ``score_groups`` batch over a frozen context.
+
+        Delegates to the shared :func:`query_key` derivation so on-disk
+        entries and service ETags can never drift apart.
+        """
+        return query_key(
+            context,
+            tokens=tokens,
+            group_names=group_names,
+            id_lists=id_lists,
+            include_internal_adjacency=include_internal_adjacency,
         )
 
     def matched_sets_key(

@@ -72,6 +72,7 @@ __all__ = [
     "read_manifests",
     "enabled",
     "enable",
+    "enable_metrics",
     "disable",
     "current_tracer",
     "span",
@@ -121,6 +122,19 @@ def enable(
     STATE.tracer = tracer
     STATE.enabled = True
     return tracer
+
+
+def enable_metrics() -> None:
+    """Switch observability on *without* installing a tracer.
+
+    The long-running path (the service layer, ``repro serve``): every
+    :data:`REGISTRY` instrument records, but :func:`span` keeps
+    returning the shared no-op because no tracer is active — a server
+    must not accumulate an unbounded span tree over its lifetime.
+    :func:`disable` switches back off; calling this while a tracer is
+    already enabled is a no-op (the tracer stays).
+    """
+    STATE.enabled = True
 
 
 def disable() -> Tracer | None:

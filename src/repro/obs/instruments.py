@@ -42,6 +42,13 @@ __all__ = [
     "MANIFESTS_RECORDED",
     "LINT_FILES",
     "LINT_VIOLATIONS",
+    "SERVICE_REQUESTS",
+    "SERVICE_RESPONSES",
+    "SERVICE_BATCHES",
+    "SERVICE_BATCH_SIZE",
+    "SERVICE_EVICTIONS",
+    "SERVICE_RESIDENT",
+    "SERVICE_MEMORY_HITS",
 ]
 
 CONTEXTS_FROZEN = REGISTRY.counter(
@@ -184,4 +191,48 @@ LINT_VIOLATIONS = REGISTRY.counter(
     "lint.violations_found",
     "unsuppressed lint violations found by lint_paths",
     unit="violations",
+)
+
+SERVICE_REQUESTS = REGISTRY.counter(
+    "service.requests",
+    "HTTP requests dispatched by the circle-analytics service "
+    "(label: route id)",
+    unit="requests",
+)
+
+SERVICE_RESPONSES = REGISTRY.counter(
+    "service.responses",
+    "HTTP responses written by the service (label: status code)",
+    unit="responses",
+)
+
+SERVICE_BATCHES = REGISTRY.counter(
+    "service.batches_flushed",
+    "micro-batches flushed into one engine scoring invocation",
+    unit="batches",
+)
+
+SERVICE_BATCH_SIZE = REGISTRY.histogram(
+    "service.batch_size",
+    "coalesced requests per flushed micro-batch",
+    unit="requests",
+    edges=(1, 2, 4, 8, 16, 32, 64, 128),
+)
+
+SERVICE_EVICTIONS = REGISTRY.counter(
+    "service.datasets_evicted",
+    "resident datasets evicted from the registry (LRU)",
+    unit="datasets",
+)
+
+SERVICE_RESIDENT = REGISTRY.gauge(
+    "service.datasets_resident",
+    "datasets currently held resident by the registry",
+    unit="datasets",
+)
+
+SERVICE_MEMORY_HITS = REGISTRY.counter(
+    "service.memory_hits",
+    "responses served from the in-memory rendered-response cache",
+    unit="responses",
 )

@@ -1,0 +1,167 @@
+"""Service-test fixtures: frozen store roots, a tiny HTTP client, and a
+run-one-coroutine harness (no pytest-asyncio in the environment — tests
+drive the event loop with ``asyncio.run`` through ``service_runner``)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.data.groups import save_groups
+from repro.engine import AnalysisContext
+from repro.obs import REGISTRY
+from repro.service import CircleService, ServiceConfig
+from repro.synth.community_graph import (
+    CommunityGraphConfig,
+    generate_community_graph,
+)
+
+SERVICE_TEST_CONFIG = CommunityGraphConfig(
+    num_nodes=240,
+    num_communities=8,
+    community_size_median=12.0,
+    community_size_sigma=0.5,
+    community_size_min=5,
+    community_size_max=40,
+    internal_degree_median=5.0,
+    internal_degree_sigma=0.5,
+    background_degree=3.0,
+    background_weight_sigma=0.6,
+)
+
+
+def freeze_dataset(root, name: str, seed: int):
+    """Freeze one small synthetic dataset (with sidecar) under ``root``."""
+    graph, groups = generate_community_graph(
+        SERVICE_TEST_CONFIG, seed=seed, name=name
+    )
+    context = AnalysisContext(graph)
+    store = context.save(root / name)
+    save_groups(groups, store / "groups.json")
+    return store
+
+
+@pytest.fixture(scope="session")
+def service_root(tmp_path_factory):
+    """A store root holding two frozen datasets, ``alpha`` and ``beta``."""
+    root = tmp_path_factory.mktemp("service-stores")
+    freeze_dataset(root, "alpha", seed=11)
+    freeze_dataset(root, "beta", seed=22)
+    return root
+
+
+class HttpClient:
+    """Minimal HTTP/1.1 test client over one keep-alive connection."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self.reader, self.writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self.reader = self.writer = None
+
+    async def raw(self, wire: bytes) -> tuple[int, dict[str, str], bytes]:
+        """Send pre-built wire bytes and read one response."""
+        if self.writer is None:
+            await self.connect()
+        assert self.reader is not None and self.writer is not None
+        self.writer.write(wire)
+        await self.writer.drain()
+        status_line = await self.reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split(b" ", 2)[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self.reader.readline()
+            if not line.strip():
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = await self.reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, headers, body
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        headers: dict[str, str] | None = None,
+        body: bytes | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        lines = [f"{method} {path} HTTP/1.1", f"Host: {self.host}"]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        if body is not None:
+            lines.append(f"Content-Length: {len(body)}")
+        wire = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        if body is not None:
+            wire += body
+        return await self.raw(wire)
+
+    async def get_json(self, path: str, **kwargs):
+        status, headers, body = await self.request("GET", path, **kwargs)
+        return status, headers, json.loads(body) if body else None
+
+
+@pytest.fixture(scope="session")
+def client_class():
+    """The test client class, for scenarios opening extra connections."""
+    return HttpClient
+
+
+@pytest.fixture
+def service_runner(service_root):
+    """Run one client coroutine against a freshly started service.
+
+    Usage::
+
+        def test_x(service_runner):
+            async def scenario(service, client):
+                return await client.get_json("/v1/health")
+            status, headers, payload = service_runner(scenario)
+
+    The service starts on an ephemeral port, the client is connected,
+    and both are torn down (graceful shutdown included) afterwards.
+    Extra ``ServiceConfig`` fields come in as keyword arguments.
+    """
+
+    def run(scenario, **config_kwargs):
+        config_kwargs.setdefault("cache", False)
+
+        async def harness():
+            service = CircleService(
+                ServiceConfig(root=service_root, port=0, **config_kwargs)
+            )
+            await service.start()
+            assert service.address is not None
+            client = HttpClient(*service.address)
+            await client.connect()
+            try:
+                return await scenario(service, client)
+            finally:
+                await client.close()
+                await service.shutdown()
+
+        return asyncio.run(harness())
+
+    yield run
+    REGISTRY.reset()

@@ -1,0 +1,141 @@
+"""Identity guarantees between the service and the offline pipeline.
+
+Two contracts from the runbook:
+
+1. **Byte identity** — a served score payload carries exactly the floats
+   ``repro score --mmap-dir STORE`` computes (same ``score_groups`` code
+   path, compared via ``float64.tobytes()``, not approximate equality).
+2. **One cache universe** — a CLI ``score_groups`` run with a cache dir
+   and an HTTP request for the same query derive the same
+   :func:`repro.engine.query_key`, so the service answers from the
+   CLI-written ``.npz`` without ever invoking the engine (and vice
+   versa).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+import repro.obs as obs
+from repro.data.groups import load_groups
+from repro.engine import AnalysisContext, ResultCache
+from repro.obs import instruments
+from repro.scoring import PAPER_FUNCTION_NAMES, make_function, score_groups
+
+
+def _reference_table(service_root, dataset: str, *, cache=False):
+    """Score the stored groups exactly the way ``repro score`` does."""
+    store = service_root / dataset
+    context = AnalysisContext.open(store)
+    groups = load_groups(store / "groups.json")
+    functions = [make_function(name) for name in PAPER_FUNCTION_NAMES]
+    return score_groups(context, groups, functions=functions, cache=cache)
+
+
+def _served_column(payload, function_name: str) -> np.ndarray:
+    """Rebuild one float64 column from a served JSON payload."""
+    special = {"nan": math.nan, "inf": math.inf, "-inf": -math.inf}
+    return np.array(
+        [
+            special.get(group["scores"][function_name])
+            if isinstance(group["scores"][function_name], str)
+            else group["scores"][function_name]
+            for group in payload["groups"]
+        ],
+        dtype=np.float64,
+    )
+
+
+class TestByteIdentity:
+    def test_served_scores_match_cli_bitwise(
+        self, service_runner, service_root
+    ):
+        async def scenario(service, client):
+            return await client.get_json("/v1/datasets/alpha/score")
+
+        status, _, payload = service_runner(scenario)
+        assert status == 200
+
+        table = _reference_table(service_root, "alpha")
+        assert [g["name"] for g in payload["groups"]] == table.group_names
+        assert [g["size"] for g in payload["groups"]] == table.group_sizes
+        for function_name, reference in table.columns.items():
+            served = _served_column(payload, function_name)
+            assert reference.dtype == np.float64
+            assert served.tobytes() == reference.tobytes(), function_name
+
+    def test_served_summary_matches_cli_bitwise(
+        self, service_runner, service_root
+    ):
+        async def scenario(service, client):
+            return await client.get_json("/v1/datasets/alpha/score")
+
+        _, _, payload = service_runner(scenario)
+        table = _reference_table(service_root, "alpha")
+        for function_name, stats in table.summary().items():
+            served = payload["summary"][function_name]
+            for stat, value in stats.items():
+                reference = np.float64(value)
+                got = np.float64(served[stat])
+                assert got.tobytes() == reference.tobytes(), (
+                    function_name,
+                    stat,
+                )
+
+
+class TestSharedCacheUniverse:
+    def test_cli_warmed_cache_serves_without_compute(
+        self, service_runner, service_root, tmp_path
+    ):
+        """satellite-3 regression: the CLI run's ``.npz`` *is* the
+        service's cache entry — the request below never reaches the
+        micro-batcher."""
+        cache_dir = tmp_path / "shared-cache"
+        table = _reference_table(service_root, "alpha", cache=cache_dir)
+
+        async def scenario(service, client):
+            before = instruments.SERVICE_BATCHES.total()
+            status, headers, payload = await client.get_json(
+                "/v1/datasets/alpha/score"
+            )
+            flushed = instruments.SERVICE_BATCHES.total() - before
+            return status, headers, payload, flushed
+
+        status, headers, payload, flushed = service_runner(
+            scenario, cache=cache_dir
+        )
+        assert status == 200
+        assert flushed == 0  # answered from the CLI-written entry
+        for function_name, reference in table.columns.items():
+            served = _served_column(payload, function_name)
+            assert served.tobytes() == reference.tobytes(), function_name
+        # The ETag is the quoted shared query key, so the entry the CLI
+        # wrote must exist under exactly that address.
+        key = headers["etag"].strip('"')
+        assert ResultCache(cache_dir).load_score_table(key) is not None
+
+    def test_service_warmed_cache_feeds_cli(
+        self, service_runner, service_root, tmp_path
+    ):
+        """The reverse direction: an HTTP request populates the cache a
+        later ``score_groups`` run reads (cache hit, not a recompute)."""
+        cache_dir = tmp_path / "shared-cache-reverse"
+
+        async def scenario(service, client):
+            return await client.get_json("/v1/datasets/alpha/score")
+
+        status, headers, _ = service_runner(scenario, cache=cache_dir)
+        assert status == 200
+
+        # Metrics were switched off again by the service's shutdown;
+        # re-enable to observe the CLI path's cache hit.
+        obs.enable_metrics()
+        try:
+            before = instruments.CACHE_HITS.total()
+            table = _reference_table(service_root, "alpha", cache=cache_dir)
+            assert instruments.CACHE_HITS.total() == before + 1
+        finally:
+            obs.disable()
+        assert set(table.columns) == set(PAPER_FUNCTION_NAMES)
