@@ -1,0 +1,240 @@
+#!/usr/bin/env python
+"""Bench-trajectory regression gate: compare BENCH_*.json to baselines.
+
+Every benchmark in this repo leaves a committed JSON receipt
+(``BENCH_columnar.json``, ``BENCH_scale.json``, ``BENCH_service.json``).
+Those receipts prove the claims of *one* PR; nothing stopped a later
+change from quietly halving a speedup while every correctness test
+stayed green.  This gate closes that hole: ``benchmarks/BASELINES.json``
+records the machine-portable headline metrics (speedup ratios, peak-RSS
+ceilings — never raw wall-clock seconds, which track machine load), and
+``scripts/check.sh``/CI fail when a gated metric regresses by more than
+``--tolerance`` (default 20%) against its recorded baseline.
+
+Each gated file carries a **guard**: a config value (corpus scale, run
+mode) that must match the baseline's for the comparison to be
+meaningful.  A guard mismatch — the benchmark was rerun at a different
+scale — skips the file with a note instead of producing a bogus verdict,
+and a missing report file is likewise a skip, not a failure (smoke
+benches only write some receipts).
+
+Usage::
+
+    python scripts/bench_trajectory.py            # gate (exit 1 on regression)
+    python scripts/bench_trajectory.py --update   # rewrite the baselines
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+__all__ = ["GATES", "check", "main", "resolve_path", "update"]
+
+#: Gated metrics per report file.  ``direction`` states which way is
+#: better; the guard pins the configuration the numbers are only
+#: comparable under.  Values live in benchmarks/BASELINES.json.
+GATES: dict[str, dict] = {
+    "BENCH_columnar.json": {
+        "guard": "mode",
+        "metrics": {"speedup": "higher"},
+    },
+    "BENCH_scale.json": {
+        "guard": "scales[-1].edges_requested",
+        "metrics": {
+            "scales[-1].freeze_peak_rss_mb": "lower",
+            "scales[-1].score_peak_rss_mb": "lower",
+        },
+    },
+    "BENCH_service.json": {
+        "guard": "mode",
+        "metrics": {"warm_speedup_p50": "higher"},
+    },
+}
+
+_DEFAULT_TOLERANCE = 0.20
+
+_PATH_TOKEN = re.compile(r"([A-Za-z0-9_]+)|\[(-?\d+)\]")
+
+
+def resolve_path(report: dict, path: str):
+    """Resolve a ``key.subkey[-1].field`` path into a report, or None."""
+    current: object = report
+    position = 0
+    while position < len(path):
+        if path[position] == ".":
+            position += 1
+            continue
+        match = _PATH_TOKEN.match(path, position)
+        if match is None:
+            return None
+        position = match.end()
+        key, index = match.group(1), match.group(2)
+        try:
+            if key is not None:
+                current = current[key]  # type: ignore[index]
+            else:
+                current = current[int(index)]  # type: ignore[index]
+        except (KeyError, IndexError, TypeError):
+            return None
+    return current
+
+
+def _load(path: Path) -> dict | None:
+    if not path.is_file():
+        return None
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _snapshot(root: Path) -> dict:
+    """Current guard + metric values for every present gated report."""
+    snapshot: dict = {}
+    for filename, gate in GATES.items():
+        report = _load(root / filename)
+        if report is None:
+            continue
+        guard_value = resolve_path(report, gate["guard"])
+        metrics = {}
+        for metric_path in gate["metrics"]:
+            value = resolve_path(report, metric_path)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                metrics[metric_path] = value
+        if metrics:
+            snapshot[filename] = {
+                "guard": {gate["guard"]: guard_value},
+                "metrics": metrics,
+            }
+    return snapshot
+
+
+def update(root: Path, baseline_path: Path) -> int:
+    """Rewrite the baselines from the reports currently on disk."""
+    snapshot = _snapshot(root)
+    if not snapshot:
+        print("bench-trajectory: no gated reports found, nothing to record")
+        return 1
+    with open(baseline_path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for filename, entry in sorted(snapshot.items()):
+        for metric_path, value in sorted(entry["metrics"].items()):
+            print(f"bench-trajectory: recorded {filename}:{metric_path} = {value}")
+    return 0
+
+
+def check(root: Path, baseline_path: Path, tolerance: float) -> int:
+    """Compare current reports against the baselines; 1 on regression."""
+    baselines = _load(baseline_path)
+    if baselines is None:
+        print(
+            f"bench-trajectory: no baselines at {baseline_path}; "
+            "run with --update to record them",
+            file=sys.stderr,
+        )
+        return 1
+    failures: list[str] = []
+    for filename, gate in GATES.items():
+        recorded = baselines.get(filename)
+        if recorded is None:
+            continue
+        report = _load(root / filename)
+        if report is None:
+            print(f"bench-trajectory: {filename} not present, skipped")
+            continue
+        guard_path = gate["guard"]
+        expected_guard = recorded.get("guard", {}).get(guard_path)
+        current_guard = resolve_path(report, guard_path)
+        if current_guard != expected_guard:
+            print(
+                f"bench-trajectory: {filename} skipped — guard "
+                f"{guard_path}={current_guard!r} does not match baseline "
+                f"{expected_guard!r} (different benchmark configuration)"
+            )
+            continue
+        for metric_path, direction in gate["metrics"].items():
+            baseline_value = recorded.get("metrics", {}).get(metric_path)
+            if baseline_value is None:
+                continue
+            current = resolve_path(report, metric_path)
+            if not isinstance(current, (int, float)) or isinstance(
+                current, bool
+            ):
+                failures.append(
+                    f"{filename}:{metric_path} missing from the current "
+                    "report"
+                )
+                continue
+            if direction == "higher":
+                limit = baseline_value * (1.0 - tolerance)
+                regressed = current < limit
+                comparator = "<"
+            else:
+                limit = baseline_value * (1.0 + tolerance)
+                regressed = current > limit
+                comparator = ">"
+            verdict = "REGRESSED" if regressed else "ok"
+            print(
+                f"bench-trajectory: {filename}:{metric_path} = {current} "
+                f"(baseline {baseline_value}, {direction} is better) "
+                f"{verdict}"
+            )
+            if regressed:
+                failures.append(
+                    f"{filename}:{metric_path} = {current} {comparator} "
+                    f"allowed {round(limit, 4)} "
+                    f"(baseline {baseline_value} ± {tolerance:.0%})"
+                )
+    if failures:
+        for failure in failures:
+            print(f"bench-trajectory: FAIL {failure}", file=sys.stderr)
+        print(
+            "bench-trajectory: benchmark trajectory regressed; if the "
+            "change is intentional, rerun the benchmarks and commit "
+            "`python scripts/bench_trajectory.py --update`",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate committed BENCH_*.json metrics against recorded "
+        "baselines"
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="directory holding the BENCH_*.json reports (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/BASELINES.json",
+        help="baseline file (default: benchmarks/BASELINES.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=_DEFAULT_TOLERANCE,
+        help="allowed fractional regression before failing (default 0.20)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baselines from the reports currently on disk",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root)
+    baseline_path = Path(args.baseline)
+    if args.update:
+        return update(root, baseline_path)
+    return check(root, baseline_path, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

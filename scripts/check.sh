@@ -8,7 +8,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== repro lint (REP001-REP606, 2 jobs) =="
+echo "== repro lint (REP001-REP607, 2 jobs) =="
 python -m repro.devtools.lint src --jobs 2
 
 echo "== repro lint baseline ratchet (no stale entries) =="
@@ -43,6 +43,12 @@ python benchmarks/bench_parallel_scoring.py --scale 1000000 \
 echo "== service smoke (ephemeral port, query burst: 2xx + warm 304s, >=5x warm p50) =="
 python benchmarks/bench_service_qps.py --smoke --time-budget 120 \
     --output BENCH_service.json
+
+echo "== columnar scoring bench (10k groups, bitwise identity, >=3x) =="
+python benchmarks/bench_columnar_scoring.py --output BENCH_columnar.json
+
+echo "== bench trajectory gate (>20% regression vs benchmarks/BASELINES.json) =="
+python scripts/bench_trajectory.py
 
 echo "== tier-1 tests =="
 python -m pytest -x -q

@@ -390,8 +390,8 @@ def _sample_store_edges(
 
 def _cmd_delta(args: argparse.Namespace) -> int:
     """Apply a random edge-removal delta and rescore only dirty groups."""
-    from repro.engine import batch_group_stats
-    from repro.engine.delta import ContextDelta, rescore_groups
+    from repro.engine import batch_group_stats_columns
+    from repro.engine.delta import ContextDelta, rescore_groups_columns
 
     mmap_dir = _mmap_dir(args)
     if mmap_dir is None:
@@ -400,13 +400,11 @@ def _cmd_delta(args: argparse.Namespace) -> int:
     removals = _sample_store_edges(context, args.drop_edges, args.seed or 0)
     delta = ContextDelta(remove_edges=tuple(removals))
     member_lists = [list(group.members) for group in groups]
-    baseline = {
-        group.name: stats
-        for group, stats in zip(groups, batch_group_stats(context, member_lists))
-    }
+    baseline = batch_group_stats_columns(context, member_lists)
+    baseline_names = [group.name for group in groups]
     patched = delta.apply(context)
     dirty = delta.dirty_names(groups)
-    rescore_groups(patched, groups, baseline, dirty)
+    rescore_groups_columns(patched, groups, baseline, baseline_names, dirty)
     print(
         render_kv(
             {

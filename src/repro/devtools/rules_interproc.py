@@ -1,5 +1,5 @@
-"""Interprocedural lint rules: parallel safety (REP40x) and cache
-soundness (REP50x).
+"""Interprocedural lint rules: parallel safety (REP40x), cache
+soundness (REP50x) and columnar-scoring discipline (REP607).
 
 These rules consume the whole-program call graph
 (:mod:`repro.devtools.callgraph`) and the bottom-up effect summaries
@@ -20,6 +20,11 @@ a cached payload must be represented in the cache key (REP501), cache
 files must be written through the atomic scratch-file + ``os.replace``
 helper (REP502), and scoring-function instance state must be fixed at
 ``__init__`` time so ``function_tokens`` snapshots are faithful (REP503).
+
+REP607 guards the columnar scoring pipeline: engine and service hot
+paths must score batches through the shared vectorized stage
+(:func:`repro.scoring.columnar.score_matrix`), never through a nested
+per-(group, function) scalar ``__call__`` loop.
 
 Like the flow rules, everything here is biased toward zero false
 positives: a fact must be *provable* from the summaries before a rule
@@ -56,6 +61,7 @@ __all__ = [
     "CacheKeyMissingInput",
     "NonAtomicCacheWrite",
     "ScoringStateTokenDrift",
+    "ScalarScoringLoop",
     "INTERPROC_RULES",
 ]
 
@@ -977,6 +983,173 @@ class ScoringStateTokenDrift(ProgramRule):
                     yield stmt, f"self.{target.attr}"
 
 
+class ScalarScoringLoop(ProgramRule):
+    """A hot path scores groups one at a time through scalar ``__call__``.
+
+    Every registry scoring function carries a vectorized ``score_batch``
+    kernel, and :func:`repro.scoring.columnar.score_matrix` /
+    :func:`repro.scoring.columnar.score_stats_columns` are the shared
+    columnar stages behind the serial path, the parallel workers and the
+    service micro-batcher.  A nested
+    ``function(stats) for function in functions / for stats in
+    batch_group_stats(...)`` loop inside :mod:`repro.engine` or
+    :mod:`repro.service` reintroduces the per-(group, function)
+    interpreter dispatch the columnar pipeline exists to remove — it is
+    both the historical copy-paste twin (the executor worker and the
+    micro-batcher once each carried one) and a 3×+ slowdown at 10⁴
+    groups (``benchmarks/bench_columnar_scoring.py``).  The sanctioned
+    scalar fallback lives in :mod:`repro.scoring.columnar`
+    (``scalar_score_column``), outside this rule's scope.
+    """
+
+    id = "REP607"
+    summary = "per-group scalar scoring loop on an engine/service hot path"
+    example_bad = (
+        "stats_list = batch_group_stats(context, member_lists)\n"
+        "rows = [\n"
+        "    [float(function(stats)) for function in functions]\n"
+        "    for stats in stats_list\n"
+        "]\n"
+    )
+    example_good = (
+        "sizes, matrix = score_stats_columns(\n"
+        "    context, member_lists, functions\n"
+        ")  # one vectorized kernel per function, not one call per group\n"
+    )
+
+    #: Module prefixes whose scoring loops must be columnar.
+    _SCOPES = ("repro.engine", "repro.service")
+
+    def check_program(self, program: Program) -> Iterator[Violation]:
+        for key in sorted(program.functions):
+            info = program.functions[key]
+            if not info.modname.startswith(self._SCOPES):
+                continue
+            stats_lists = self._stats_list_names(info)
+            stats_vars, func_vars = self._loop_variables(info, stats_lists)
+            if not stats_vars or not func_vars:
+                continue
+            for stmt in _iter_own_statements(list(info.node.body)):
+                for expr in _stmt_expressions(stmt):
+                    offender = self._scalar_call(expr, stats_vars, func_vars)
+                    if offender is None:
+                        continue
+                    yield _program_violation(
+                        self,
+                        info,
+                        offender.lineno,
+                        offender.col_offset,
+                        f"`{info.qualname}` scores groups through the "
+                        "scalar per-group `__call__` loop on an "
+                        "engine/service hot path; route through the "
+                        "shared columnar stage "
+                        "(repro.scoring.columnar.score_matrix / "
+                        "score_stats_columns) so every function runs "
+                        "one vectorized kernel over the batch",
+                    )
+                    break
+
+    @classmethod
+    def _is_stats_producer(cls, expr: ast.expr) -> bool:
+        """``expr`` is a call producing per-group stats (or wraps one)."""
+        for sub in ast.walk(expr):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            leaf = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id
+                if isinstance(func, ast.Name)
+                else None
+            )
+            if leaf == "batch_group_stats" or (
+                isinstance(func, ast.Attribute) and func.attr == "rows"
+            ):
+                return True
+        return False
+
+    @classmethod
+    def _stats_list_names(cls, info: FunctionInfo) -> frozenset[str]:
+        """Names bound to ``batch_group_stats(...)`` results."""
+        names: set[str] = set()
+        for stmt in _iter_own_statements(list(info.node.body)):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            if not cls._is_stats_producer(stmt.value):
+                continue
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return frozenset(names)
+
+    @classmethod
+    def _loop_variables(
+        cls, info: FunctionInfo, stats_lists: frozenset[str]
+    ) -> tuple[frozenset[str], frozenset[str]]:
+        """Loop targets iterating stats lists / scoring-function lists."""
+
+        def iterates_stats(iterable: ast.expr) -> bool:
+            if cls._is_stats_producer(iterable):
+                return True
+            return any(
+                isinstance(sub, ast.Name) and sub.id in stats_lists
+                for sub in ast.walk(iterable)
+            )
+
+        def iterates_functions(iterable: ast.expr) -> bool:
+            for sub in ast.walk(iterable):
+                if isinstance(sub, ast.Name) and sub.id == "functions":
+                    return True
+                if isinstance(sub, ast.Attribute) and sub.attr == "functions":
+                    return True
+            return False
+
+        stats_vars: set[str] = set()
+        func_vars: set[str] = set()
+
+        def absorb(target: ast.expr, iterable: ast.expr) -> None:
+            names = {
+                sub.id
+                for sub in ast.walk(target)
+                if isinstance(sub, ast.Name)
+            }
+            if iterates_stats(iterable):
+                stats_vars.update(names)
+            if iterates_functions(iterable):
+                func_vars.update(names)
+
+        for stmt in _iter_own_statements(list(info.node.body)):
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                absorb(stmt.target, stmt.iter)
+            for expr in _stmt_expressions(stmt):
+                for sub in ast.walk(expr):
+                    if isinstance(sub, ast.comprehension):
+                        absorb(sub.target, sub.iter)
+        return frozenset(stats_vars), frozenset(func_vars)
+
+    @staticmethod
+    def _scalar_call(
+        expr: ast.expr,
+        stats_vars: frozenset[str],
+        func_vars: frozenset[str],
+    ) -> ast.Call | None:
+        """A ``function(stats)`` call over both loop variables, if any."""
+        for sub in ast.walk(expr):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id in func_vars
+                and any(
+                    isinstance(node, ast.Name) and node.id in stats_vars
+                    for arg in sub.args
+                    for node in ast.walk(arg)
+                )
+            ):
+                return sub
+        return None
+
+
 INTERPROC_RULES: tuple[type[ProgramRule], ...] = (
     WorkerMutatesFrozenState,
     RngReachesProcessBoundary,
@@ -986,4 +1159,5 @@ INTERPROC_RULES: tuple[type[ProgramRule], ...] = (
     CacheKeyMissingInput,
     NonAtomicCacheWrite,
     ScoringStateTokenDrift,
+    ScalarScoringLoop,
 )

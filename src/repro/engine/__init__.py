@@ -14,10 +14,14 @@ The legacy per-group dict path
 oracle; the engine is the production path.
 """
 
-from repro.engine.batch import batch_group_stats, group_stats
+from repro.engine.batch import (
+    batch_group_stats,
+    batch_group_stats_columns,
+    group_stats,
+)
 from repro.engine.cache import ResultCache, function_tokens, query_key
 from repro.engine.context import AnalysisContext, CSRBuffers
-from repro.engine.delta import ContextDelta, rescore_groups
+from repro.engine.delta import ContextDelta, rescore_groups, rescore_groups_columns
 from repro.engine.parallel import ParallelExecutor, resolve_jobs
 from repro.engine.samplers import (
     ENGINE_SAMPLERS,
@@ -32,11 +36,13 @@ __all__ = [
     "CSRBuffers",
     "ContextDelta",
     "rescore_groups",
+    "rescore_groups_columns",
     "ParallelExecutor",
     "ResultCache",
     "function_tokens",
     "query_key",
     "batch_group_stats",
+    "batch_group_stats_columns",
     "group_stats",
     "random_walk_set",
     "bfs_ball_set",

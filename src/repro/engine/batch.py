@@ -38,12 +38,13 @@ from repro.exceptions import EmptyGroupError, NodeNotFound
 from repro.obs import instruments
 from repro.graph.csr import CSRGraph
 from repro.scoring.base import GroupStats
+from repro.scoring.columnar import GroupStatsBatch
 
 Node = Hashable
 
 Strategy = Literal["auto", "pairs", "gather"]
 
-__all__ = ["batch_group_stats", "group_stats"]
+__all__ = ["batch_group_stats", "batch_group_stats_columns", "group_stats"]
 
 #: Entry stream of one membership pass: per-entry owning member row,
 #: boolean inside-the-group flag, and the kernel-specific payload needed
@@ -300,18 +301,65 @@ def batch_group_stats(
         )
 
 
-def _batch_group_stats(
+class _ColumnPass:
+    """One membership pass's column arrays, shared by both assemblies.
+
+    The struct-of-arrays core of the batch kernels: everything
+    :func:`batch_group_stats` needs to assemble per-group objects and
+    everything :func:`batch_group_stats_columns` packs verbatim into a
+    :class:`~repro.scoring.columnar.GroupStatsBatch`.
+    """
+
+    __slots__ = (
+        "member_tuples",
+        "table",
+        "degrees",
+        "internal",
+        "in_degrees",
+        "out_degrees",
+        "m_C_group",
+        "boundary_group",
+        "adjacency_rows",
+    )
+
+    def __init__(
+        self,
+        member_tuples: list[tuple[Node, ...]],
+        table: _MemberTable,
+        degrees: np.ndarray,
+        internal: np.ndarray,
+        in_degrees: np.ndarray,
+        out_degrees: np.ndarray,
+        m_C_group: np.ndarray,
+        boundary_group: np.ndarray,
+        adjacency_rows: list[np.ndarray] | None,
+    ) -> None:
+        self.member_tuples = member_tuples
+        self.table = table
+        self.degrees = degrees
+        self.internal = internal
+        self.in_degrees = in_degrees
+        self.out_degrees = out_degrees
+        self.m_C_group = m_C_group
+        self.boundary_group = boundary_group
+        self.adjacency_rows = adjacency_rows
+
+
+def _batch_member_columns(
     context: AnalysisContext,
     groups: Iterable[Iterable[Node]],
     *,
-    graph_median_degree: float | None,
     include_internal_adjacency: bool,
     strategy: Strategy,
-) -> list[GroupStats]:
-    context = AnalysisContext.ensure(context)
+) -> _ColumnPass | None:
+    """Run one membership pass and return its column arrays.
+
+    Returns ``None`` for an empty batch.  This is the struct-of-arrays
+    core shared by the object assembly (:func:`batch_group_stats`) and
+    the columnar one (:func:`batch_group_stats_columns`); the two only
+    differ in how they package these arrays.
+    """
     n = context.num_vertices
-    m = context.num_edges
-    directed = context.is_directed
 
     member_tuples: list[tuple[Node, ...]] = []
     sizes_list: list[int] = []
@@ -324,7 +372,7 @@ def _batch_group_stats(
         sizes_list.append(len(member_tuple))
         labels_flat.extend(member_tuple)
     if not member_tuples:
-        return []
+        return None
 
     # Map every label of the batch in one pass; on failure, find the
     # offender for a precise error.
@@ -353,6 +401,7 @@ def _batch_group_stats(
         obs.add("groups", len(member_tuples))
         obs.add(f"kernel_{strategy}", 1)
     keep = include_internal_adjacency
+    directed = context.is_directed
 
     entries: _Entries | None = None
     if directed:
@@ -403,16 +452,55 @@ def _batch_group_stats(
         else:
             adjacency_rows = table.gather_neighbor_rows(entries)
 
+    return _ColumnPass(
+        member_tuples,
+        table,
+        degrees,
+        internal,
+        in_degrees,
+        out_degrees,
+        m_C_group,
+        boundary_group,
+        adjacency_rows,
+    )
+
+
+def _batch_group_stats(
+    context: AnalysisContext,
+    groups: Iterable[Iterable[Node]],
+    *,
+    graph_median_degree: float | None,
+    include_internal_adjacency: bool,
+    strategy: Strategy,
+) -> list[GroupStats]:
+    context = AnalysisContext.ensure(context)
+    columns = _batch_member_columns(
+        context,
+        groups,
+        include_internal_adjacency=include_internal_adjacency,
+        strategy=strategy,
+    )
+    if columns is None:
+        return []
+    n = context.num_vertices
+    m = context.num_edges
+    directed = context.is_directed
+    degrees = columns.degrees
+    internal = columns.internal
+    in_degrees = columns.in_degrees
+    out_degrees = columns.out_degrees
+    adjacency_rows = columns.adjacency_rows
+
     # Plain-int copies keep the assembly loop free of numpy scalar churn,
     # and the frozen-dataclass __init__ (13 object.__setattr__ calls per
     # group) is bypassed with one __dict__.update; GroupStats defines no
     # __post_init__ or __slots__, so the instances are indistinguishable.
-    offsets = table.group_offsets.tolist()
-    m_C_list = m_C_group.tolist()
-    boundary_list = boundary_group.tolist()
+    offsets = columns.table.group_offsets.tolist()
+    m_C_list = columns.m_C_group.tolist()
+    boundary_list = columns.boundary_group.tolist()
     new_stats = GroupStats.__new__
     results: list[GroupStats] = []
-    for g, member_tuple in enumerate(member_tuples):
+    for g, member_tuple in enumerate(columns.member_tuples):
         lo, hi = offsets[g], offsets[g + 1]
         internal_neighbors: tuple[np.ndarray, ...] | None = None
         if adjacency_rows is not None:
@@ -435,6 +523,61 @@ def _batch_group_stats(
         )
         results.append(stats)
     return results
+
+
+def batch_group_stats_columns(
+    context: AnalysisContext,
+    groups: Iterable[Iterable[Node]],
+    *,
+    graph_median_degree: float | None = None,
+    include_internal_adjacency: bool = False,
+    strategy: Strategy = "auto",
+) -> GroupStatsBatch:
+    """Compute a columnar :class:`GroupStatsBatch` for ``groups``.
+
+    Run the same membership pass as :func:`batch_group_stats` and pack
+    its column arrays directly — no per-group object is ever
+    assembled.  Every field matches the object path bit for bit
+    (``GroupStatsBatch.row(i)`` reconstructs the ``i``-th
+    :class:`GroupStats` on demand); the columnar scoring kernels in
+    :mod:`repro.scoring.columnar` consume the batch wholesale.
+    """
+    with obs.span("engine.score_batch"):
+        context = AnalysisContext.ensure(context)
+        columns = _batch_member_columns(
+            context,
+            groups,
+            include_internal_adjacency=include_internal_adjacency,
+            strategy=strategy,
+        )
+        if columns is None:
+            return GroupStatsBatch.empty(
+                n=context.num_vertices,
+                m=context.num_edges,
+                directed=context.is_directed,
+                graph_median_degree=graph_median_degree,
+                with_neighbors=include_internal_adjacency,
+            )
+        table = columns.table
+        neighbors: tuple[np.ndarray, ...] | None = None
+        if columns.adjacency_rows is not None:
+            neighbors = tuple(columns.adjacency_rows)
+        return GroupStatsBatch(
+            n=context.num_vertices,
+            m=context.num_edges,
+            directed=context.is_directed,
+            graph_median_degree=graph_median_degree,
+            members=tuple(columns.member_tuples),
+            n_C=table.sizes,
+            m_C=columns.m_C_group,
+            c_C=columns.boundary_group,
+            group_offsets=table.group_offsets,
+            member_degrees=columns.degrees,
+            member_internal_degrees=columns.internal,
+            member_in_degrees=columns.in_degrees,
+            member_out_degrees=columns.out_degrees,
+            member_internal_neighbors=neighbors,
+        )
 
 
 def group_stats(

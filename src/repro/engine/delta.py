@@ -45,16 +45,17 @@ import numpy as np
 
 from repro.data.groups import GroupSet, VertexGroup, _group_fields
 from repro.devtools.contracts import bounded_memory
-from repro.engine.batch import batch_group_stats
+from repro.engine.batch import batch_group_stats, batch_group_stats_columns
 from repro.engine.context import AnalysisContext
 from repro.exceptions import GraphError, NodeNotFound
 from repro.graph.csr import CSRGraph
 from repro.obs import instruments
 from repro.scoring.base import GroupStats
+from repro.scoring.columnar import GroupStatsBatch
 
 Node = Hashable
 
-__all__ = ["ContextDelta", "rescore_groups"]
+__all__ = ["ContextDelta", "rescore_groups", "rescore_groups_columns"]
 
 Edge = tuple[Node, Node]
 Membership = tuple[str, Node]
@@ -457,3 +458,109 @@ def rescore_groups(
                 graph_median_degree=graph_median_degree,
             )
     return result
+
+
+def rescore_groups_columns(
+    context: AnalysisContext,
+    groups: GroupSet | Sequence[VertexGroup],
+    previous: GroupStatsBatch,
+    previous_names: Sequence[str],
+    dirty: frozenset[str] | set[str],
+    *,
+    graph_median_degree: float | None = None,
+    include_internal_adjacency: bool = False,
+) -> GroupStatsBatch:
+    """Columnar :func:`rescore_groups`: recompute dirty groups, splice the rest.
+
+    ``previous`` is the :class:`~repro.scoring.columnar.GroupStatsBatch`
+    computed on the pre-delta context, with ``previous_names[i]`` naming
+    its ``i``-th group.  Dirty (or previously unseen) groups run through
+    one :func:`~repro.engine.batch.batch_group_stats_columns` pass on the
+    patched context; every clean group's column slices are copied from
+    ``previous`` verbatim, and the graph-level scalars (``m``, the median
+    degree) come from the patched context — a clean group's per-member
+    arrays cannot have changed, since any member touching a changed edge
+    marks the group dirty.  The result is bitwise identical to a full
+    columnar pass over the patched context (pinned by
+    ``tests/engine/test_delta.py``).
+    """
+    context = AnalysisContext.ensure(context)
+    group_list = list(groups)
+    previous_index = {name: i for i, name in enumerate(previous_names)}
+    # A previous batch without adjacency rows cannot seed a with-adjacency
+    # result: recompute everything rather than serve partial neighbours.
+    missing_neighbors = (
+        include_internal_adjacency
+        and previous.member_internal_neighbors is None
+    )
+    to_compute = [
+        group
+        for group in group_list
+        if missing_neighbors
+        or group.name in dirty
+        or group.name not in previous_index
+    ]
+    fresh = batch_group_stats_columns(
+        context,
+        [list(group.members) for group in to_compute],
+        graph_median_degree=graph_median_degree,
+        include_internal_adjacency=include_internal_adjacency,
+    )
+    fresh_index = {group.name: i for i, group in enumerate(to_compute)}
+
+    num_groups = len(group_list)
+    n_C = np.empty(num_groups, dtype=np.int64)
+    m_C = np.empty(num_groups, dtype=np.int64)
+    c_C = np.empty(num_groups, dtype=np.int64)
+    offsets = np.empty(num_groups + 1, dtype=np.int64)
+    offsets[0] = 0
+    members: list[tuple[Node, ...]] = []
+    degree_parts: list[np.ndarray] = []
+    internal_parts: list[np.ndarray] = []
+    in_parts: list[np.ndarray] = []
+    out_parts: list[np.ndarray] = []
+    neighbor_rows: list[np.ndarray] = []
+    for g, group in enumerate(group_list):
+        fresh_position = fresh_index.get(group.name)
+        if fresh_position is not None:
+            source, i = fresh, fresh_position
+        else:
+            source, i = previous, previous_index[group.name]
+        lo = int(source.group_offsets[i])
+        hi = int(source.group_offsets[i + 1])
+        n_C[g] = source.n_C[i]
+        m_C[g] = source.m_C[i]
+        c_C[g] = source.c_C[i]
+        offsets[g + 1] = offsets[g] + (hi - lo)
+        members.append(source.members[i])
+        degree_parts.append(source.member_degrees[lo:hi])
+        internal_parts.append(source.member_internal_degrees[lo:hi])
+        in_parts.append(source.member_in_degrees[lo:hi])
+        out_parts.append(source.member_out_degrees[lo:hi])
+        if include_internal_adjacency:
+            assert source.member_internal_neighbors is not None
+            neighbor_rows.extend(source.member_internal_neighbors[lo:hi])
+
+    def _flat(parts: list[np.ndarray]) -> np.ndarray:
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    return GroupStatsBatch(
+        n=context.num_vertices,
+        m=context.num_edges,
+        directed=context.is_directed,
+        graph_median_degree=graph_median_degree,
+        members=tuple(members),
+        n_C=n_C,
+        m_C=m_C,
+        c_C=c_C,
+        group_offsets=offsets,
+        member_degrees=_flat(degree_parts),
+        member_internal_degrees=_flat(internal_parts),
+        member_in_degrees=_flat(in_parts),
+        member_out_degrees=_flat(out_parts),
+        member_internal_neighbors=(
+            tuple(neighbor_rows) if include_internal_adjacency else None
+        ),
+    )

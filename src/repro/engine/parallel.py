@@ -309,22 +309,22 @@ def _score_shard(
     functions: Sequence[ScoringFunction],
     graph_median_degree: float | None,
     include_internal_adjacency: bool,
-) -> tuple[list[int], list[list[float]]]:
-    """Score one shard of groups (given as vertex-id arrays) in a worker."""
-    from repro.engine.batch import batch_group_stats
+) -> tuple[list[int], np.ndarray]:
+    """Score one shard of groups (given as vertex-id arrays) in a worker.
 
-    stats_list = batch_group_stats(
+    Returns the shard's deduplicated sizes and its packed ``(G, F)``
+    score-matrix block — a few contiguous float64 arrays on the IPC
+    channel instead of pickled per-group ``GroupStats`` objects.
+    """
+    from repro.scoring.columnar import score_stats_columns
+
+    return score_stats_columns(
         _worker_context(),
         id_lists,
+        functions,
         graph_median_degree=graph_median_degree,
         include_internal_adjacency=include_internal_adjacency,
     )
-    sizes = [stats.n_C for stats in stats_list]
-    rows = [
-        [float(function(stats)) for function in functions]
-        for stats in stats_list
-    ]
-    return sizes, rows
 
 
 def _sample_chunk(
@@ -413,16 +413,17 @@ class ParallelExecutor:
         *,
         graph_median_degree: float | None,
         include_internal_adjacency: bool,
-    ) -> tuple[list[int], list[list[float]]]:
+    ) -> tuple[list[int], np.ndarray]:
         """Score groups (vertex-id arrays) across the pool.
 
-        Returns per-group deduplicated sizes and score rows in the input
-        order — shards are contiguous and merge back in shard order, so
-        the result is byte-identical to one serial batch pass.
+        Returns per-group deduplicated sizes and the ``(G, F)`` score
+        matrix in the input order — shards are contiguous and their
+        matrix blocks concatenate back in shard order, so the result is
+        byte-identical to one serial columnar pass.
         """
         shards = shard_ranges(len(id_lists), self.jobs * _SHARDS_PER_JOB)
         if not shards:
-            return [], []
+            return [], np.empty((0, len(functions)), dtype=np.float64)
         pool = self._ensure_pool()
         instruments.PARALLEL_SHARDS.inc(len(shards), label="score")
         futures = [
@@ -436,11 +437,11 @@ class ParallelExecutor:
             for shard in shards
         ]
         sizes: list[int] = []
-        rows: list[list[float]] = []
-        for shard_sizes, shard_rows in self._collect(futures):
+        blocks: list[np.ndarray] = []
+        for shard_sizes, shard_matrix in self._collect(futures):
             sizes.extend(shard_sizes)
-            rows.extend(shard_rows)
-        return sizes, rows
+            blocks.append(shard_matrix)
+        return sizes, np.concatenate(blocks, axis=0)
 
     def sample_ids(
         self,

@@ -38,6 +38,9 @@ __all__ = [
     "CACHE_EVICTIONS",
     "SCORE_GROUPS_CALLS",
     "SCORES_COMPUTED",
+    "SCORING_VECTORIZED",
+    "SCORING_SCALAR",
+    "SCORING_BATCH_GROUPS",
     "EXPERIMENT_RUNS",
     "MANIFESTS_RECORDED",
     "LINT_FILES",
@@ -167,6 +170,27 @@ SCORES_COMPUTED = REGISTRY.counter(
     "scoring.scores_computed",
     "individual (group, function) score evaluations",
     unit="scores",
+)
+
+SCORING_VECTORIZED = REGISTRY.counter(
+    "scoring.vectorized_calls",
+    "score_batch kernel dispatches over a columnar batch "
+    "(label: function name)",
+    unit="calls",
+)
+
+SCORING_SCALAR = REGISTRY.counter(
+    "scoring.scalar_calls",
+    "per-group scalar __call__ evaluations taken by the columnar "
+    "fallback path (label: function name)",
+    unit="groups",
+)
+
+SCORING_BATCH_GROUPS = REGISTRY.histogram(
+    "scoring.batch_groups",
+    "groups per columnar score_matrix batch",
+    unit="groups",
+    edges=(1, 4, 16, 64, 256, 1024, 4096, 16384, 65536),
 )
 
 EXPERIMENT_RUNS = REGISTRY.counter(

@@ -1,6 +1,13 @@
 """Community scoring functions (paper section V + Yang–Leskovec catalogue)."""
 
 from repro.scoring.base import GroupStats, ScoringFunction, compute_group_stats
+from repro.scoring.columnar import (
+    GroupStatsBatch,
+    scalar_score_column,
+    score_function_column,
+    score_matrix,
+    score_stats_columns,
+)
 from repro.scoring.combined import (
     AverageOutDegreeFraction,
     Conductance,
@@ -34,8 +41,13 @@ from repro.scoring.registry import (
 
 __all__ = [
     "GroupStats",
+    "GroupStatsBatch",
     "ScoringFunction",
     "compute_group_stats",
+    "scalar_score_column",
+    "score_function_column",
+    "score_matrix",
+    "score_stats_columns",
     "AverageDegree",
     "InternalDensity",
     "EdgesInside",

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.scoring.base import GroupStats
+from repro.scoring.columnar import GroupStatsBatch
 
 __all__ = [
     "Conductance",
@@ -21,6 +22,20 @@ __all__ = [
     "FlakeOutDegreeFraction",
     "Separability",
 ]
+
+
+def _member_outside_fractions(batch: GroupStatsBatch) -> np.ndarray:
+    """Per-member outside-edge fractions, flat across the whole batch.
+
+    Mirrors the ODF scalar paths' per-group arithmetic exactly — the
+    expression is elementwise, so computing it over the concatenated
+    member arrays yields the same float64 values the per-group arrays
+    would.
+    """
+    degrees = batch.member_degrees
+    outside = batch.member_boundary_degrees
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(degrees > 0, outside / np.maximum(degrees, 1), 0.0)
 
 
 class Conductance:
@@ -41,6 +56,11 @@ class Conductance:
             return 0.0
         return stats.c_C / volume
 
+    def score_batch(self, batch: GroupStatsBatch) -> np.ndarray:
+        """Score a columnar batch (bitwise identical to ``__call__``)."""
+        volume = 2 * batch.m_C + batch.c_C
+        return np.where(volume == 0, 0.0, batch.c_C / np.maximum(volume, 1))
+
 
 class NormalizedCut:
     """Normalized Cut (Shi & Malik): conductance plus the complement term
@@ -53,6 +73,18 @@ class NormalizedCut:
         second_volume = 2 * (stats.m - stats.m_C) + stats.c_C
         first = stats.c_C / first_volume if first_volume else 0.0
         second = stats.c_C / second_volume if second_volume else 0.0
+        return first + second
+
+    def score_batch(self, batch: GroupStatsBatch) -> np.ndarray:
+        """Score a columnar batch (bitwise identical to ``__call__``)."""
+        first_volume = 2 * batch.m_C + batch.c_C
+        second_volume = 2 * (batch.m - batch.m_C) + batch.c_C
+        first = np.where(
+            first_volume == 0, 0.0, batch.c_C / np.maximum(first_volume, 1)
+        )
+        second = np.where(
+            second_volume == 0, 0.0, batch.c_C / np.maximum(second_volume, 1)
+        )
         return first + second
 
 
@@ -71,6 +103,16 @@ class MaxOutDegreeFraction:
             fractions = np.where(degrees > 0, outside / np.maximum(degrees, 1), 0.0)
         return float(fractions.max()) if fractions.size else 0.0
 
+    def score_batch(self, batch: GroupStatsBatch) -> np.ndarray:
+        """Score a columnar batch (bitwise identical to ``__call__``).
+
+        The per-member fractions are elementwise, and a float maximum is
+        exact in any order, so the segment ``reduceat`` matches the
+        scalar path's per-group ``.max()`` byte for byte.
+        """
+        fractions = _member_outside_fractions(batch)
+        return batch.group_max(fractions)
+
 
 class AverageOutDegreeFraction:
     """Average-ODF: mean fraction of member edges leaving the group."""
@@ -84,6 +126,21 @@ class AverageOutDegreeFraction:
             fractions = np.where(degrees > 0, outside / np.maximum(degrees, 1), 0.0)
         return float(fractions.mean()) if fractions.size else 0.0
 
+    def score_batch(self, batch: GroupStatsBatch) -> np.ndarray:
+        """Score a columnar batch (bitwise identical to ``__call__``).
+
+        Float means are order-sensitive (numpy sums pairwise), so each
+        group's mean runs on its own contiguous slice — same length,
+        same values, same summation tree as the scalar path — instead
+        of through a sequential ``reduceat``.
+        """
+        fractions = _member_outside_fractions(batch)
+        offsets = batch.group_offsets.tolist()
+        scores = np.empty(len(batch), dtype=np.float64)
+        for g in range(len(batch)):
+            scores[g] = fractions[offsets[g] : offsets[g + 1]].mean()
+        return scores
+
 
 class FlakeOutDegreeFraction:
     """Flake-ODF: fraction of members with fewer internal than external
@@ -95,6 +152,15 @@ class FlakeOutDegreeFraction:
         internal = stats.member_internal_degrees
         flake = int((internal < stats.member_degrees / 2.0).sum())
         return flake / stats.n_C
+
+    def score_batch(self, batch: GroupStatsBatch) -> np.ndarray:
+        """Score a columnar batch (bitwise identical to ``__call__``)."""
+        flake = batch.group_sum(
+            (
+                batch.member_internal_degrees < batch.member_degrees / 2.0
+            ).astype(np.int64)
+        )
+        return flake / batch.n_C
 
 
 class Separability:
@@ -110,3 +176,10 @@ class Separability:
         if stats.c_C == 0:
             return float("inf") if stats.m_C else 0.0
         return stats.m_C / stats.c_C
+
+    def score_batch(self, batch: GroupStatsBatch) -> np.ndarray:
+        """Score a columnar batch (bitwise identical to ``__call__``)."""
+        isolated = np.where(batch.m_C != 0, np.inf, 0.0)
+        return np.where(
+            batch.c_C == 0, isolated, batch.m_C / np.maximum(batch.c_C, 1)
+        )

@@ -10,7 +10,10 @@ rescaled form can attain).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.scoring.base import GroupStats
+from repro.scoring.columnar import GroupStatsBatch
 
 __all__ = ["RatioCut", "ScaledRatioCut", "Expansion"]
 
@@ -32,6 +35,12 @@ class RatioCut:
             return 0.0
         return stats.c_C / (stats.n_C * complement)
 
+    def score_batch(self, batch: GroupStatsBatch) -> np.ndarray:
+        """Score a columnar batch (bitwise identical to ``__call__``)."""
+        complement = batch.n - batch.n_C
+        denominator = batch.n_C * np.maximum(complement, 1)
+        return np.where(complement == 0, 0.0, batch.c_C / denominator)
+
 
 class ScaledRatioCut:
     """Size-rescaled Ratio Cut: :math:`n \\cdot c_C / (n_C (n - n_C))`.
@@ -50,6 +59,14 @@ class ScaledRatioCut:
             return 0.0
         return stats.n * stats.c_C / (stats.n_C * complement)
 
+    def score_batch(self, batch: GroupStatsBatch) -> np.ndarray:
+        """Score a columnar batch (bitwise identical to ``__call__``)."""
+        complement = batch.n - batch.n_C
+        denominator = batch.n_C * np.maximum(complement, 1)
+        return np.where(
+            complement == 0, 0.0, batch.n * batch.c_C / denominator
+        )
+
 
 class Expansion:
     """Expansion: :math:`f(C) = c_C / n_C` — boundary edges per member."""
@@ -58,3 +75,7 @@ class Expansion:
 
     def __call__(self, stats: GroupStats) -> float:
         return stats.c_C / stats.n_C
+
+    def score_batch(self, batch: GroupStatsBatch) -> np.ndarray:
+        """Score a columnar batch (bitwise identical to ``__call__``)."""
+        return batch.c_C / batch.n_C

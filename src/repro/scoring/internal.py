@@ -9,7 +9,10 @@ as extensions.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.scoring.base import GroupStats
+from repro.scoring.columnar import GroupStatsBatch, scalar_score_column
 
 __all__ = [
     "AverageDegree",
@@ -33,6 +36,10 @@ class AverageDegree:
     def __call__(self, stats: GroupStats) -> float:
         return 2.0 * stats.m_C / stats.n_C
 
+    def score_batch(self, batch: GroupStatsBatch) -> np.ndarray:
+        """Score a columnar batch (bitwise identical to ``__call__``)."""
+        return 2.0 * batch.m_C / batch.n_C
+
 
 class InternalDensity:
     """Internal edge density: fraction of possible internal edges present.
@@ -49,6 +56,13 @@ class InternalDensity:
             return 0.0
         return stats.m_C / possible
 
+    def score_batch(self, batch: GroupStatsBatch) -> np.ndarray:
+        """Score a columnar batch (bitwise identical to ``__call__``)."""
+        possible = batch.possible_internal_edges
+        # np.maximum only rewrites the lanes np.where masks to 0.0, so
+        # every surviving quotient divides by the scalar path's value.
+        return np.where(possible == 0, 0.0, batch.m_C / np.maximum(possible, 1))
+
 
 class EdgesInside:
     """Raw internal edge count: :math:`f(C) = m_C`."""
@@ -57,6 +71,10 @@ class EdgesInside:
 
     def __call__(self, stats: GroupStats) -> float:
         return float(stats.m_C)
+
+    def score_batch(self, batch: GroupStatsBatch) -> np.ndarray:
+        """Score a columnar batch (bitwise identical to ``__call__``)."""
+        return batch.m_C.astype(np.float64)
 
 
 class FractionOverMedianDegree:
@@ -83,6 +101,21 @@ class FractionOverMedianDegree:
             )
         over = int((stats.member_internal_degrees > median).sum())
         return over / stats.n_C
+
+    def score_batch(self, batch: GroupStatsBatch) -> np.ndarray:
+        """Score a columnar batch (bitwise identical to ``__call__``)."""
+        median = batch.graph_median_degree
+        if median is None:
+            raise ValueError(
+                "FOMD needs stats.graph_median_degree; pass "
+                "graph_median_degree= when computing the stats (e.g. "
+                "AnalysisContext.median_degree) or score through "
+                "score_groups()"
+            )
+        over = batch.group_sum(
+            (batch.member_internal_degrees > median).astype(np.int64)
+        )
+        return over / batch.n_C
 
 
 class TriangleParticipationRatio:
@@ -112,3 +145,13 @@ class TriangleParticipationRatio:
                     in_triangle += 1
                     break
         return in_triangle / stats.n_C
+
+    def score_batch(self, batch: GroupStatsBatch) -> np.ndarray:
+        """Score a columnar batch, one group at a time.
+
+        The triangle sweep is inherently per-group set algebra; the
+        columnar entry point exists so TPR plugs into
+        :func:`~repro.scoring.columnar.score_matrix` like every other
+        function, at the scalar path's cost (and on its counter).
+        """
+        return scalar_score_column(self, batch)

@@ -24,6 +24,7 @@ from repro.obs import capture_manifest, instruments
 from repro.graph.digraph import DiGraph
 from repro.graph.ugraph import Graph
 from repro.scoring.base import GroupStats, ScoringFunction, compute_group_stats
+from repro.scoring.columnar import score_stats_columns
 from repro.scoring.combined import (
     AverageOutDegreeFraction,
     Conductance,
@@ -281,41 +282,24 @@ def score_groups(
                         context.vertex_ids(members)
                         for members in member_lists
                     ]
-                sizes, row_lists = executor.score_groups(
+                sizes, matrix = executor.score_groups(
                     id_lists,
                     functions,
                     graph_median_degree=median,
                     include_internal_adjacency=include_adjacency,
                 )
-                columns = {
-                    function.name: np.array(
-                        [row[j] for row in row_lists], dtype=np.float64
-                    )
-                    for j, function in enumerate(functions)
-                }
             else:
-                stats_list = batch_group_stats(
+                sizes, matrix = score_stats_columns(
                     context,
                     member_lists,
+                    functions,
                     graph_median_degree=median,
                     include_internal_adjacency=include_adjacency,
                 )
-                rows: list[dict[str, float]] = []
-                for stats in stats_list:
-                    sizes.append(stats.n_C)
-                    rows.append(
-                        {
-                            function.name: float(function(stats))
-                            for function in functions
-                        }
-                    )
-                columns = {
-                    function.name: np.array(
-                        [row[function.name] for row in rows],
-                        dtype=np.float64,
-                    )
-                    for function in functions
-                }
+            columns = {
+                function.name: np.ascontiguousarray(matrix[:, j])
+                for j, function in enumerate(functions)
+            }
         finally:
             if own_executor and executor is not None:
                 executor.close()

@@ -531,9 +531,7 @@ class CircleService:
             query.id_lists,
         )
         columns = {
-            function.name: np.array(
-                [row[j] for row in rows], dtype=np.float64
-            )
+            function.name: np.ascontiguousarray(rows[:, j])
             for j, function in enumerate(query.functions)
         }
         if self.store is not None:

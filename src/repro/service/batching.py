@@ -7,9 +7,10 @@ sees *many groups at once*.  The :class:`MicroBatcher` therefore queues
 requests per ``(dataset, functions)`` coalescing key, waits up to
 ``window`` seconds for siblings to arrive (flushing early at
 ``max_batch``), and runs the union of all pending groups through a
-single :func:`~repro.engine.batch_group_stats` /
+single columnar :func:`~repro.scoring.columnar.score_stats_columns` /
 :meth:`~repro.engine.ParallelExecutor.score_groups` invocation.  Each
-request then receives exactly its own slice of the combined result.
+request then receives exactly its own slice of the combined sizes and
+``(G, F)`` score matrix.
 
 Scoring runs on a worker thread (``loop.run_in_executor``) so the event
 loop keeps accepting connections while a batch computes.  Results are
@@ -26,9 +27,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.engine import AnalysisContext, ParallelExecutor, batch_group_stats
+from repro.engine import AnalysisContext, ParallelExecutor
 from repro.obs import instruments
 from repro.scoring.base import ScoringFunction
+from repro.scoring.columnar import score_stats_columns
 from repro.scoring.internal import (
     FractionOverMedianDegree,
     TriangleParticipationRatio,
@@ -45,13 +47,14 @@ def score_member_lists(
     id_lists: Sequence[np.ndarray],
     functions: Sequence[ScoringFunction],
     executor: ParallelExecutor | None = None,
-) -> tuple[list[int], list[list[float]]]:
+) -> tuple[list[int], np.ndarray]:
     """Score member lists exactly like ``score_groups`` would.
 
-    Returns per-group deduplicated sizes and per-group score rows (one
-    float per function, in function order).  The serial path feeds
-    *labels* to :func:`~repro.engine.batch_group_stats` and the parallel
-    path feeds *vertex ids* to the executor — the same split
+    Returns per-group deduplicated sizes and the ``(G, F)`` float64
+    score matrix (one column per function, in function order).  The
+    serial path feeds *labels* to the shared columnar helper
+    (:func:`~repro.scoring.columnar.score_stats_columns`) and the
+    parallel path feeds *vertex ids* to the executor — the same split
     :func:`repro.scoring.registry.score_groups` makes, which is what
     keeps service responses byte-identical to CLI output.
     """
@@ -71,18 +74,13 @@ def score_member_lists(
             include_internal_adjacency=include_adjacency,
         )
         return sizes, rows
-    stats_list = batch_group_stats(
+    return score_stats_columns(
         context,
         member_lists,
+        functions,
         graph_median_degree=median,
         include_internal_adjacency=include_adjacency,
     )
-    sizes = [stats.n_C for stats in stats_list]
-    rows = [
-        [float(function(stats)) for function in functions]
-        for stats in stats_list
-    ]
-    return sizes, rows
 
 
 @dataclass
@@ -134,7 +132,7 @@ class MicroBatcher:
         names: list[str],
         member_lists: list[list[Node]],
         id_lists: list[np.ndarray],
-    ) -> tuple[list[int], list[list[float]]]:
+    ) -> tuple[list[int], np.ndarray]:
         """Queue one request under ``key``; await its slice of the batch."""
         loop = asyncio.get_running_loop()
         state = self._states.get(key)

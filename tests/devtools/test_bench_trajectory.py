@@ -1,0 +1,174 @@
+"""Unit tests of the bench-trajectory regression gate (scripts/)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (
+    Path(__file__).resolve().parents[2] / "scripts" / "bench_trajectory.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_trajectory", _SCRIPT)
+traj = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(traj)
+
+
+def _write(root, filename, report):
+    path = root / filename
+    path.write_text(json.dumps(report), encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def reports(tmp_path):
+    """One healthy report per gated file."""
+    _write(
+        tmp_path,
+        "BENCH_columnar.json",
+        {"mode": "full", "speedup": 9.0, "groups": 10000},
+    )
+    _write(
+        tmp_path,
+        "BENCH_scale.json",
+        {
+            "mode": "scale",
+            "scales": [
+                {
+                    "edges_requested": 1_000_000,
+                    "freeze_peak_rss_mb": 180.0,
+                    "score_peak_rss_mb": 110.0,
+                }
+            ],
+        },
+    )
+    _write(
+        tmp_path,
+        "BENCH_service.json",
+        {"mode": "smoke", "warm_speedup_p50": 8.0},
+    )
+    return tmp_path
+
+
+@pytest.fixture
+def baseline(reports, tmp_path):
+    path = tmp_path / "BASELINES.json"
+    assert traj.update(reports, path) == 0
+    return path
+
+
+class TestResolvePath:
+    def test_plain_and_nested_keys(self):
+        assert traj.resolve_path({"mode": "full"}, "mode") == "full"
+        assert traj.resolve_path({"a": {"b": 3}}, "a.b") == 3
+
+    def test_negative_index(self):
+        report = {"scales": [{"x": 1}, {"x": 2}]}
+        assert traj.resolve_path(report, "scales[-1].x") == 2
+        assert traj.resolve_path(report, "scales[0].x") == 1
+
+    def test_missing_paths_resolve_to_none(self):
+        assert traj.resolve_path({}, "mode") is None
+        assert traj.resolve_path({"scales": []}, "scales[-1].x") is None
+        assert traj.resolve_path({"a": 1}, "a.b") is None
+
+
+class TestUpdate:
+    def test_records_every_gated_metric(self, reports, baseline):
+        recorded = json.loads(baseline.read_text())
+        assert recorded["BENCH_columnar.json"]["metrics"]["speedup"] == 9.0
+        assert recorded["BENCH_columnar.json"]["guard"] == {"mode": "full"}
+        assert recorded["BENCH_scale.json"]["metrics"] == {
+            "scales[-1].freeze_peak_rss_mb": 180.0,
+            "scales[-1].score_peak_rss_mb": 110.0,
+        }
+        assert (
+            recorded["BENCH_service.json"]["metrics"]["warm_speedup_p50"]
+            == 8.0
+        )
+
+    def test_no_reports_is_an_error(self, tmp_path):
+        assert traj.update(tmp_path, tmp_path / "BASELINES.json") == 1
+
+
+class TestCheck:
+    def test_identical_reports_pass(self, reports, baseline):
+        assert traj.check(reports, baseline, 0.20) == 0
+
+    def test_higher_is_better_regression_fails(self, reports, baseline):
+        _write(
+            reports,
+            "BENCH_columnar.json",
+            {"mode": "full", "speedup": 7.0},  # 9.0 * 0.8 = 7.2 > 7.0
+        )
+        assert traj.check(reports, baseline, 0.20) == 1
+
+    def test_lower_is_better_regression_fails(self, reports, baseline):
+        _write(
+            reports,
+            "BENCH_scale.json",
+            {
+                "mode": "scale",
+                "scales": [
+                    {
+                        "edges_requested": 1_000_000,
+                        "freeze_peak_rss_mb": 250.0,  # > 180 * 1.2
+                        "score_peak_rss_mb": 110.0,
+                    }
+                ],
+            },
+        )
+        assert traj.check(reports, baseline, 0.20) == 1
+
+    def test_within_tolerance_passes(self, reports, baseline):
+        _write(
+            reports,
+            "BENCH_columnar.json",
+            {"mode": "full", "speedup": 7.3},  # above the 7.2 floor
+        )
+        assert traj.check(reports, baseline, 0.20) == 0
+
+    def test_guard_mismatch_skips_instead_of_failing(
+        self, reports, baseline, capsys
+    ):
+        _write(
+            reports,
+            "BENCH_scale.json",
+            {
+                "mode": "scale",
+                "scales": [
+                    {
+                        "edges_requested": 10_000_000,  # different scale
+                        "freeze_peak_rss_mb": 9000.0,
+                        "score_peak_rss_mb": 9000.0,
+                    }
+                ],
+            },
+        )
+        assert traj.check(reports, baseline, 0.20) == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_missing_report_skips(self, reports, baseline):
+        (reports / "BENCH_service.json").unlink()
+        assert traj.check(reports, baseline, 0.20) == 0
+
+    def test_missing_metric_in_current_report_fails(self, reports, baseline):
+        _write(reports, "BENCH_service.json", {"mode": "smoke"})
+        assert traj.check(reports, baseline, 0.20) == 1
+
+    def test_missing_baselines_file_fails(self, reports, tmp_path):
+        assert traj.check(reports, tmp_path / "missing.json", 0.20) == 1
+
+
+class TestMain:
+    def test_update_then_check_via_argv(self, reports, tmp_path):
+        baseline = tmp_path / "BASELINES.json"
+        argv = [
+            "--root",
+            str(reports),
+            "--baseline",
+            str(baseline),
+        ]
+        assert traj.main([*argv, "--update"]) == 0
+        assert traj.main(argv) == 0
+        assert traj.main([*argv, "--tolerance", "0.5"]) == 0

@@ -636,6 +636,81 @@ def test_rep503_quiet_on_classes_without_scoring_shape():
     assert "REP503" not in program_rule_ids(sources)
 
 
+# -- REP607: per-group scalar scoring loop ------------------------------------
+
+_REP607_LOOP = """
+    __all__ = ["score"]
+
+    def score(context, member_lists, functions):
+        stats_list = batch_group_stats(context, member_lists)
+        rows = [
+            [float(function(stats)) for function in functions]
+            for stats in stats_list
+        ]
+        return rows
+"""
+
+
+def test_rep607_fires_on_scalar_loop_in_engine():
+    assert "REP607" in program_rule_ids({"repro.engine.fake": _REP607_LOOP})
+
+
+def test_rep607_fires_on_scalar_loop_in_service():
+    assert "REP607" in program_rule_ids({"repro.service.fake": _REP607_LOOP})
+
+
+def test_rep607_fires_on_for_loop_variant():
+    sources = {
+        "repro.engine.fake": """
+            __all__ = ["score"]
+
+            def score(context, member_lists, functions):
+                rows = []
+                for stats in batch_group_stats(context, member_lists):
+                    row = []
+                    for function in functions:
+                        row.append(function(stats))
+                    rows.append(row)
+                return rows
+        """
+    }
+    assert "REP607" in program_rule_ids(sources)
+
+
+def test_rep607_quiet_outside_engine_and_service():
+    # The scalar oracle is legitimate in scoring/ (scalar_score_column),
+    # tests and benchmarks; only engine/service hot paths are gated.
+    assert "REP607" not in program_rule_ids(
+        {"repro.scoring.fake": _REP607_LOOP}
+    )
+
+
+def test_rep607_quiet_on_columnar_path():
+    sources = {
+        "repro.engine.fake": """
+            __all__ = ["score"]
+
+            def score(context, member_lists, functions):
+                batch = batch_group_stats_columns(context, member_lists)
+                return score_matrix(functions, batch)
+        """
+    }
+    assert "REP607" not in program_rule_ids(sources)
+
+
+def test_rep607_quiet_on_stats_loop_without_function_dispatch():
+    sources = {
+        "repro.engine.fake": """
+            __all__ = ["sizes"]
+
+            def sizes(context, member_lists):
+                stats_list = batch_group_stats(context, member_lists)
+                return [stats.n_C for stats in stats_list]
+        """
+    }
+    assert "REP607" not in program_rule_ids(sources)
+
+
 # -- end-to-end through lint_paths --------------------------------------------
 
 

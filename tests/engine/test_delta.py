@@ -16,8 +16,16 @@ from hypothesis import strategies as st
 
 from repro import obs
 from repro.data import Community, GroupSet, VertexGroup
-from repro.engine import AnalysisContext, ContextDelta, batch_group_stats
-from repro.engine.delta import rescore_groups
+from repro.engine import (
+    AnalysisContext,
+    ContextDelta,
+    batch_group_stats,
+    batch_group_stats_columns,
+)
+from repro.engine.delta import rescore_groups, rescore_groups_columns
+from repro.scoring.columnar import GroupStatsBatch, score_matrix
+from repro.scoring.internal import TriangleParticipationRatio
+from repro.scoring.registry import make_all_functions
 from repro.exceptions import GraphError, NodeNotFound
 from repro.graph.digraph import DiGraph
 from repro.graph.ugraph import Graph
@@ -170,6 +178,138 @@ class TestRescoreGroups:
             graph_median_degree=context.median_degree,
         )
         assert set(got) == {group.name for group in groups}
+
+
+def assert_batches_bitwise_identical(got, want):
+    assert got.n == want.n
+    assert got.m == want.m
+    assert got.directed == want.directed
+    assert got.graph_median_degree == want.graph_median_degree
+    assert got.members == want.members
+    for column in (
+        "n_C",
+        "m_C",
+        "c_C",
+        "group_offsets",
+        "member_degrees",
+        "member_internal_degrees",
+        "member_in_degrees",
+        "member_out_degrees",
+    ):
+        assert (
+            getattr(got, column).tobytes() == getattr(want, column).tobytes()
+        ), column
+    if want.member_internal_neighbors is None:
+        assert got.member_internal_neighbors is None
+    else:
+        assert got.member_internal_neighbors is not None
+        assert len(got.member_internal_neighbors) == len(
+            want.member_internal_neighbors
+        )
+        for got_row, want_row in zip(
+            got.member_internal_neighbors, want.member_internal_neighbors
+        ):
+            assert got_row.tobytes() == want_row.tobytes()
+
+
+class TestRescoreGroupsColumns:
+    @pytest.mark.parametrize("include_adjacency", [False, True])
+    def test_bitwise_identical_to_full_columnar_pass(
+        self, community_fixture, include_adjacency
+    ):
+        context, groups = community_fixture
+        delta = TestRescoreGroups().delta_for(context, groups)
+        member_lists = [list(group.members) for group in groups]
+        baseline = batch_group_stats_columns(
+            context,
+            member_lists,
+            graph_median_degree=context.median_degree,
+            include_internal_adjacency=include_adjacency,
+        )
+        baseline_names = [group.name for group in groups]
+
+        patched = delta.apply(context)
+        dirty = delta.dirty_names(groups)
+        assert dirty and len(dirty) < len(groups)
+
+        got = rescore_groups_columns(
+            patched,
+            groups,
+            baseline,
+            baseline_names,
+            dirty,
+            graph_median_degree=patched.median_degree,
+            include_internal_adjacency=include_adjacency,
+        )
+        want = batch_group_stats_columns(
+            patched,
+            member_lists,
+            graph_median_degree=patched.median_degree,
+            include_internal_adjacency=include_adjacency,
+        )
+        assert_batches_bitwise_identical(got, want)
+
+        # The spliced batch also scores bitwise-identically.
+        functions = make_all_functions()
+        if not include_adjacency:
+            functions = [
+                f
+                for f in functions
+                if not isinstance(f, TriangleParticipationRatio)
+            ]
+        assert (
+            score_matrix(functions, got).tobytes()
+            == score_matrix(functions, want).tobytes()
+        )
+
+    def test_missing_previous_names_are_recomputed(self, community_fixture):
+        context, groups = community_fixture
+        empty = GroupStatsBatch.empty(
+            n=context.num_vertices,
+            m=context.num_edges,
+            directed=context.is_directed,
+            graph_median_degree=context.median_degree,
+        )
+        got = rescore_groups_columns(
+            context,
+            groups,
+            empty,
+            previous_names=[],
+            dirty=frozenset(),
+            graph_median_degree=context.median_degree,
+        )
+        want = batch_group_stats_columns(
+            context,
+            [list(group.members) for group in groups],
+            graph_median_degree=context.median_degree,
+        )
+        assert_batches_bitwise_identical(got, want)
+
+    def test_previous_without_neighbors_forces_full_recompute(
+        self, community_fixture
+    ):
+        context, groups = community_fixture
+        member_lists = [list(group.members) for group in groups]
+        baseline = batch_group_stats_columns(
+            context, member_lists, graph_median_degree=context.median_degree
+        )
+        assert baseline.member_internal_neighbors is None
+        got = rescore_groups_columns(
+            context,
+            groups,
+            baseline,
+            [group.name for group in groups],
+            dirty=frozenset(),  # clean, but the adjacency rows are absent
+            graph_median_degree=context.median_degree,
+            include_internal_adjacency=True,
+        )
+        want = batch_group_stats_columns(
+            context,
+            member_lists,
+            graph_median_degree=context.median_degree,
+            include_internal_adjacency=True,
+        )
+        assert_batches_bitwise_identical(got, want)
 
 
 class TestStrictness:

@@ -161,7 +161,7 @@ def test_empty_batch_returns_empty_without_spawning():
             graph_median_degree=None,
             include_internal_adjacency=False,
         )
-        assert sizes == [] and rows == []
+        assert sizes == [] and rows.shape == (0, 4)
         assert executor.sample_ids("uniform", [], []) == []
         # No work was dispatched, so no pool was ever created.
         assert executor._pool is None
